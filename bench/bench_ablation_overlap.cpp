@@ -1,0 +1,52 @@
+// Ablation: load/compute overlap (double-buffered tiles) vs serialized
+// load-then-compute, across HBM channel allocations.
+//
+// The paper reports latency "accounting for the overlap of data loading
+// and computation"; this quantifies what that overlap buys as the memory
+// system gets weaker (fewer HBM channels bound to the kernel).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ref/model_zoo.hpp"
+
+int main() {
+  using namespace protea;
+
+  util::Table table({"HBM channels", "Overlap", "Latency (ms)",
+                     "vs overlapped", "HBM traffic (MiB)"});
+  table.set_title(
+      "ABLATION — tile-load/compute overlap (BERT variant, paper "
+      "synthesis)");
+  util::CsvWriter csv(bench::results_dir() + "/ablation_overlap.csv",
+                      {"channels", "overlap", "latency_ms", "slowdown",
+                       "bytes_loaded"});
+
+  const auto bert = ref::bert_variant();
+  for (uint32_t channels : {1u, 2u, 4u, 8u, 16u}) {
+    double overlapped_ms = 0.0;
+    for (bool overlap : {true, false}) {
+      accel::AccelConfig cfg;
+      cfg.synth.hbm_channels_used = channels;
+      cfg.overlap_loads = overlap;
+      const auto report = accel::estimate_performance(cfg, bert);
+      if (overlap) overlapped_ms = report.latency_ms;
+      const double slowdown = report.latency_ms / overlapped_ms;
+      table.row({std::to_string(channels), overlap ? "yes" : "no",
+                 bench::fmt(report.latency_ms, 1),
+                 overlap ? "1" : bench::fmt(slowdown, 3) + "x",
+                 bench::fmt(static_cast<double>(report.bytes_loaded) /
+                                (1024.0 * 1024.0),
+                            1)});
+      csv.row({std::to_string(channels), overlap ? "1" : "0",
+               bench::fmt(report.latency_ms, 3), bench::fmt(slowdown, 4),
+               std::to_string(report.bytes_loaded)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "With the paper's 8-channel binding the workload is compute-bound "
+      "and overlap is nearly free;\nat 1-2 channels the FFN weight "
+      "streams dominate and overlap becomes essential.\n");
+  std::printf("CSV written to bench_results/ablation_overlap.csv\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Ablation: what would sparsity buy ProTEA? (the paper's §V discussion,
+// quantified).
+//
+// Prunes the BERT-variant weights at increasing sparsity with both
+// methods, measures the FFN tile occupancy under ProTEA's TS_FFN=128
+// tiling, and compares three latencies:
+//   dense        — ProTEA as built (what the paper ships),
+//   tile-skip    — a hypothetical variant skipping all-zero weight tiles,
+//   ideal (1-s)  — the paper's back-of-envelope bound (4.48*(1-0.9) etc.)
+// plus the quantized-accuracy cost of pruning on a small model.
+#include <cstdio>
+
+#include "accel/accelerator.hpp"
+#include "baseline/pruning.hpp"
+#include "bench_common.hpp"
+#include "ref/encoder.hpp"
+#include "ref/model_zoo.hpp"
+#include "tensor/ops.hpp"
+
+int main() {
+  using namespace protea;
+
+  const accel::AccelConfig cfg;
+  const auto bert = ref::bert_variant();
+
+  util::Table table({"Sparsity", "Method", "Tile occupancy (f1/f2/f3)",
+                     "Dense ms", "Tile-skip ms", "Ideal (1-s) ms",
+                     "Skip speedup"});
+  table.set_title(
+      "ABLATION — structured sparsity under ProTEA's FFN tiling "
+      "(BERT variant, TS_FFN=128)");
+  util::CsvWriter csv(bench::results_dir() + "/ablation_sparsity.csv",
+                      {"sparsity", "method", "occ_ffn1", "occ_ffn2",
+                       "occ_ffn3", "dense_ms", "skip_ms", "ideal_ms",
+                       "speedup"});
+
+  const auto dense_report = accel::estimate_performance(cfg, bert);
+  for (double sparsity : {0.0, 0.5, 0.7, 0.9, 0.93}) {
+    for (auto method : {baseline::PruneMethod::kMagnitude,
+                        baseline::PruneMethod::kColumnBalancedBlock}) {
+      auto weights = ref::make_random_weights(bert, 11);
+      if (sparsity > 0.0) {
+        baseline::prune_encoder_weights(weights, sparsity, method);
+      }
+      const auto occ =
+          baseline::ffn_tile_occupancy(weights.layers[0], cfg.synth.ts_ffn);
+      const accel::FfnStageOccupancy stage_occ{occ.ffn1, occ.ffn2,
+                                               occ.ffn3};
+      const auto skip_report =
+          accel::estimate_sparse_performance(cfg, bert, stage_occ);
+      const double ideal_ms = dense_report.latency_ms * (1.0 - sparsity);
+      const char* method_name =
+          method == baseline::PruneMethod::kMagnitude ? "magnitude"
+                                                      : "col-balanced";
+
+      table.row({bench::fmt(sparsity * 100, 0) + "%", method_name,
+                 bench::fmt(occ.ffn1, 2) + "/" + bench::fmt(occ.ffn2, 2) +
+                     "/" + bench::fmt(occ.ffn3, 2),
+                 bench::fmt(dense_report.latency_ms, 0),
+                 bench::fmt(skip_report.latency_ms, 0),
+                 bench::fmt(ideal_ms, 0),
+                 bench::fmt(dense_report.latency_ms /
+                                skip_report.latency_ms,
+                            2) +
+                     "x"});
+      csv.row({bench::fmt(sparsity, 2), method_name,
+               bench::fmt(occ.ffn1, 4), bench::fmt(occ.ffn2, 4),
+               bench::fmt(occ.ffn3, 4),
+               bench::fmt(dense_report.latency_ms, 2),
+               bench::fmt(skip_report.latency_ms, 2),
+               bench::fmt(ideal_ms, 2),
+               bench::fmt(dense_report.latency_ms /
+                              skip_report.latency_ms,
+                          3)});
+      if (sparsity == 0.0) break;  // methods identical when not pruning
+    }
+    // Third method: tile-structured pruning — the granularity the
+    // tile-skipping controller can actually exploit.
+    if (sparsity > 0.0) {
+      auto weights = ref::make_random_weights(bert, 11);
+      for (auto& layer : weights.layers) {
+        baseline::prune_tiles(layer.wo, sparsity, cfg.synth.ts_ffn);
+        baseline::prune_tiles(layer.w1, sparsity, cfg.synth.ts_ffn);
+        baseline::prune_tiles(layer.w2, sparsity, cfg.synth.ts_ffn);
+      }
+      const auto occ =
+          baseline::ffn_tile_occupancy(weights.layers[0], cfg.synth.ts_ffn);
+      const auto skip_report = accel::estimate_sparse_performance(
+          cfg, bert, {occ.ffn1, occ.ffn2, occ.ffn3});
+      const double ideal_ms = dense_report.latency_ms * (1.0 - sparsity);
+      table.row({bench::fmt(sparsity * 100, 0) + "%", "tile-structured",
+                 bench::fmt(occ.ffn1, 2) + "/" + bench::fmt(occ.ffn2, 2) +
+                     "/" + bench::fmt(occ.ffn3, 2),
+                 bench::fmt(dense_report.latency_ms, 0),
+                 bench::fmt(skip_report.latency_ms, 0),
+                 bench::fmt(ideal_ms, 0),
+                 bench::fmt(dense_report.latency_ms /
+                                skip_report.latency_ms,
+                            2) +
+                     "x"});
+      csv.row({bench::fmt(sparsity, 2), "tile-structured",
+               bench::fmt(occ.ffn1, 4), bench::fmt(occ.ffn2, 4),
+               bench::fmt(occ.ffn3, 4),
+               bench::fmt(dense_report.latency_ms, 2),
+               bench::fmt(skip_report.latency_ms, 2),
+               bench::fmt(ideal_ms, 2),
+               bench::fmt(dense_report.latency_ms /
+                              skip_report.latency_ms,
+                          3)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Random pruning leaves almost every 128x128 tile occupied — "
+      "tile-granular skipping captures\nnearly none of the ideal (1-s) "
+      "bound. The paper's sparse competitors need fine-grained\nsparse "
+      "architectures precisely because of this; ProTEA's dense choice "
+      "trades that machinery\nfor runtime programmability.\n\n");
+
+  // Accuracy side: quantized accelerator error vs pruning level (small
+  // functional model so the int8 datapath actually runs).
+  util::Table acc_table({"Sparsity", "RMS err (pruned float vs dense)",
+                         "RMS err (int8 accel vs pruned float)"});
+  acc_table.set_title("Accuracy cost of pruning (d=64, h=4, N=2, SL=16)");
+  ref::ModelConfig small;
+  small.seq_len = 16;
+  small.d_model = 64;
+  small.num_heads = 4;
+  small.num_layers = 2;
+  const auto dense_weights = ref::make_random_weights(small, 21);
+  const auto input = ref::make_random_input(small, 22);
+  const auto dense_out = ref::Encoder(dense_weights).forward(input);
+  for (double sparsity : {0.0, 0.5, 0.9}) {
+    auto pruned = dense_weights;
+    if (sparsity > 0.0) {
+      baseline::prune_encoder_weights(
+          pruned, sparsity, baseline::PruneMethod::kColumnBalancedBlock);
+    }
+    const auto pruned_out = ref::Encoder(pruned).forward(input);
+    accel::ProteaAccelerator accelerator(cfg);
+    accelerator.load_model(accel::prepare_model(pruned, input));
+    const auto accel_out = accelerator.forward(input);
+    acc_table.row({bench::fmt(sparsity * 100, 0) + "%",
+                   bench::fmt(tensor::rms_diff(pruned_out, dense_out), 3),
+                   bench::fmt(tensor::rms_diff(accel_out, pruned_out), 3)});
+  }
+  std::printf("%s\n", acc_table.to_string().c_str());
+  std::printf("CSV written to bench_results/ablation_sparsity.csv\n");
+  return 0;
+}

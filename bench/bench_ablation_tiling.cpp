@@ -1,0 +1,53 @@
+// Ablation: the frozen-row-tile controller (what Table I's scaling
+// reveals the hardware does) vs a hypothetical fully runtime-adaptive
+// tile controller, across runtime embedding dimensions.
+//
+// This quantifies the cost of the paper's design choice: when a small
+// model runs on hardware synthesized for d=768, the FFN row-tile loop
+// still walks the synthesized count of (zero-padded) tiles.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ref/model_zoo.hpp"
+
+int main() {
+  using namespace protea;
+
+  util::Table table({"d_model", "Frozen rows (ms)", "Adaptive (ms)",
+                     "Waste", "Frozen GOPS", "Adaptive GOPS"});
+  table.set_title(
+      "ABLATION — synthesis-frozen vs runtime-adaptive FFN row tiling "
+      "(BERT variant at runtime d_model)");
+  util::CsvWriter csv(bench::results_dir() + "/ablation_tiling.csv",
+                      {"d_model", "frozen_ms", "adaptive_ms", "waste",
+                       "frozen_gops", "adaptive_gops"});
+
+  for (uint32_t d : {768u, 640u, 512u, 384u, 256u, 128u}) {
+    ref::ModelConfig m = ref::bert_variant();
+    m.d_model = d;
+
+    accel::AccelConfig frozen;  // default: kSynthFixedRows
+    accel::AccelConfig adaptive;
+    adaptive.padding = accel::PaddingPolicy::kRuntimeAdaptive;
+
+    const auto rf = accel::estimate_performance(frozen, m);
+    const auto ra = accel::estimate_performance(adaptive, m);
+    const double waste = rf.latency_ms / ra.latency_ms;
+
+    table.row({std::to_string(d), bench::fmt(rf.latency_ms, 1),
+               bench::fmt(ra.latency_ms, 1), bench::fmt(waste, 2) + "x",
+               bench::fmt(rf.gops, 1), bench::fmt(ra.gops, 1)});
+    csv.row({std::to_string(d), bench::fmt(rf.latency_ms, 3),
+             bench::fmt(ra.latency_ms, 3), bench::fmt(waste, 4),
+             bench::fmt(rf.gops, 2), bench::fmt(ra.gops, 2)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "At the synthesized maximum (d=768) the policies coincide; the "
+      "frozen-row controller's padding\noverhead grows as the runtime "
+      "model shrinks — the flexibility/efficiency trade the paper "
+      "accepts\nfor one-synthesis programmability.\n");
+  std::printf("CSV written to bench_results/ablation_tiling.csv\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Google-benchmark microbenchmarks of the functional engine kernels —
+// the simulator's own hot paths (useful when scaling the simulator to
+// bigger sweeps, and a regression guard on the int8 datapath).
+#include <benchmark/benchmark.h>
+
+#include "accel/attention_module.hpp"
+#include "accel/engines.hpp"
+#include "accel/ffn_module.hpp"
+#include "accel/quantized_model.hpp"
+#include "accel/softmax_unit.hpp"
+#include "numeric/quantizer.hpp"
+#include "ref/encoder.hpp"
+#include "ref/weights.hpp"
+
+namespace {
+
+using namespace protea;
+
+struct Env {
+  ref::ModelConfig config;
+  accel::QuantizedModel qmodel;
+  tensor::MatrixI8 x;
+
+  explicit Env(uint32_t sl, uint32_t d, uint32_t h) {
+    config.seq_len = sl;
+    config.d_model = d;
+    config.num_heads = h;
+    config.num_layers = 1;
+    const auto weights = ref::make_random_weights(config, 777);
+    const auto input = ref::make_random_input(config, 778);
+    qmodel = accel::prepare_model(weights, input);
+    numeric::Quantizer q(8, true);
+    q.set_scale(qmodel.layers[0].scales.x);
+    x = tensor::MatrixI8(sl, d);
+    q.quantize(input.flat(), x.flat());
+  }
+};
+
+Env& env() {
+  static Env e(32, 128, 4);
+  return e;
+}
+
+void BM_QkvEngine(benchmark::State& state) {
+  const auto& layer = env().qmodel.layers[0];
+  tensor::MatrixI8 q, k, v;
+  for (auto _ : state) {
+    accel::run_qkv_engine(env().x, layer.heads[0], 64, layer.rq_q,
+                          layer.rq_k, layer.rq_v, q, k, v);
+    benchmark::DoNotOptimize(q.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 3 *
+                          32 * 128 * 32);
+}
+BENCHMARK(BM_QkvEngine);
+
+void BM_QkEngine(benchmark::State& state) {
+  const auto& layer = env().qmodel.layers[0];
+  tensor::MatrixI8 q, k, v, logits;
+  accel::run_qkv_engine(env().x, layer.heads[0], 64, layer.rq_q,
+                        layer.rq_k, layer.rq_v, q, k, v);
+  for (auto _ : state) {
+    accel::run_qk_engine(q, k, layer.rq_logit, logits);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 32 *
+                          32 * 32);
+}
+BENCHMARK(BM_QkEngine);
+
+void BM_SoftmaxUnit(benchmark::State& state) {
+  const auto& layer = env().qmodel.layers[0];
+  const accel::SoftmaxUnit unit(layer.scales.logit);
+  tensor::MatrixI8 logits(32, 32, 3);
+  for (auto _ : state) {
+    auto w = unit.run(logits);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_SoftmaxUnit);
+
+void BM_FfnEngine(benchmark::State& state) {
+  const auto& layer = env().qmodel.layers[0];
+  tensor::MatrixI8 out;
+  for (auto _ : state) {
+    accel::run_ffn_engine(env().x, layer.wo, layer.bo, 128, layer.rq_proj,
+                          accel::FfnActivation::kNone, 0.0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 32 *
+                          128 * 128);
+}
+BENCHMARK(BM_FfnEngine);
+
+void BM_AttentionModule(benchmark::State& state) {
+  const auto& layer = env().qmodel.layers[0];
+  for (auto _ : state) {
+    auto concat = accel::AttentionModule::run(layer, env().x, 64);
+    benchmark::DoNotOptimize(concat.data());
+  }
+}
+BENCHMARK(BM_AttentionModule);
+
+void BM_FfnModule(benchmark::State& state) {
+  const auto& layer = env().qmodel.layers[0];
+  auto concat = accel::AttentionModule::run(layer, env().x, 64);
+  for (auto _ : state) {
+    auto out = accel::FfnModule::run(layer, concat, env().x, 128,
+                                     ref::Activation::kGelu);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FfnModule);
+
+}  // namespace
+
+BENCHMARK_MAIN();

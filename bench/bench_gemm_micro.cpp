@@ -1,0 +1,84 @@
+// Google-benchmark microbenchmarks of the float kernels that back the
+// reference encoder and the measured CPU baseline.
+#include <benchmark/benchmark.h>
+
+#include "baseline/cpu_encoder.hpp"
+#include "ref/weights.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace protea;
+
+tensor::MatrixF random_matrix(size_t r, size_t c, uint64_t seed) {
+  tensor::MatrixF m(r, c);
+  util::Xoshiro256 rng(seed);
+  for (float& x : m.flat()) x = static_cast<float>(rng.uniform(-1, 1));
+  return m;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 1);
+  const auto b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    auto c = tensor::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulBt(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 3);
+  const auto b = random_matrix(n, n, 4);
+  for (auto _ : state) {
+    auto c = tensor::matmul_bt(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatmulBt)->Arg(64)->Arg(128);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  auto m = random_matrix(64, 64, 5);
+  for (auto _ : state) {
+    auto copy = m;
+    tensor::softmax_rows_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_LayerNormRows(benchmark::State& state) {
+  auto m = random_matrix(64, 768, 6);
+  std::vector<float> gamma(768, 1.0f), beta(768, 0.0f);
+  for (auto _ : state) {
+    auto copy = m;
+    tensor::layer_norm_rows_inplace(copy, gamma, beta);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_LayerNormRows);
+
+void BM_CpuEncoderLayer(benchmark::State& state) {
+  ref::ModelConfig cfg;
+  cfg.seq_len = 32;
+  cfg.d_model = 128;
+  cfg.num_heads = 4;
+  cfg.num_layers = 1;
+  const auto weights = ref::make_random_weights(cfg, 7);
+  const auto input = ref::make_random_input(cfg, 8);
+  baseline::CpuEncoder cpu(weights, 0);
+  for (auto _ : state) {
+    auto out = cpu.forward(input);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CpuEncoderLayer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Google-benchmark microbenchmarks of the quantization substrate.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "numeric/quantizer.hpp"
+#include "numeric/requantize.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace protea;
+
+std::vector<float> random_data(size_t n) {
+  std::vector<float> data(n);
+  util::Xoshiro256 rng(99);
+  for (auto& x : data) x = static_cast<float>(rng.normal());
+  return data;
+}
+
+void BM_Calibrate(benchmark::State& state) {
+  const auto data = random_data(static_cast<size_t>(state.range(0)));
+  numeric::Quantizer q(8, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.calibrate(data));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Calibrate)->Arg(4096)->Arg(589824);  // 768x768
+
+void BM_QuantizeInt8(benchmark::State& state) {
+  const auto data = random_data(static_cast<size_t>(state.range(0)));
+  std::vector<int8_t> out(data.size());
+  numeric::Quantizer q(8, true);
+  q.calibrate(data);
+  for (auto _ : state) {
+    q.quantize(data, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizeInt8)->Arg(4096)->Arg(589824);
+
+void BM_Requantize(benchmark::State& state) {
+  const auto params = numeric::make_requant_params(0.0173);
+  int64_t acc = -123456;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numeric::requantize(acc, params, -128, 127));
+    acc += 7919;
+    if (acc > 1000000) acc = -1000000;
+  }
+}
+BENCHMARK(BM_Requantize);
+
+void BM_RequantizePow2(benchmark::State& state) {
+  int64_t acc = -123456;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numeric::requantize_pow2(acc, 7, -128, 127));
+    acc += 7919;
+    if (acc > 1000000) acc = -1000000;
+  }
+}
+BENCHMARK(BM_RequantizePow2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Exports the Vitis HLS project for a chosen synthesis configuration —
+// the artifact the ProTEA paper's methodology is built on. On a machine
+// with Vitis HLS installed: `vitis_hls -f run_hls.tcl` inside the output
+// directory.
+//
+//   $ ./export_hls [out_dir] [ts_mha] [ts_ffn] [device]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "hls/hls_codegen.hpp"
+#include "hw/frequency_model.hpp"
+#include "hw/resource_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protea;
+
+  const std::string out_dir = argc > 1 ? argv[1] : "protea_hls";
+  hw::SynthParams params;
+  if (argc > 2) params.ts_mha = static_cast<uint32_t>(std::atoi(argv[2]));
+  if (argc > 3) params.ts_ffn = static_cast<uint32_t>(std::atoi(argv[3]));
+  const hw::Device& device =
+      argc > 4 ? hw::find_device(argv[4]) : hw::alveo_u55c();
+
+  params.validate();
+  const double fmax = hw::fmax_mhz(params);
+  const auto resources = hw::estimate_resources(params);
+
+  const int files = hls::write_hls_project(out_dir, params, device, fmax);
+
+  std::printf("wrote %d files to %s/\n\n", files, out_dir.c_str());
+  std::printf("synthesis configuration:\n");
+  std::printf("  TS_MHA=%u  TS_FFN=%u  heads=%u  device=%s\n",
+              params.ts_mha, params.ts_ffn, params.max_heads,
+              device.name.c_str());
+  std::printf("  projected Fmax: %.0f MHz\n", fmax);
+  std::printf("  projected resources: %llu DSP, %llu LUT, %llu FF\n",
+              static_cast<unsigned long long>(resources.used.dsp),
+              static_cast<unsigned long long>(resources.used.lut),
+              static_cast<unsigned long long>(resources.used.ff));
+  std::printf("  fits %s: %s (routable: %s)\n", device.name.c_str(),
+              resources.fits(device.budget) ? "yes" : "NO",
+              resources.fits_routable(device.budget) ? "yes" : "NO");
+  std::printf("\nnext step on a Vitis machine:\n  cd %s && vitis_hls -f "
+              "run_hls.tcl\n",
+              out_dir.c_str());
+  return 0;
+}

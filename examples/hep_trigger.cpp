@@ -1,0 +1,72 @@
+// Domain example: high-energy-physics trigger inference — the workload of
+// Wojcicki et al. [23] (Table II/III model #2), where a tiny transformer
+// classifies jets from a handful of constituents under a hard real-time
+// budget.
+//
+// Streams a batch of synthetic "events" through the accelerator with the
+// runtime-programmable sequence length set per event (jets have varying
+// constituent counts), and checks the projected latency against the
+// trigger budget.
+#include <algorithm>
+#include <cstdio>
+
+#include "accel/accelerator.hpp"
+#include "ref/model_zoo.hpp"
+#include "ref/weights.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace protea;
+
+  // The LHC-trigger-scale model of Table II/III (one layer, d=96, SL=8).
+  const auto model = ref::model_wojcicki23();
+  const auto weights = ref::make_random_weights(model, 42);
+  const auto calib = ref::make_random_input(model, 43);
+
+  accel::AccelConfig hw_config;
+  accel::ProteaAccelerator accelerator(hw_config);
+  accelerator.load_model(accel::prepare_model(weights, calib));
+
+  constexpr double kTriggerBudgetMs = 1.0;  // the paper's [23] scale
+  util::Xoshiro256 rng(99);
+
+  std::printf("HEP trigger model: SL<=%u, d=%u, h=%u, N=%u\n\n",
+              model.seq_len, model.d_model, model.num_heads,
+              model.num_layers);
+  std::printf("%6s %13s %12s %10s %8s\n", "event", "constituents",
+              "latency(ms)", "budget", "score");
+
+  int accepted = 0;
+  constexpr int kEvents = 10;
+  for (int event = 0; event < kEvents; ++event) {
+    // Jets carry 4..8 constituents; reprogram SL per event.
+    const auto constituents =
+        static_cast<uint32_t>(4 + rng.bounded(model.seq_len - 3));
+    accelerator.program_seq_len(constituents);
+
+    // Synthetic constituent kinematics as the embedding input.
+    tensor::MatrixF event_input(constituents, model.d_model);
+    for (float& v : event_input.flat()) {
+      v = static_cast<float>(rng.normal());
+    }
+
+    const auto out = accelerator.forward(event_input);
+    const auto perf = accelerator.performance();
+
+    // Toy jet score: mean of the first output channel.
+    double score = 0.0;
+    for (size_t t = 0; t < out.rows(); ++t) score += out(t, 0);
+    score /= static_cast<double>(out.rows());
+
+    const bool in_budget = perf.latency_ms <= kTriggerBudgetMs;
+    accepted += in_budget ? 1 : 0;
+    std::printf("%6d %13u %12.4f %10s %8.3f\n", event, constituents,
+                perf.latency_ms, in_budget ? "PASS" : "MISS", score);
+  }
+
+  std::printf(
+      "\n%d/%d events inside the %.1f ms trigger budget (paper reports "
+      "0.425 ms for this class,\n2.5x faster than a Titan XP).\n",
+      accepted, kEvents, kTriggerBudgetMs);
+  return 0;
+}

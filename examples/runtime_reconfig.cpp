@@ -1,0 +1,75 @@
+// Runtime reconfiguration: the paper's headline feature, §IV-D.
+//
+// Programs the (simulated) accelerator through the MicroBlaze-style ISA:
+// one "synthesis", then several models executed back to back purely by
+// rewriting CSRs — including a deliberately oversized program that the
+// controller must reject with a CSR error instead of requiring
+// re-synthesis.
+#include <cstdio>
+
+#include "accel/accelerator.hpp"
+#include "isa/controller.hpp"
+#include "ref/weights.hpp"
+
+int main() {
+  using namespace protea;
+
+  accel::AccelConfig hw_config;  // synthesized once
+  accel::ProteaAccelerator accelerator(hw_config);
+  isa::Controller controller(accelerator);
+
+  // Three models of different shapes, bound to host buffer slots.
+  std::vector<ref::ModelConfig> models(3);
+  models[0].seq_len = 32;
+  models[0].d_model = 128;
+  models[0].num_heads = 4;
+  models[0].num_layers = 2;
+  models[1].seq_len = 16;
+  models[1].d_model = 256;
+  models[1].num_heads = 8;
+  models[1].num_layers = 1;
+  models[2].seq_len = 64;
+  models[2].d_model = 64;
+  models[2].num_heads = 2;
+  models[2].num_layers = 3;
+
+  std::vector<isa::Instruction> program;
+  for (uint32_t slot = 0; slot < models.size(); ++slot) {
+    const auto& m = models[slot];
+    const auto weights = ref::make_random_weights(m, 10 + slot);
+    const auto input = ref::make_random_input(m, 20 + slot);
+    controller.bind_weights(slot, accel::prepare_model(weights, input));
+    controller.bind_input(slot, input);
+    auto block = isa::assemble_program(m, slot, slot, slot);
+    block.pop_back();  // drop per-block halt; one stream, many runs
+    program.insert(program.end(), block.begin(), block.end());
+  }
+
+  // A fourth program that exceeds the synthesized d_model: must be
+  // rejected by the controller's bound check (no re-synthesis possible).
+  program.push_back({isa::Opcode::kSetDModel, 4096});
+  program.push_back({isa::Opcode::kRun, 99});
+  program.push_back({isa::Opcode::kHalt, 0});
+
+  std::printf("instruction stream (%zu instructions):\n%s\n",
+              program.size(), isa::format_program(program).c_str());
+
+  const auto results = controller.execute(program);
+
+  std::printf("%-28s %12s %10s %8s\n", "program", "latency(ms)", "GOPS",
+              "cycles/1e6");
+  for (const auto& r : results) {
+    char desc[64];
+    std::snprintf(desc, sizeof(desc), "SL=%u d=%u h=%u N=%u",
+                  r.config.seq_len, r.config.d_model, r.config.num_heads,
+                  r.config.num_layers);
+    std::printf("%-28s %12.3f %10.1f %8.2f\n", desc, r.perf.latency_ms,
+                r.perf.gops,
+                static_cast<double>(r.perf.total_cycles) / 1e6);
+  }
+  std::printf(
+      "\nexecuted %zu runs, rejected %u oversized program(s) — all on ONE "
+      "synthesis,\nno hardware rebuild between models.\n",
+      results.size(), controller.rejected_runs());
+  return 0;
+}

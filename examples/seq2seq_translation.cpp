@@ -1,0 +1,116 @@
+// Domain example: encoder-decoder sequence transduction with
+// autoregressive greedy decoding — the full-transformer use case of the
+// paper's Fig. 1, exercising the decoder extension (§VI future work).
+//
+// Pipeline: source tokens -> encoder (simulated accelerator) -> memory ->
+// decoder generates target tokens one position at a time, reprogramming
+// the target length every step; a random output projection stands in for
+// the trained vocabulary head. The run also checks the autoregressive
+// invariant: regenerating from a longer prefix never changes already
+// emitted positions.
+#include <cstdio>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "accel/decoder_accelerator.hpp"
+#include "ref/decoder.hpp"
+#include "ref/positional.hpp"
+#include "ref/weights.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace protea;
+
+  constexpr uint32_t kVocab = 256;
+  ref::ModelConfig model;
+  model.name = "seq2seq";
+  model.seq_len = 16;  // max target length
+  model.d_model = 64;
+  model.num_heads = 4;
+  model.num_layers = 2;
+  model.activation = ref::Activation::kRelu;
+
+  // --- encode the source sequence ------------------------------------------
+  util::Xoshiro256 rng(2024);
+  std::vector<uint32_t> source(10);
+  for (auto& t : source) t = static_cast<uint32_t>(rng.bounded(kVocab));
+  const auto embed_table =
+      ref::make_embedding_table(kVocab, model.d_model, 1);
+  const auto src_input = ref::embed_tokens(source, embed_table);
+
+  ref::ModelConfig enc_cfg = model;
+  enc_cfg.seq_len = static_cast<uint32_t>(source.size());
+  const auto enc_weights = ref::make_random_weights(enc_cfg, 2);
+  accel::AccelConfig hw_config;
+  accel::ProteaAccelerator encoder(hw_config);
+  encoder.load_model(accel::prepare_model(enc_weights, src_input));
+  const auto memory = encoder.forward(src_input);
+  const auto enc_perf = encoder.performance();
+
+  // --- autoregressive greedy decode ----------------------------------------
+  const auto dec_weights = ref::make_random_decoder_weights(model, 3);
+  const auto calib_target =
+      ref::make_random_input(model, 4);  // calibration activations
+  accel::ProteaDecoderAccelerator decoder(hw_config);
+  decoder.load_model(
+      accel::prepare_decoder(dec_weights, calib_target, memory));
+
+  // Random vocabulary head (stand-in for the trained output projection).
+  const auto vocab_head =
+      ref::make_embedding_table(kVocab, model.d_model, 5);
+  auto argmax_token = [&](std::span<const float> state) {
+    uint32_t best = 0;
+    double best_score = -1e300;
+    for (uint32_t v = 0; v < kVocab; ++v) {
+      double score = 0.0;
+      for (size_t c = 0; c < state.size(); ++c) {
+        score += static_cast<double>(vocab_head(v, c)) * state[c];
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+    return best;
+  };
+
+  std::vector<uint32_t> generated = {0};  // BOS token
+  double decode_ms_total = 0.0;
+  for (uint32_t step = 1; step < model.seq_len; ++step) {
+    const auto tgt_input = ref::embed_tokens(generated, embed_table);
+    const auto states = decoder.forward(tgt_input, memory);
+    const uint32_t next = argmax_token(states.row(states.rows() - 1));
+    decode_ms_total +=
+        decoder
+            .performance(static_cast<uint32_t>(generated.size()),
+                         static_cast<uint32_t>(source.size()))
+            .latency_ms;
+    generated.push_back(next);
+  }
+
+  // --- autoregressive invariant check ---------------------------------------
+  const auto full_input = ref::embed_tokens(generated, embed_table);
+  const auto full_states = decoder.forward(full_input, memory);
+  bool consistent = true;
+  for (uint32_t step = 1; step + 1 < generated.size(); ++step) {
+    std::vector<uint32_t> prefix(generated.begin(),
+                                 generated.begin() + step);
+    const auto states =
+        decoder.forward(ref::embed_tokens(prefix, embed_table), memory);
+    if (argmax_token(states.row(step - 1)) != generated[step]) {
+      consistent = false;
+    }
+  }
+
+  std::printf("source  (%zu tokens):", source.size());
+  for (auto t : source) std::printf(" %u", t);
+  std::printf("\ndecoded (%zu tokens):", generated.size());
+  for (auto t : generated) std::printf(" %u", t);
+  std::printf("\n\nencoder pass:        %.3f ms (simulated U55C)\n",
+              enc_perf.latency_ms);
+  std::printf("decode, %u steps:    %.3f ms total\n",
+              model.seq_len - 1, decode_ms_total);
+  std::printf("autoregressive invariant (prefix re-decode): %s\n",
+              consistent ? "HOLDS" : "VIOLATED");
+  return consistent ? 0 : 1;
+}

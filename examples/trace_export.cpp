@@ -1,0 +1,40 @@
+// Exports the accelerator's modeled execution schedule as a Chrome
+// trace (open in chrome://tracing or https://ui.perfetto.dev) and prints
+// a per-engine busy-cycle budget — the waveform-level view of where the
+// 279 ms of the BERT variant go.
+#include <cstdio>
+
+#include "accel/timeline.hpp"
+#include "ref/model_zoo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protea;
+
+  const auto model =
+      argc > 1 ? ref::find_model(argv[1]) : ref::bert_variant();
+  const accel::AccelConfig cfg;
+  const auto timeline = accel::build_timeline(cfg, model);
+
+  const char* stages[] = {"qkv",  "qk",   "softmax", "sv",
+                          "ffn1", "ffn2", "ffn3",    "layernorm"};
+  std::printf("engine schedule for '%s' (%u layers, %.0f MHz):\n\n",
+              model.name.c_str(), model.num_layers, timeline.fmax_mhz());
+  std::printf("%-10s %15s %8s\n", "stage", "busy cycles", "share");
+  for (const char* stage : stages) {
+    const auto busy = timeline.stage_busy(stage);
+    std::printf("%-10s %15llu %7.1f%%\n", stage,
+                static_cast<unsigned long long>(busy),
+                100.0 * static_cast<double>(busy) /
+                    static_cast<double>(timeline.total_cycles()));
+  }
+  std::printf("%-10s %15llu\n", "total",
+              static_cast<unsigned long long>(timeline.total_cycles()));
+
+  const std::string path = "protea_trace.json";
+  timeline.export_chrome_trace(path);
+  std::printf(
+      "\n%zu events written to %s — open in chrome://tracing or "
+      "ui.perfetto.dev\n",
+      timeline.events().size(), path.c_str());
+  return 0;
+}

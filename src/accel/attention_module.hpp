@@ -1,0 +1,30 @@
+// Multi-head attention module (paper Fig. 3): h parallel head pipelines,
+// each chaining QKV_CE -> QK_CE -> softmax -> SV_CE, concatenated into the
+// (SL x d_model) attention output at the shared `sv` scale.
+#pragma once
+
+#include "accel/engines.hpp"
+#include "accel/quantized_model.hpp"
+#include "tensor/matrix.hpp"
+
+namespace protea::accel {
+
+class AttentionModule {
+ public:
+  /// Per-head intermediates captured when a trace sink is provided.
+  struct HeadTrace {
+    tensor::MatrixI8 q, k, v;
+    tensor::MatrixI8 logits;
+    tensor::MatrixI8 attn_weights;
+    tensor::MatrixI8 scores;
+  };
+
+  /// Runs all heads of `layer` on int8 input `x` (scale layer.scales.x)
+  /// and returns the concatenated attention output (scale layer.scales.sv).
+  /// `ts_mha` is the synthesized MHA tile width.
+  static tensor::MatrixI8 run(const QLayer& layer, const tensor::MatrixI8& x,
+                              uint32_t ts_mha, EngineStats* stats = nullptr,
+                              std::vector<HeadTrace>* traces = nullptr);
+};
+
+}  // namespace protea::accel

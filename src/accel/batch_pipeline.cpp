@@ -1,0 +1,61 @@
+#include "accel/batch_pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace protea::accel {
+
+BatchReport estimate_batch_performance(const AccelConfig& config,
+                                       const ref::ModelConfig& model,
+                                       uint32_t batch) {
+  if (batch == 0) {
+    throw std::invalid_argument("estimate_batch_performance: zero batch");
+  }
+  const PerfReport per_seq = estimate_performance(config, model);
+
+  // Split each layer's stages between the two physical modules.
+  hw::Cycles mha_layer = 0, ffn_layer = 0;
+  for (const auto& stage : per_seq.stages) {
+    if (stage.name == "qkv" || stage.name == "qk" ||
+        stage.name == "softmax" || stage.name == "sv") {
+      mha_layer += stage.total;
+    } else {
+      ffn_layer += stage.total;  // ffn1..3 + layernorm units
+    }
+  }
+
+  BatchReport report;
+  report.batch = batch;
+  report.fmax_mhz = per_seq.fmax_mhz;
+  report.mha_stage_cycles = mha_layer * model.num_layers;
+  report.ffn_stage_cycles = ffn_layer * model.num_layers;
+  report.serial_cycles = per_seq.total_cycles * batch;
+
+  // Layer-granular two-stage pipeline with the intra-sequence dependency
+  // respected: within ONE sequence, layer l+1's MHA needs layer l's FFN,
+  // so a batch of one cannot overlap at all. With B >= 2 the controller
+  // interleaves sequences round-robin, the faster module hides under the
+  // slower one, and the makespan is fill(min stage) + all passes through
+  // the bottleneck stage.
+  if (batch == 1) {
+    report.pipelined_cycles = report.serial_cycles;
+  } else {
+    const hw::Cycles slot = std::max(mha_layer, ffn_layer);
+    const hw::Cycles fill = std::min(mha_layer, ffn_layer);
+    const uint64_t slots =
+        static_cast<uint64_t>(batch) * model.num_layers;
+    report.pipelined_cycles =
+        std::min(fill + slots * slot, report.serial_cycles);
+  }
+
+  report.latency_ms =
+      hw::cycles_to_ms(report.pipelined_cycles, report.fmax_mhz);
+  report.throughput_seq_per_s =
+      static_cast<double>(batch) / (report.latency_ms * 1e-3);
+  report.speedup_vs_serial =
+      static_cast<double>(report.serial_cycles) /
+      static_cast<double>(report.pipelined_cycles);
+  return report;
+}
+
+}  // namespace protea::accel

@@ -1,0 +1,37 @@
+// Batch pipelining across the MHA and FFN modules.
+//
+// ProTEA's two processing modules (Fig. 3/4) are physically distinct
+// engine groups, so while the FFN module works on sequence i, the MHA
+// module can already process sequence i+1 — a two-stage coarse pipeline
+// over a batch. Within one sequence the modules are dependent (no
+// intra-sequence overlap); across sequences the bottleneck module sets
+// the steady-state rate. This is the throughput-oriented operating mode
+// a serving deployment of ProTEA would use; latency-oriented numbers
+// (Tables I-III) are the batch=1 case.
+#pragma once
+
+#include "accel/perf_model.hpp"
+
+namespace protea::accel {
+
+struct BatchReport {
+  uint32_t batch = 1;
+  hw::Cycles mha_stage_cycles = 0;   // per sequence, all layers
+  hw::Cycles ffn_stage_cycles = 0;   // per sequence, all layers
+  hw::Cycles serial_cycles = 0;      // batch run back-to-back
+  hw::Cycles pipelined_cycles = 0;   // two-stage pipelined batch
+  double latency_ms = 0.0;           // pipelined batch latency
+  double throughput_seq_per_s = 0.0;
+  double speedup_vs_serial = 1.0;
+  double fmax_mhz = 0.0;
+};
+
+/// Two-stage pipeline model over `batch` independent sequences.
+/// NOTE: with N layers, a sequence alternates MHA/FFN N times; the
+/// pipeline interleaves at layer granularity, so steady state is
+/// max(mha_layer, ffn_layer) per layer slot with a one-stage fill.
+BatchReport estimate_batch_performance(const AccelConfig& config,
+                                       const ref::ModelConfig& model,
+                                       uint32_t batch);
+
+}  // namespace protea::accel

@@ -1,0 +1,269 @@
+#include "accel/decoder_accelerator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "accel/layernorm_unit.hpp"
+#include "accel/softmax_unit.hpp"
+#include "hw/frequency_model.hpp"
+#include "hw/resource_model.hpp"
+#include "numeric/quantizer.hpp"
+#include "util/math_util.hpp"
+
+namespace protea::accel {
+
+ProteaDecoderAccelerator::ProteaDecoderAccelerator(AccelConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+void ProteaDecoderAccelerator::load_model(QuantizedDecoder model) {
+  validate_runtime(config_.synth, model.config);
+  model_ = std::move(model);
+  stats_ = EngineStats{};
+}
+
+const QuantizedDecoder& ProteaDecoderAccelerator::model() const {
+  if (!model_) {
+    throw std::logic_error("ProteaDecoderAccelerator: no model loaded");
+  }
+  return *model_;
+}
+
+tensor::MatrixF ProteaDecoderAccelerator::forward(
+    const tensor::MatrixF& target, const tensor::MatrixF& memory) {
+  const QuantizedDecoder& qd = model();
+  const ref::ModelConfig& cfg = qd.config;
+  if (target.cols() != cfg.d_model || memory.cols() != cfg.d_model) {
+    throw std::invalid_argument("decoder forward: width mismatch");
+  }
+  if (target.rows() == 0 || target.rows() > cfg.seq_len) {
+    throw std::invalid_argument("decoder forward: bad target length");
+  }
+  if (memory.rows() > config_.synth.max_seq_len) {
+    throw std::invalid_argument("decoder forward: memory too long");
+  }
+
+  const size_t t_len = target.rows();
+  const size_t dk = cfg.head_dim();
+  numeric::Quantizer quant(8, true);
+
+  // Quantize the target stream and the encoder memory once.
+  quant.set_scale(qd.layers.front().scales.x);
+  tensor::MatrixI8 x(t_len, cfg.d_model);
+  quant.quantize(target.flat(), x.flat());
+  quant.set_scale(qd.memory_scale);
+  tensor::MatrixI8 mem_q(memory.rows(), memory.cols());
+  quant.quantize(memory.flat(), mem_q.flat());
+
+  double out_scale = qd.layers.front().scales.x;
+  for (const QDecoderLayer& layer : qd.layers) {
+    const DecoderLayerScales& s = layer.scales;
+    if (s.x != out_scale) {
+      const double ratio = out_scale / s.x;
+      for (int8_t& q : x.flat()) {
+        const auto rescaled = static_cast<int32_t>(
+            std::llround(static_cast<double>(q) * ratio));
+        q = static_cast<int8_t>(std::clamp(rescaled, -128, 127));
+      }
+    }
+
+    // --- masked self-attention on the QKV/QK/SV engines -------------------
+    const SoftmaxUnit self_softmax(s.logit);
+    tensor::MatrixI8 self_concat(t_len, cfg.d_model);
+    for (size_t head = 0; head < layer.self_heads.size(); ++head) {
+      tensor::MatrixI8 q, k, v, logits, scores;
+      run_qkv_engine(x, layer.self_heads[head], config_.synth.ts_mha,
+                     layer.rq_q, layer.rq_k, layer.rq_v, q, k, v, &stats_);
+      run_qk_engine(q, k, layer.rq_logit, logits, &stats_);
+      const tensor::MatrixI8 weights = self_softmax.run_causal(logits);
+      run_sv_engine(weights, v, layer.rq_sv, scores, &stats_);
+      for (size_t i = 0; i < t_len; ++i) {
+        for (size_t c = 0; c < dk; ++c) {
+          self_concat(i, head * dk + c) = scores(i, c);
+        }
+      }
+    }
+    tensor::MatrixI8 self_proj;
+    run_ffn_engine(self_concat, layer.wo, layer.bo, config_.synth.ts_ffn,
+                   layer.rq_proj, FfnActivation::kNone, 0.0, self_proj,
+                   &stats_);
+    const LayerNormUnit ln1(layer.ln1_gamma, layer.ln1_beta);
+    tensor::MatrixI8 x1 = ln1.run(self_proj, s.proj, x, s.x, s.ln1);
+
+    // --- cross-attention: projections sequenced on the same engines -------
+    const SoftmaxUnit cross_softmax(s.clogit);
+    tensor::MatrixI8 cross_concat(t_len, cfg.d_model);
+    for (size_t head = 0; head < layer.cross_heads.size(); ++head) {
+      const auto& ch = layer.cross_heads[head];
+      tensor::MatrixI8 q, k, v, logits, scores;
+      run_projection_engine(x1, ch.cqt, ch.cbq, config_.synth.ts_mha,
+                            layer.rq_cq, q, &stats_);
+      run_projection_engine(mem_q, ch.ckt, ch.cbk, config_.synth.ts_mha,
+                            layer.rq_ck, k, &stats_);
+      run_projection_engine(mem_q, ch.cvt, ch.cbv, config_.synth.ts_mha,
+                            layer.rq_cv, v, &stats_);
+      run_qk_engine(q, k, layer.rq_clogit, logits, &stats_);
+      const tensor::MatrixI8 weights = cross_softmax.run(logits);
+      run_sv_engine(weights, v, layer.rq_csv, scores, &stats_);
+      for (size_t i = 0; i < t_len; ++i) {
+        for (size_t c = 0; c < dk; ++c) {
+          cross_concat(i, head * dk + c) = scores(i, c);
+        }
+      }
+    }
+    tensor::MatrixI8 cross_proj;
+    run_ffn_engine(cross_concat, layer.co, layer.cbo, config_.synth.ts_ffn,
+                   layer.rq_cproj, FfnActivation::kNone, 0.0, cross_proj,
+                   &stats_);
+    const LayerNormUnit ln2(layer.ln2_gamma, layer.ln2_beta);
+    tensor::MatrixI8 x2 = ln2.run(cross_proj, s.cproj, x1, s.ln1, s.ln2);
+
+    // --- FFN ---------------------------------------------------------------
+    const FfnActivation act = cfg.activation == ref::Activation::kRelu
+                                  ? FfnActivation::kRelu
+                                  : FfnActivation::kGeluLut;
+    tensor::MatrixI8 hidden, ffn_out;
+    run_ffn_engine(x2, layer.w1, layer.b1, config_.synth.ts_ffn,
+                   layer.rq_hidden, act, s.hidden, hidden, &stats_);
+    run_ffn_engine(hidden, layer.w2, layer.b2, config_.synth.ts_ffn,
+                   layer.rq_ffn_out, FfnActivation::kNone, 0.0, ffn_out,
+                   &stats_);
+    const LayerNormUnit ln3(layer.ln3_gamma, layer.ln3_beta);
+    x = ln3.run(ffn_out, s.ffn_out, x2, s.ln2, s.ln3);
+    out_scale = s.ln3;
+  }
+
+  tensor::MatrixF result(x.rows(), x.cols());
+  quant.set_scale(out_scale);
+  quant.dequantize(x.flat(), result.flat());
+  return result;
+}
+
+PerfReport ProteaDecoderAccelerator::performance(
+    uint32_t target_len, uint32_t memory_len) const {
+  return estimate_decoder_performance(config_, model().config, target_len,
+                                      memory_len);
+}
+
+PerfReport estimate_decoder_performance(const AccelConfig& config,
+                                        const ref::ModelConfig& model,
+                                        uint32_t target_len,
+                                        uint32_t memory_len) {
+  config.validate();
+  validate_runtime(config.synth, model);
+  if (target_len == 0 || target_len > model.seq_len) {
+    throw std::invalid_argument("decoder perf: bad target length");
+  }
+  if (memory_len == 0 || memory_len > config.synth.max_seq_len) {
+    throw std::invalid_argument("decoder perf: bad memory length");
+  }
+
+  const hw::SynthParams& sp = config.synth;
+  const TimingConstants& tc = config.timing;
+  const uint64_t t_len = target_len;
+  const uint64_t s_len = memory_len;
+  const uint64_t d = model.d_model;
+  const uint64_t dk = d / model.num_heads;
+  const uint64_t f = model.ffn_hidden();
+  const hw::Cycles depth = tc.pipeline_depth;
+  using util::ceil_div;
+
+  PerfReport report;
+  const uint64_t tiles_d = ceil_div(d, static_cast<uint64_t>(sp.ts_mha));
+  const uint32_t ii_qkv = hw::achieved_ii(4 * sp.ts_mha);
+  const uint32_t ii_proj = hw::achieved_ii(2 * sp.ts_mha);
+
+  auto add_stage = [&report](const char* name, uint64_t invocations,
+                             hw::Cycles cycles) {
+    report.stages.push_back(StageTiming{
+        .name = name, .invocations = invocations, .compute = cycles,
+        .total = cycles, .bytes_loaded = 0});
+  };
+
+  // Self-attention (engines in parallel across heads).
+  add_stage("self_qkv", tiles_d,
+            tiles_d * t_len * hw::pipelined_loop(dk, ii_qkv, depth));
+  {
+    const uint32_t ii = static_cast<uint32_t>(
+        ceil_div(dk, static_cast<uint64_t>(sp.head_dim_max())));
+    add_stage("self_qk", 1, t_len * hw::pipelined_loop(t_len, ii, depth));
+  }
+  add_stage("self_softmax", 1,
+            t_len * (2 * t_len + tc.softmax_row_overhead));
+  {
+    const uint32_t ii = static_cast<uint32_t>(
+        ceil_div(t_len, static_cast<uint64_t>(sp.sl_unroll)));
+    add_stage("self_sv", 1, t_len * hw::pipelined_loop(dk, ii, depth));
+  }
+
+  // Cross-attention: Q from the target stream, K/V streamed over the
+  // encoder memory — single-projection passes at half the QKV engine's
+  // read parallelism.
+  add_stage("cross_q", tiles_d,
+            tiles_d * t_len * hw::pipelined_loop(dk, ii_proj, depth));
+  add_stage("cross_kv", tiles_d,
+            2 * tiles_d * s_len * hw::pipelined_loop(dk, ii_proj, depth));
+  {
+    const uint32_t ii = static_cast<uint32_t>(
+        ceil_div(dk, static_cast<uint64_t>(sp.head_dim_max())));
+    add_stage("cross_qk", 1, t_len * hw::pipelined_loop(s_len, ii, depth));
+  }
+  add_stage("cross_softmax", 1,
+            t_len * (2 * s_len + tc.softmax_row_overhead));
+  {
+    const uint32_t ii = static_cast<uint32_t>(
+        ceil_div(s_len, static_cast<uint64_t>(sp.sl_unroll)));
+    add_stage("cross_sv", 1, t_len * hw::pipelined_loop(dk, ii, depth));
+  }
+
+  // Projections + FFN on the FFN engines (same tiling rules as encoder).
+  const bool fixed_rows = config.padding == PaddingPolicy::kSynthFixedRows;
+  const uint64_t ts_ffn = sp.ts_ffn;
+  const uint64_t rows_d =
+      fixed_rows ? sp.tiles_ffn_max() : ceil_div(d, ts_ffn);
+  const uint64_t rows_f =
+      fixed_rows ? 4ull * sp.tiles_ffn_max() : ceil_div(f, ts_ffn);
+  const uint64_t cols_d = ceil_div(d, ts_ffn);
+  const uint64_t cols_f = ceil_div(f, ts_ffn);
+  const hw::Cycles per_access =
+      t_len * hw::pipelined_loop(ts_ffn, hw::achieved_ii(2 * sp.ts_ffn),
+                                 depth);
+  add_stage("self_proj", rows_d * cols_d, rows_d * cols_d * per_access);
+  add_stage("cross_proj", rows_d * cols_d, rows_d * cols_d * per_access);
+  add_stage("ffn_expand", rows_d * cols_f, rows_d * cols_f * per_access);
+  add_stage("ffn_contract", rows_f * cols_d, rows_f * cols_d * per_access);
+
+  const hw::Cycles ln_row =
+      3 * ceil_div(d, static_cast<uint64_t>(tc.ln_lanes)) +
+      tc.ln_row_overhead;
+  add_stage("layernorm", 3, 3 * t_len * ln_row);
+
+  for (const auto& stage : report.stages) {
+    report.layer_cycles += stage.total;
+  }
+  report.total_cycles = report.layer_cycles * model.num_layers;
+  report.fmax_mhz = hw::fmax_mhz(sp);
+  report.latency_ms = hw::cycles_to_ms(report.total_cycles, report.fmax_mhz);
+
+  // Operation counts for a decoder stack.
+  const uint64_t self_macs =
+      3 * t_len * d * d + 2 * t_len * t_len * d + t_len * d * d;
+  const uint64_t cross_macs = t_len * d * d + 2 * s_len * d * d +
+                              2 * t_len * s_len * d + t_len * d * d;
+  const uint64_t ffn_macs = 2 * t_len * d * f;
+  report.macs = model.num_layers * (self_macs + cross_macs + ffn_macs);
+  report.ops = 2 * report.macs;
+  report.gops =
+      static_cast<double>(report.ops) / (report.latency_ms * 1e-3) / 1e9;
+
+  const auto resources = hw::estimate_resources(sp);
+  report.dsp_utilization =
+      static_cast<double>(report.macs) /
+      (static_cast<double>(resources.total_pes) *
+       static_cast<double>(report.total_cycles));
+  return report;
+}
+
+}  // namespace protea::accel

@@ -1,0 +1,57 @@
+// Decoder accelerator: the paper's §VI extension, "support both encoder
+// and decoder layers ... using the same design principles".
+//
+// The decoder REUSES the encoder's computation engines: the masked
+// self-attention runs on the QKV/QK/SV engines (with the softmax unit's
+// causal mode), cross-attention sequences the same engines as single
+// projection passes over the decoder stream and the encoder memory, and
+// the projections/FFN run on the FFN engines. Only the control sequence
+// differs — which is exactly how a runtime-programmable design would add
+// decoding without re-synthesis.
+#pragma once
+
+#include <optional>
+
+#include "accel/accel_config.hpp"
+#include "accel/decoder_model.hpp"
+#include "accel/engines.hpp"
+#include "accel/perf_model.hpp"
+#include "tensor/matrix.hpp"
+
+namespace protea::accel {
+
+class ProteaDecoderAccelerator {
+ public:
+  explicit ProteaDecoderAccelerator(AccelConfig config);
+
+  const AccelConfig& config() const { return config_; }
+
+  void load_model(QuantizedDecoder model);
+  bool has_model() const { return model_.has_value(); }
+  const QuantizedDecoder& model() const;
+
+  /// Runs the int8 decoder datapath: float target (T x d) and encoder
+  /// memory (S x d) in, dequantized float output (T x d) out. T may be
+  /// any prefix length up to the synthesized maximum (autoregressive
+  /// decoding reprograms the target length each step).
+  tensor::MatrixF forward(const tensor::MatrixF& target,
+                          const tensor::MatrixF& memory);
+
+  /// Cycle-model estimate for a (target_len, memory_len) program.
+  PerfReport performance(uint32_t target_len, uint32_t memory_len) const;
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  AccelConfig config_;
+  std::optional<QuantizedDecoder> model_;
+  EngineStats stats_;
+};
+
+/// Analytic decoder-layer cycle model (shares all encoder constants).
+PerfReport estimate_decoder_performance(const AccelConfig& config,
+                                        const ref::ModelConfig& model,
+                                        uint32_t target_len,
+                                        uint32_t memory_len);
+
+}  // namespace protea::accel

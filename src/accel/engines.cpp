@@ -1,0 +1,270 @@
+#include "accel/engines.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "numeric/dsp48.hpp"
+#include "util/math_util.hpp"
+
+namespace protea::accel {
+namespace {
+
+// Worst-case reduction: max_d_model (4096 generous bound) int8*int8
+// products plus an int32 bias — comfortably inside the DSP48 accumulator.
+static_assert(numeric::accumulation_fits_dsp48(4096, 128 * 128),
+              "reduction depth exceeds DSP48 accumulator headroom");
+
+constexpr int32_t kQMax = 127;
+constexpr int32_t kQMin = -128;
+
+int8_t requant8(int64_t acc, const numeric::RequantParams& rq) {
+  return static_cast<int8_t>(numeric::requantize(acc, rq, kQMin, kQMax));
+}
+
+/// int8 -> int8 GELU lookup table at a fixed scale (tanh formulation),
+/// the LUT the FPGA stores in LUTRAM.
+std::array<int8_t, 256> build_gelu_table(double scale) {
+  std::array<int8_t, 256> table{};
+  for (int qi = kQMin; qi <= kQMax; ++qi) {
+    const double x = qi * scale;
+    const double inner =
+        0.7978845608028654 * (x + 0.044715 * x * x * x);
+    const double y = 0.5 * x * (1.0 + std::tanh(inner));
+    const auto q = static_cast<int32_t>(std::llround(y / scale));
+    table[static_cast<size_t>(qi - kQMin)] =
+        static_cast<int8_t>(std::clamp(q, kQMin, kQMax));
+  }
+  return table;
+}
+
+}  // namespace
+
+void run_qkv_engine(const tensor::MatrixI8& x, const QHeadWeights& head,
+                    uint32_t ts_mha, const numeric::RequantParams& rq_q,
+                    const numeric::RequantParams& rq_k,
+                    const numeric::RequantParams& rq_v, tensor::MatrixI8& q,
+                    tensor::MatrixI8& k, tensor::MatrixI8& v,
+                    EngineStats* stats) {
+  const size_t sl = x.rows();
+  const size_t d = x.cols();
+  const size_t dk = head.wqt.rows();
+  if (head.wqt.cols() != d || head.wkt.cols() != d || head.wvt.cols() != d) {
+    throw std::invalid_argument("run_qkv_engine: weight width mismatch");
+  }
+  if (ts_mha == 0) {
+    throw std::invalid_argument("run_qkv_engine: zero tile size");
+  }
+
+  // Accumulators persist across tiles (Fig. 5: the final output is the
+  // cumulative sum over all column tiles).
+  tensor::MatrixI32 acc_q(sl, dk, 0), acc_k(sl, dk, 0), acc_v(sl, dk, 0);
+
+  const size_t tiles = util::ceil_div<size_t>(d, ts_mha);
+  for (size_t t = 0; t < tiles; ++t) {
+    const size_t j0 = t * ts_mha;
+    const size_t j1 = std::min(d, j0 + ts_mha);
+    // Algorithm 1 loop nest: i over rows, kk over the head dimension,
+    // j across the tile (the unrolled PE dimension).
+    for (size_t i = 0; i < sl; ++i) {
+      const auto xrow = x.row(i);
+      for (size_t kk = 0; kk < dk; ++kk) {
+        const auto wq_row = head.wqt.row(kk);
+        const auto wk_row = head.wkt.row(kk);
+        const auto wv_row = head.wvt.row(kk);
+        int32_t sq = 0, sk = 0, sv = 0;
+        for (size_t j = j0; j < j1; ++j) {
+          const int32_t xij = xrow[j];
+          sq += xij * wq_row[j];
+          sk += xij * wk_row[j];
+          sv += xij * wv_row[j];
+        }
+        acc_q(i, kk) += sq;
+        acc_k(i, kk) += sk;
+        acc_v(i, kk) += sv;
+      }
+    }
+  }
+  if (stats != nullptr) stats->macs += 3 * sl * d * dk;
+
+  // Bias add in the accumulator domain, then write-back requantization.
+  q = tensor::MatrixI8(sl, dk);
+  k = tensor::MatrixI8(sl, dk);
+  v = tensor::MatrixI8(sl, dk);
+  for (size_t i = 0; i < sl; ++i) {
+    for (size_t kk = 0; kk < dk; ++kk) {
+      q(i, kk) = requant8(int64_t{acc_q(i, kk)} + head.bq[kk], rq_q);
+      k(i, kk) = requant8(int64_t{acc_k(i, kk)} + head.bk[kk], rq_k);
+      v(i, kk) = requant8(int64_t{acc_v(i, kk)} + head.bv[kk], rq_v);
+    }
+  }
+}
+
+void run_projection_engine(const tensor::MatrixI8& x,
+                           const tensor::MatrixI8& wt,
+                           std::span<const int32_t> bias, uint32_t ts_mha,
+                           const numeric::RequantParams& rq,
+                           tensor::MatrixI8& out, EngineStats* stats) {
+  const size_t rows = x.rows();
+  const size_t d = x.cols();
+  const size_t out_dim = wt.rows();
+  if (wt.cols() != d) {
+    throw std::invalid_argument("run_projection_engine: width mismatch");
+  }
+  if (bias.size() != out_dim) {
+    throw std::invalid_argument("run_projection_engine: bias mismatch");
+  }
+  if (ts_mha == 0) {
+    throw std::invalid_argument("run_projection_engine: zero tile size");
+  }
+
+  tensor::MatrixI32 acc(rows, out_dim, 0);
+  const size_t tiles = util::ceil_div<size_t>(d, ts_mha);
+  for (size_t t = 0; t < tiles; ++t) {
+    const size_t j0 = t * ts_mha;
+    const size_t j1 = std::min(d, j0 + ts_mha);
+    for (size_t i = 0; i < rows; ++i) {
+      const auto xrow = x.row(i);
+      for (size_t kk = 0; kk < out_dim; ++kk) {
+        const auto wrow = wt.row(kk);
+        int32_t sum = 0;
+        for (size_t j = j0; j < j1; ++j) sum += int32_t{xrow[j]} * wrow[j];
+        acc(i, kk) += sum;
+      }
+    }
+  }
+  out = tensor::MatrixI8(rows, out_dim);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t kk = 0; kk < out_dim; ++kk) {
+      out(i, kk) = requant8(int64_t{acc(i, kk)} + bias[kk], rq);
+    }
+  }
+  if (stats != nullptr) stats->macs += rows * d * out_dim;
+}
+
+void run_qk_engine(const tensor::MatrixI8& q, const tensor::MatrixI8& k,
+                   const numeric::RequantParams& rq_logit,
+                   tensor::MatrixI8& logits, EngineStats* stats) {
+  if (q.cols() != k.cols()) {
+    throw std::invalid_argument("run_qk_engine: head dim mismatch");
+  }
+  const size_t sl_q = q.rows();
+  const size_t sl_k = k.rows();
+  const size_t dk = q.cols();
+  logits = tensor::MatrixI8(sl_q, sl_k);
+  for (size_t i = 0; i < sl_q; ++i) {
+    const auto qrow = q.row(i);
+    for (size_t j = 0; j < sl_k; ++j) {
+      const auto krow = k.row(j);
+      int32_t acc = 0;
+      for (size_t kk = 0; kk < dk; ++kk) {
+        acc += int32_t{qrow[kk]} * krow[kk];
+      }
+      logits(i, j) = requant8(acc, rq_logit);
+    }
+  }
+  if (stats != nullptr) stats->macs += sl_q * sl_k * dk;
+}
+
+void run_sv_engine(const tensor::MatrixI8& attn_weights,
+                   const tensor::MatrixI8& v,
+                   const numeric::RequantParams& rq_sv,
+                   tensor::MatrixI8& scores, EngineStats* stats) {
+  if (attn_weights.cols() != v.rows()) {
+    throw std::invalid_argument("run_sv_engine: shape mismatch");
+  }
+  const size_t sl = attn_weights.rows();
+  const size_t dk = v.cols();
+  const size_t inner = v.rows();
+  scores = tensor::MatrixI8(sl, dk);
+  for (size_t i = 0; i < sl; ++i) {
+    const auto wrow = attn_weights.row(i);
+    for (size_t j = 0; j < dk; ++j) {
+      int32_t acc = 0;
+      for (size_t kk = 0; kk < inner; ++kk) {
+        acc += int32_t{wrow[kk]} * v(kk, j);
+      }
+      scores(i, j) = requant8(acc, rq_sv);
+    }
+  }
+  if (stats != nullptr) stats->macs += sl * dk * inner;
+}
+
+void run_ffn_engine(const tensor::MatrixI8& in, const tensor::MatrixI8& w,
+                    std::span<const int32_t> bias, uint32_t ts_ffn,
+                    const numeric::RequantParams& rq, FfnActivation act,
+                    double act_scale, tensor::MatrixI8& out,
+                    EngineStats* stats) {
+  const size_t sl = in.rows();
+  const size_t in_dim = in.cols();
+  const size_t out_dim = w.cols();
+  if (w.rows() != in_dim) {
+    throw std::invalid_argument("run_ffn_engine: weight shape mismatch");
+  }
+  if (bias.size() != out_dim) {
+    throw std::invalid_argument("run_ffn_engine: bias length mismatch");
+  }
+  if (ts_ffn == 0) {
+    throw std::invalid_argument("run_ffn_engine: zero tile size");
+  }
+
+  std::array<int8_t, 256> gelu_table{};
+  if (act == FfnActivation::kGeluLut) {
+    gelu_table = build_gelu_table(act_scale);
+  }
+
+  out = tensor::MatrixI8(sl, out_dim);
+  const size_t col_tiles = util::ceil_div<size_t>(out_dim, ts_ffn);
+  const size_t row_tiles = util::ceil_div<size_t>(in_dim, ts_ffn);
+  std::vector<int32_t> acc(sl * ts_ffn);
+
+  // Fig. 6 traversal: for each column tile, accumulate partial products
+  // across all row tiles, then requantize + activate that column strip.
+  for (size_t ct = 0; ct < col_tiles; ++ct) {
+    const size_t c0 = ct * ts_ffn;
+    const size_t c1 = std::min(out_dim, c0 + ts_ffn);
+    const size_t width = c1 - c0;
+    std::fill(acc.begin(), acc.end(), 0);
+
+    for (size_t rt = 0; rt < row_tiles; ++rt) {
+      const size_t r0 = rt * ts_ffn;
+      const size_t r1 = std::min(in_dim, r0 + ts_ffn);
+      for (size_t i = 0; i < sl; ++i) {
+        const auto in_row = in.row(i);
+        int32_t* acc_row = acc.data() + i * ts_ffn;
+        for (size_t kk = r0; kk < r1; ++kk) {
+          const int32_t a = in_row[kk];
+          if (a == 0) continue;
+          const auto wrow = w.row(kk);
+          for (size_t j = 0; j < width; ++j) {
+            acc_row[j] += a * wrow[c0 + j];
+          }
+        }
+      }
+    }
+
+    for (size_t i = 0; i < sl; ++i) {
+      const int32_t* acc_row = acc.data() + i * ts_ffn;
+      for (size_t j = 0; j < width; ++j) {
+        int8_t value =
+            requant8(int64_t{acc_row[j]} + bias[c0 + j], rq);
+        switch (act) {
+          case FfnActivation::kNone:
+            break;
+          case FfnActivation::kRelu:
+            value = std::max<int8_t>(value, 0);
+            break;
+          case FfnActivation::kGeluLut:
+            value = gelu_table[static_cast<size_t>(int32_t{value} - kQMin)];
+            break;
+        }
+        out(i, c0 + j) = value;
+      }
+    }
+  }
+  if (stats != nullptr) stats->macs += sl * in_dim * out_dim;
+}
+
+}  // namespace protea::accel

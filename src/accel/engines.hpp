@@ -1,0 +1,78 @@
+// ProTEA computation engines (functional int8 models).
+//
+// Six engine kinds, mirroring the paper's §IV:
+//   QKV_CE — Algorithm 1: per-head Q/K/V projections with column tiling
+//            (Fig. 5), biases added in the accumulator domain.
+//   QK_CE  — Algorithm 2: Q x K^T attention logits (untiled: the operands
+//            are small), scaled and requantized for the softmax LUT.
+//   SV_CE  — Algorithm 3: attention-weight x V products.
+//   FFN_CE — Algorithm 4: tiled linear transform; instantiated three times
+//            (FFN1 = output projection, FFN2 = expansion + activation,
+//            FFN3 = contraction) with 2-D tiling (Fig. 6).
+//
+// Every engine accumulates int8 x int8 products into 32-bit sums (the
+// DSP48's 48-bit accumulator has >2^16 headroom over the worst case —
+// checked statically in engines.cpp) and requantizes on write-back.
+// Cycle accounting lives in perf_model.{hpp,cpp}; these functions compute
+// values and MAC counts only, so tests can verify the datapath exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "accel/quantized_model.hpp"
+#include "numeric/requantize.hpp"
+#include "ref/model_config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace protea::accel {
+
+struct EngineStats {
+  uint64_t macs = 0;
+};
+
+/// Algorithm 1. `x` is the full (SL x d_model) int8 input; outputs are
+/// the per-head (SL x d_k) projections. `ts_mha` is the column tile
+/// width; the tile loop reproduces Fig. 5's accumulate-across-tiles.
+void run_qkv_engine(const tensor::MatrixI8& x, const QHeadWeights& head,
+                    uint32_t ts_mha, const numeric::RequantParams& rq_q,
+                    const numeric::RequantParams& rq_k,
+                    const numeric::RequantParams& rq_v, tensor::MatrixI8& q,
+                    tensor::MatrixI8& k, tensor::MatrixI8& v,
+                    EngineStats* stats = nullptr);
+
+/// Single-stream variant of Algorithm 1 used by the decoder extension's
+/// cross-attention: one projection (out = requant(x * w^T + bias)) with
+/// the same column tiling. `wt` is (out_dim x in_dim) transposed layout.
+void run_projection_engine(const tensor::MatrixI8& x,
+                           const tensor::MatrixI8& wt,
+                           std::span<const int32_t> bias, uint32_t ts_mha,
+                           const numeric::RequantParams& rq,
+                           tensor::MatrixI8& out,
+                           EngineStats* stats = nullptr);
+
+/// Algorithm 2. Computes logits = requant(Q x K^T); the attention scale
+/// factor (1/sqrt(dk) or 1/d_model) is folded into `rq_logit`.
+void run_qk_engine(const tensor::MatrixI8& q, const tensor::MatrixI8& k,
+                   const numeric::RequantParams& rq_logit,
+                   tensor::MatrixI8& logits, EngineStats* stats = nullptr);
+
+/// Algorithm 3. scores = requant(attn_weights x V).
+void run_sv_engine(const tensor::MatrixI8& attn_weights,
+                   const tensor::MatrixI8& v,
+                   const numeric::RequantParams& rq_sv,
+                   tensor::MatrixI8& scores, EngineStats* stats = nullptr);
+
+enum class FfnActivation { kNone, kRelu, kGeluLut };
+
+/// Algorithm 4 with Fig. 6 tiling: out = act(requant(in x w + bias)).
+/// `w` is (in_dim x out_dim); tiles of `ts_ffn x ts_ffn` are traversed
+/// column-tile-major, accumulating partial sums across row tiles.
+/// `act_scale` is the int8 scale of the activation's input/output (used
+/// to build the GELU lookup table).
+void run_ffn_engine(const tensor::MatrixI8& in, const tensor::MatrixI8& w,
+                    std::span<const int32_t> bias, uint32_t ts_ffn,
+                    const numeric::RequantParams& rq, FfnActivation act,
+                    double act_scale, tensor::MatrixI8& out,
+                    EngineStats* stats = nullptr);
+
+}  // namespace protea::accel

@@ -1,0 +1,33 @@
+// Feed-forward network module (paper Fig. 4): FFN1_CE (attention output
+// projection) -> LN -> FFN2_CE (expansion + activation) -> FFN3_CE
+// (contraction) -> LN, with both residual connections.
+#pragma once
+
+#include "accel/engines.hpp"
+#include "accel/quantized_model.hpp"
+#include "ref/model_config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace protea::accel {
+
+class FfnModule {
+ public:
+  struct Trace {
+    tensor::MatrixI8 proj;      // FFN1 output (scale proj)
+    tensor::MatrixI8 ln1;       // post-attention LN (scale ln1)
+    tensor::MatrixI8 hidden;    // FFN2 + activation (scale hidden)
+    tensor::MatrixI8 ffn_out;   // FFN3 output (scale ffn_out)
+  };
+
+  /// `attn` is the concatenated attention output (scale sv); `x` the layer
+  /// input (scale x, residual operand). Returns the layer output at scale
+  /// ln2. `ts_ffn` is the synthesized FFN tile size.
+  static tensor::MatrixI8 run(const QLayer& layer,
+                              const tensor::MatrixI8& attn,
+                              const tensor::MatrixI8& x, uint32_t ts_ffn,
+                              ref::Activation activation,
+                              EngineStats* stats = nullptr,
+                              Trace* trace = nullptr);
+};
+
+}  // namespace protea::accel

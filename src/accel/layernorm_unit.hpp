@@ -1,0 +1,37 @@
+// Residual-add + LayerNorm unit.
+//
+// ProTEA places an LN module after FFN1 (the attention output projection)
+// and after FFN3 (§IV-B), each fused with the residual connection. The
+// unit aligns the two int8 operands (their power-of-two scales differ) in
+// a 32-bit domain with exact shifts, computes integer mean and variance,
+// and normalizes with gamma/beta. The reciprocal square root is the one
+// sub-operation evaluated in double precision — the FPGA uses a small
+// LUT + Newton-Raphson core whose error is far below the int8
+// quantization step, so this does not affect verification tolerances.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace protea::accel {
+
+class LayerNormUnit {
+ public:
+  /// gamma/beta have the normalized width; eps as in the float reference.
+  LayerNormUnit(std::span<const float> gamma, std::span<const float> beta,
+                float eps = 1e-5f);
+
+  /// out = LN(x * s_x + r * s_r) quantized at `s_out`.
+  /// Shapes must match; output is (rows x cols) int8.
+  tensor::MatrixI8 run(const tensor::MatrixI8& x, double s_x,
+                       const tensor::MatrixI8& r, double s_r,
+                       double s_out) const;
+
+ private:
+  std::vector<float> gamma_;
+  std::vector<float> beta_;
+  float eps_;
+};
+
+}  // namespace protea::accel

@@ -1,0 +1,26 @@
+// Serialization of prepared (quantized + calibrated) accelerator models.
+//
+// Deployment story: calibration needs the float checkpoint and
+// representative inputs, but the device host only needs the int8 tensors,
+// bias words and requantization constants. This format is that deployable
+// artifact — the paper's host software would stream exactly these bytes
+// into HBM and the CSR-programmed constants.
+//
+// Layout (little-endian): magic "PTQ1" | config | per-layer blobs.
+#pragma once
+
+#include <string>
+
+#include "accel/quantized_model.hpp"
+
+namespace protea::accel {
+
+/// Writes a prepared model; throws std::runtime_error on I/O failure.
+void save_quantized_model(const QuantizedModel& model,
+                          const std::string& path);
+
+/// Reads a model written by save_quantized_model; validates the header
+/// and every tensor shape against the stored config.
+QuantizedModel load_quantized_model(const std::string& path);
+
+}  // namespace protea::accel

@@ -1,0 +1,75 @@
+#include "accel/quant_calib.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace protea::accel {
+namespace {
+
+double max_abs(const tensor::MatrixF& m) {
+  double v = 0.0;
+  for (float x : m.flat()) v = std::max(v, std::abs(static_cast<double>(x)));
+  return v;
+}
+
+double max_abs(const std::vector<tensor::MatrixF>& ms) {
+  double v = 0.0;
+  for (const auto& m : ms) v = std::max(v, max_abs(m));
+  return v;
+}
+
+/// Power-of-two scale covering [-range, range] with an int8 grid.
+double pow2_scale(double range, double margin) {
+  const double needed = std::max(range * margin, 1e-6) / 127.0;
+  return std::exp2(std::ceil(std::log2(needed)));
+}
+
+}  // namespace
+
+std::vector<LayerScales> calibrate_scales(const ref::Encoder& encoder,
+                                          const tensor::MatrixF& input,
+                                          double margin) {
+  if (!(margin >= 1.0)) {
+    throw std::invalid_argument("calibrate_scales: margin must be >= 1");
+  }
+  std::vector<ref::LayerTrace> traces;
+  encoder.forward_traced(input, traces);
+
+  const auto& cfg = encoder.config();
+  const double scale_factor =
+      cfg.attn_scale == ref::AttnScale::kInvSqrtDk
+          ? 1.0 / std::sqrt(static_cast<double>(cfg.head_dim()))
+          : 1.0 / static_cast<double>(cfg.d_model);
+
+  std::vector<LayerScales> scales(traces.size());
+  tensor::MatrixF layer_input = input;
+  for (size_t l = 0; l < traces.size(); ++l) {
+    const auto& t = traces[l];
+    LayerScales& s = scales[l];
+    s.x = pow2_scale(max_abs(layer_input), margin);
+    s.q = pow2_scale(max_abs(t.q), margin);
+    s.k = pow2_scale(max_abs(t.k), margin);
+    s.v = pow2_scale(max_abs(t.v), margin);
+    // Logits are Q.K^T * scale_factor; the trace stores post-softmax
+    // weights, so derive the logit range from Q/K magnitudes instead:
+    // |logit| <= dk * max|q| * max|k| * scale_factor is far too loose —
+    // use the empirical bound sqrt(dk)*maxq*maxk*scale_factor which holds
+    // for near-orthogonal rows, with the calibration margin on top.
+    const double logit_range =
+        std::sqrt(static_cast<double>(cfg.head_dim())) * max_abs(t.q) *
+        max_abs(t.k) * scale_factor;
+    s.logit = pow2_scale(logit_range, margin);
+    s.attn_w = 1.0 / 127.0;  // softmax outputs live in [0, 1]
+    s.sv = pow2_scale(max_abs(t.attn_scores), margin);
+    s.proj = pow2_scale(max_abs(t.proj), margin);
+    s.ln1 = pow2_scale(max_abs(t.ln1_out), margin);
+    s.hidden = pow2_scale(max_abs(t.ffn_hidden), margin);
+    s.ffn_out = pow2_scale(max_abs(t.ffn_out), margin);
+    s.ln2 = pow2_scale(max_abs(t.ln2_out), margin);
+    layer_input = t.ln2_out;
+  }
+  return scales;
+}
+
+}  // namespace protea::accel

@@ -1,0 +1,37 @@
+// Quantization calibration: derives per-layer activation scales from a
+// float reference run.
+//
+// This mirrors the deployment flow of int8 accelerators (and the paper's
+// host-side model preparation): run the float model on representative
+// input, record the dynamic range of every intermediate tensor, and fix
+// symmetric power-of-two scales for the fixed-point datapath.
+#pragma once
+
+#include <vector>
+
+#include "ref/encoder.hpp"
+
+namespace protea::accel {
+
+/// Symmetric per-tensor scales for one encoder layer. x' = q * scale.
+struct LayerScales {
+  double x = 1.0;        // layer input
+  double q = 1.0, k = 1.0, v = 1.0;
+  double logit = 1.0;    // scaled attention logits (input to softmax)
+  double attn_w = 1.0;   // softmax output (fixed at 1/127)
+  double sv = 1.0;       // attention scores (S*V)
+  double proj = 1.0;     // after output projection
+  double ln1 = 1.0;      // post-attention LayerNorm output
+  double hidden = 1.0;   // FFN hidden after activation
+  double ffn_out = 1.0;  // FFN contraction output
+  double ln2 = 1.0;      // layer output
+};
+
+/// Runs the reference encoder on `input`, measures max-|x| of every
+/// intermediate and converts to power-of-two scales with `margin`
+/// headroom (>1 leaves room for unseen inputs).
+std::vector<LayerScales> calibrate_scales(const ref::Encoder& encoder,
+                                          const tensor::MatrixF& input,
+                                          double margin = 1.25);
+
+}  // namespace protea::accel

@@ -1,0 +1,47 @@
+// Fixed-point softmax unit (LUT-based), the paper's "softmax function
+// implemented in HLS utilizing LUTs and flip-flops".
+//
+// Per row of int8 logits (scale s_logit):
+//   1. find the row maximum q_max (numerical stability shift);
+//   2. look up exp((q - q_max) * s_logit) in a 256-entry Q0.16 table
+//      (the argument q - q_max is always in [-255, 0]);
+//   3. accumulate the integer sum;
+//   4. emit attention weights round(127 * exp / sum) as int8 with the
+//      fixed scale 1/127 (weights live in [0, 1]).
+// The table depends only on the logit scale, so the host reloads it when
+// it reprograms a model — a few hundred bytes over AXI-Lite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace protea::accel {
+
+class SoftmaxUnit {
+ public:
+  /// Builds the exp table for logits quantized at `logit_scale`.
+  explicit SoftmaxUnit(double logit_scale);
+
+  double logit_scale() const { return logit_scale_; }
+
+  /// Softmax over each row of `logits`; output int8 at scale 1/127.
+  tensor::MatrixI8 run(const tensor::MatrixI8& logits) const;
+
+  /// Causal (masked) softmax for the decoder extension: row i normalizes
+  /// over columns [0, i] only; masked positions get weight 0 — the
+  /// hardware realization of Fig. 2's mask (the LUT pipeline simply
+  /// skips masked lanes, so no -inf representation is needed in int8).
+  tensor::MatrixI8 run_causal(const tensor::MatrixI8& logits) const;
+
+  /// Table entry for a shift of `delta` = q_max - q (delta in [0, 255]):
+  /// round(exp(-delta * scale) * 2^16).
+  uint32_t table_entry(uint32_t delta) const { return exp_table_.at(delta); }
+
+ private:
+  double logit_scale_;
+  std::array<uint32_t, 256> exp_table_{};
+};
+
+}  // namespace protea::accel

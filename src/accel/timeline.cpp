@@ -1,0 +1,93 @@
+#include "accel/timeline.hpp"
+
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace protea::accel {
+
+void Timeline::add(TimelineEvent event) {
+  if (event.end < event.start) {
+    throw std::invalid_argument("Timeline: event ends before it starts");
+  }
+  total_ = std::max(total_, event.end);
+  events_.push_back(std::move(event));
+}
+
+hw::Cycles Timeline::stage_busy(const std::string& stage) const {
+  hw::Cycles busy = 0;
+  for (const auto& e : events_) {
+    if (e.stage == stage) busy += e.duration();
+  }
+  return busy;
+}
+
+void Timeline::export_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Timeline: cannot open " + path);
+  }
+  // Stable small integer ids per stage name -> trace "tid".
+  std::map<std::string, int> tids;
+  for (const auto& e : events_) {
+    tids.emplace(e.stage, static_cast<int>(tids.size()) + 1);
+  }
+  const double us_per_cycle = fmax_mhz_ > 0.0 ? 1.0 / fmax_mhz_ : 1.0;
+
+  out << "[\n";
+  bool first = true;
+  for (const auto& [stage, tid] : tids) {
+    if (!first) out << ",\n";
+    first = false;
+    out << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << tid
+        << R"(,"args":{"name":")" << stage << R"("}})";
+  }
+  for (const auto& e : events_) {
+    out << ",\n";
+    out << R"({"name":")" << e.stage << " L" << e.layer
+        << R"(","cat":"engine","ph":"X","pid":1,"tid":)"
+        << tids.at(e.stage) << R"(,"ts":)"
+        << static_cast<double>(e.start) * us_per_cycle << R"(,"dur":)"
+        << static_cast<double>(e.duration()) * us_per_cycle
+        << R"(,"args":{"layer":)" << e.layer << R"(,"cycles":)"
+        << e.duration() << "}}";
+  }
+  out << "\n]\n";
+  if (!out) throw std::runtime_error("Timeline: write failure");
+}
+
+Timeline build_timeline(const AccelConfig& config,
+                        const ref::ModelConfig& model) {
+  const PerfReport report = estimate_performance(config, model);
+  Timeline timeline;
+  timeline.fmax_mhz_ = report.fmax_mhz;
+
+  hw::Cycles now = 0;
+  for (uint32_t layer = 0; layer < model.num_layers; ++layer) {
+    for (const auto& stage : report.stages) {
+      // "layernorm" aggregates both LN units; split it around the FFN
+      // chain for a faithful schedule: half after ffn1, half after ffn3.
+      if (stage.name == "layernorm") continue;
+      TimelineEvent event;
+      event.stage = stage.name;
+      event.layer = layer;
+      event.start = now;
+      event.end = now + stage.total;
+      now = event.end;
+      timeline.add(std::move(event));
+      if (stage.name == "ffn1" || stage.name == "ffn3") {
+        const auto& ln = report.stage("layernorm");
+        TimelineEvent ln_event;
+        ln_event.stage = "layernorm";
+        ln_event.layer = layer;
+        ln_event.start = now;
+        ln_event.end = now + ln.total / 2;
+        now = ln_event.end;
+        timeline.add(std::move(ln_event));
+      }
+    }
+  }
+  return timeline;
+}
+
+}  // namespace protea::accel

@@ -1,0 +1,55 @@
+// Execution timeline: turns the cycle model's per-stage timings into an
+// event schedule (which engine is busy when, per layer) and exports it in
+// the Chrome trace-event JSON format (chrome://tracing / Perfetto) —
+// the software equivalent of watching the RTL waveform viewer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/accel_config.hpp"
+#include "accel/perf_model.hpp"
+#include "hw/clock.hpp"
+
+namespace protea::accel {
+
+struct TimelineEvent {
+  std::string stage;     // engine / unit name ("qkv", "ffn2", ...)
+  uint32_t layer = 0;    // encoder layer index
+  hw::Cycles start = 0;  // cycle the stage begins
+  hw::Cycles end = 0;    // cycle the stage completes
+
+  hw::Cycles duration() const { return end - start; }
+};
+
+class Timeline {
+ public:
+  const std::vector<TimelineEvent>& events() const { return events_; }
+  hw::Cycles total_cycles() const { return total_; }
+  double fmax_mhz() const { return fmax_mhz_; }
+
+  void add(TimelineEvent event);
+
+  /// Busy cycles of one stage name across all layers.
+  hw::Cycles stage_busy(const std::string& stage) const;
+
+  /// Writes Chrome trace-event JSON; one "thread" per stage name, time
+  /// unit = microseconds at the modeled clock. Throws on I/O failure.
+  void export_chrome_trace(const std::string& path) const;
+
+ private:
+  friend Timeline build_timeline(const AccelConfig&,
+                                 const ref::ModelConfig&);
+  std::vector<TimelineEvent> events_;
+  hw::Cycles total_ = 0;
+  double fmax_mhz_ = 0.0;
+};
+
+/// Sequences the perf model's stages into a serial per-layer schedule
+/// (MHA pipeline, then the FFN chain, LN after each block) — the order
+/// the paper's controller executes.
+Timeline build_timeline(const AccelConfig& config,
+                        const ref::ModelConfig& model);
+
+}  // namespace protea::accel

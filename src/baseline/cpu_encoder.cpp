@@ -1,0 +1,111 @@
+#include "baseline/cpu_encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.hpp"
+#include "util/stopwatch.hpp"
+
+namespace protea::baseline {
+
+CpuEncoder::CpuEncoder(ref::EncoderWeights weights, size_t num_threads)
+    : weights_(std::move(weights)), pool_(num_threads) {
+  weights_.config.validate();
+}
+
+tensor::MatrixF CpuEncoder::par_matmul(const tensor::MatrixF& a,
+                                       const tensor::MatrixF& b,
+                                       std::span<const float> bias) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  tensor::MatrixF c(m, n);
+  pool_.parallel_for(0, m, [&](size_t i) {
+    auto crow = c.row(i);
+    if (!bias.empty()) {
+      std::copy(bias.begin(), bias.end(), crow.begin());
+    }
+    const auto arow = a.row(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const auto brow = b.row(kk);
+      for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  });
+  return c;
+}
+
+tensor::MatrixF CpuEncoder::forward_layer(
+    const tensor::MatrixF& x, const ref::EncoderLayerWeights& layer) {
+  const ref::ModelConfig& cfg = weights_.config;
+  const size_t dk = cfg.head_dim();
+
+  tensor::MatrixF q = par_matmul(x, layer.wq, layer.bq);
+  tensor::MatrixF k = par_matmul(x, layer.wk, layer.bk);
+  tensor::MatrixF v = par_matmul(x, layer.wv, layer.bv);
+
+  const float scale =
+      cfg.attn_scale == ref::AttnScale::kInvSqrtDk
+          ? 1.0f / std::sqrt(static_cast<float>(dk))
+          : 1.0f / static_cast<float>(cfg.d_model);
+
+  tensor::MatrixF concat(cfg.seq_len, cfg.d_model);
+  pool_.parallel_for(0, cfg.num_heads, [&](size_t head) {
+    tensor::MatrixF qh = q.slice_cols(head * dk, dk);
+    tensor::MatrixF kh = k.slice_cols(head * dk, dk);
+    tensor::MatrixF vh = v.slice_cols(head * dk, dk);
+    tensor::MatrixF logits = tensor::matmul_bt(qh, kh);
+    tensor::scale_inplace(logits, scale);
+    tensor::softmax_rows_inplace(logits);
+    tensor::MatrixF scores = tensor::matmul(logits, vh);
+    for (size_t i = 0; i < cfg.seq_len; ++i) {
+      for (size_t c = 0; c < dk; ++c) {
+        concat(i, head * dk + c) = scores(i, c);
+      }
+    }
+  });
+
+  tensor::MatrixF proj = par_matmul(concat, layer.wo, layer.bo);
+  tensor::MatrixF x1 = tensor::add(x, proj);
+  tensor::layer_norm_rows_inplace(x1, layer.ln1_gamma, layer.ln1_beta);
+
+  tensor::MatrixF hidden = par_matmul(x1, layer.w1, layer.b1);
+  if (cfg.activation == ref::Activation::kRelu) {
+    tensor::relu_inplace(hidden);
+  } else {
+    tensor::gelu_inplace(hidden);
+  }
+  tensor::MatrixF ffn_out = par_matmul(hidden, layer.w2, layer.b2);
+  tensor::MatrixF x2 = tensor::add(x1, ffn_out);
+  tensor::layer_norm_rows_inplace(x2, layer.ln2_gamma, layer.ln2_beta);
+  return x2;
+}
+
+tensor::MatrixF CpuEncoder::forward(const tensor::MatrixF& input) {
+  tensor::MatrixF x = input;
+  for (const auto& layer : weights_.layers) x = forward_layer(x, layer);
+  return x;
+}
+
+CpuMeasurement CpuEncoder::measure(const tensor::MatrixF& input, int reps,
+                                   int warmup) {
+  for (int i = 0; i < warmup; ++i) forward(input);
+  CpuMeasurement result;
+  result.repetitions = reps;
+  result.min_ms = std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    util::Stopwatch watch;
+    forward(input);
+    const double ms = watch.milliseconds();
+    total += ms;
+    result.min_ms = std::min(result.min_ms, ms);
+    result.max_ms = std::max(result.max_ms, ms);
+  }
+  result.mean_ms = total / reps;
+  return result;
+}
+
+}  // namespace protea::baseline

@@ -1,0 +1,51 @@
+// Measured CPU baseline (the "general-purpose platform" side of the
+// paper's Table III).
+//
+// A float32 transformer encoder with thread-parallel, cache-blocked GEMMs
+// running on the host CPU. The paper compares ProTEA against Intel i5
+// CPUs; this is our live-measured equivalent, so cross-platform speed-up
+// ratios can be regenerated on any machine.
+#pragma once
+
+#include <cstddef>
+
+#include "ref/weights.hpp"
+#include "tensor/matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace protea::baseline {
+
+struct CpuMeasurement {
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  int repetitions = 0;
+};
+
+class CpuEncoder {
+ public:
+  /// `num_threads` = 0 uses all hardware threads.
+  explicit CpuEncoder(ref::EncoderWeights weights, size_t num_threads = 0);
+
+  const ref::ModelConfig& config() const { return weights_.config; }
+
+  /// Full forward pass (float32, threaded).
+  tensor::MatrixF forward(const tensor::MatrixF& input);
+
+  /// Wall-clock latency over `reps` runs after `warmup` runs.
+  CpuMeasurement measure(const tensor::MatrixF& input, int reps = 5,
+                         int warmup = 1);
+
+ private:
+  tensor::MatrixF forward_layer(const tensor::MatrixF& x,
+                                const ref::EncoderLayerWeights& layer);
+  /// C = A * B (+ bias), rows of C distributed over the pool.
+  tensor::MatrixF par_matmul(const tensor::MatrixF& a,
+                             const tensor::MatrixF& b,
+                             std::span<const float> bias);
+
+  ref::EncoderWeights weights_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace protea::baseline

@@ -1,0 +1,165 @@
+#include "baseline/pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/math_util.hpp"
+
+namespace protea::baseline {
+namespace {
+
+void check_sparsity(double sparsity) {
+  if (!(sparsity >= 0.0) || sparsity >= 1.0) {
+    throw std::invalid_argument("prune: sparsity must be in [0, 1)");
+  }
+}
+
+void prune_magnitude(tensor::MatrixF& w, double sparsity) {
+  const size_t n = w.size();
+  const auto k = static_cast<size_t>(std::floor(sparsity *
+                                                static_cast<double>(n)));
+  if (k == 0) return;
+  std::vector<float> magnitudes(n);
+  for (size_t i = 0; i < n; ++i) magnitudes[i] = std::abs(w.flat()[i]);
+  std::nth_element(magnitudes.begin(), magnitudes.begin() + (k - 1),
+                   magnitudes.end());
+  const float threshold = magnitudes[k - 1];
+  size_t zeroed = 0;
+  for (float& x : w.flat()) {
+    if (zeroed < k && std::abs(x) <= threshold) {
+      x = 0.0f;
+      ++zeroed;
+    }
+  }
+}
+
+void prune_column_balanced(tensor::MatrixF& w, double sparsity) {
+  const size_t rows = w.rows();
+  const auto k = static_cast<size_t>(std::floor(sparsity *
+                                                static_cast<double>(rows)));
+  if (k == 0) return;
+  std::vector<std::pair<float, size_t>> column(rows);
+  for (size_t c = 0; c < w.cols(); ++c) {
+    for (size_t r = 0; r < rows; ++r) {
+      column[r] = {std::abs(w(r, c)), r};
+    }
+    std::nth_element(column.begin(), column.begin() + (k - 1),
+                     column.end());
+    for (size_t i = 0; i < k; ++i) w(column[i].second, c) = 0.0f;
+  }
+}
+
+}  // namespace
+
+void prune_matrix(tensor::MatrixF& w, double sparsity, PruneMethod method) {
+  check_sparsity(sparsity);
+  switch (method) {
+    case PruneMethod::kMagnitude:
+      prune_magnitude(w, sparsity);
+      return;
+    case PruneMethod::kColumnBalancedBlock:
+      prune_column_balanced(w, sparsity);
+      return;
+  }
+  throw std::invalid_argument("prune: unknown method");
+}
+
+double measured_sparsity(const tensor::MatrixF& w) {
+  if (w.size() == 0) return 0.0;
+  size_t zeros = 0;
+  for (float x : w.flat()) zeros += (x == 0.0f) ? 1 : 0;
+  return static_cast<double>(zeros) / static_cast<double>(w.size());
+}
+
+void prune_encoder_weights(ref::EncoderWeights& weights, double sparsity,
+                           PruneMethod method) {
+  check_sparsity(sparsity);
+  for (auto& layer : weights.layers) {
+    prune_matrix(layer.wq, sparsity, method);
+    prune_matrix(layer.wk, sparsity, method);
+    prune_matrix(layer.wv, sparsity, method);
+    prune_matrix(layer.wo, sparsity, method);
+    prune_matrix(layer.w1, sparsity, method);
+    prune_matrix(layer.w2, sparsity, method);
+  }
+}
+
+void prune_tiles(tensor::MatrixF& w, double sparsity, uint32_t ts) {
+  check_sparsity(sparsity);
+  if (ts == 0) throw std::invalid_argument("prune_tiles: zero tile");
+  const size_t row_tiles = util::ceil_div<size_t>(w.rows(), ts);
+  const size_t col_tiles = util::ceil_div<size_t>(w.cols(), ts);
+  const size_t total = row_tiles * col_tiles;
+  const auto k = static_cast<size_t>(
+      std::floor(sparsity * static_cast<double>(total)));
+  if (k == 0) return;
+
+  struct TileNorm {
+    double norm;
+    size_t rt, ct;
+  };
+  std::vector<TileNorm> tiles;
+  tiles.reserve(total);
+  for (size_t rt = 0; rt < row_tiles; ++rt) {
+    for (size_t ct = 0; ct < col_tiles; ++ct) {
+      double norm = 0.0;
+      const size_t r1 = std::min(w.rows(), (rt + 1) * size_t{ts});
+      const size_t c1 = std::min(w.cols(), (ct + 1) * size_t{ts});
+      for (size_t r = rt * ts; r < r1; ++r) {
+        for (size_t c = ct * ts; c < c1; ++c) {
+          norm += static_cast<double>(w(r, c)) * w(r, c);
+        }
+      }
+      tiles.push_back({norm, rt, ct});
+    }
+  }
+  std::nth_element(tiles.begin(), tiles.begin() + (k - 1), tiles.end(),
+                   [](const TileNorm& a, const TileNorm& b) {
+                     return a.norm < b.norm;
+                   });
+  for (size_t i = 0; i < k; ++i) {
+    const size_t r1 = std::min(w.rows(), (tiles[i].rt + 1) * size_t{ts});
+    const size_t c1 = std::min(w.cols(), (tiles[i].ct + 1) * size_t{ts});
+    for (size_t r = tiles[i].rt * ts; r < r1; ++r) {
+      for (size_t c = tiles[i].ct * ts; c < c1; ++c) w(r, c) = 0.0f;
+    }
+  }
+}
+
+double tile_occupancy(const tensor::MatrixF& w, uint32_t ts) {
+  if (ts == 0) throw std::invalid_argument("tile_occupancy: zero tile");
+  const size_t row_tiles = util::ceil_div<size_t>(w.rows(), ts);
+  const size_t col_tiles = util::ceil_div<size_t>(w.cols(), ts);
+  size_t live = 0;
+  for (size_t rt = 0; rt < row_tiles; ++rt) {
+    for (size_t ct = 0; ct < col_tiles; ++ct) {
+      bool nonzero = false;
+      const size_t r1 = std::min(w.rows(), (rt + 1) * size_t{ts});
+      const size_t c1 = std::min(w.cols(), (ct + 1) * size_t{ts});
+      for (size_t r = rt * ts; r < r1 && !nonzero; ++r) {
+        for (size_t c = ct * ts; c < c1; ++c) {
+          if (w(r, c) != 0.0f) {
+            nonzero = true;
+            break;
+          }
+        }
+      }
+      live += nonzero ? 1 : 0;
+    }
+  }
+  return static_cast<double>(live) /
+         static_cast<double>(row_tiles * col_tiles);
+}
+
+FfnOccupancy ffn_tile_occupancy(const ref::EncoderLayerWeights& layer,
+                                uint32_t ts_ffn) {
+  FfnOccupancy occ;
+  occ.ffn1 = tile_occupancy(layer.wo, ts_ffn);
+  occ.ffn2 = tile_occupancy(layer.w1, ts_ffn);
+  occ.ffn3 = tile_occupancy(layer.w2, ts_ffn);
+  return occ;
+}
+
+}  // namespace protea::baseline

@@ -1,0 +1,60 @@
+// Weight pruning and structured-sparsity analysis.
+//
+// The paper positions ProTEA against sparse accelerators ([21] uses 90 %
+// column-balanced block pruning, FTRANS 93 % block-circulant compression)
+// and argues its dense design trades peak speed for programmability. This
+// module supplies the other side of that argument: magnitude and
+// column-balanced block pruning, tile-occupancy analysis of pruned
+// weights under ProTEA's FFN tiling, and the latency model of a
+// hypothetical tile-skipping ProTEA variant (§V's "if the same sparsity
+// were applied" arithmetic, but computed from real tile occupancy rather
+// than the ideal 1-s bound).
+#pragma once
+
+#include <cstdint>
+
+#include "ref/weights.hpp"
+#include "tensor/matrix.hpp"
+
+namespace protea::baseline {
+
+enum class PruneMethod {
+  kMagnitude,            // global magnitude threshold (unstructured)
+  kColumnBalancedBlock,  // [21]-style: equal pruning per column block
+};
+
+/// Zeroes the `sparsity` fraction of smallest-magnitude entries.
+/// kColumnBalancedBlock prunes the same fraction inside every column, so
+/// tile-level work stays balanced (the property [21]'s hardware needs).
+void prune_matrix(tensor::MatrixF& w, double sparsity, PruneMethod method);
+
+/// Fraction of exactly-zero entries.
+double measured_sparsity(const tensor::MatrixF& w);
+
+/// Prunes every large projection matrix of an encoder stack in place
+/// (wq/wk/wv/wo/w1/w2); biases and LN parameters are kept dense.
+void prune_encoder_weights(ref::EncoderWeights& weights, double sparsity,
+                           PruneMethod method);
+
+/// Tile-structured pruning: zeroes whole (ts x ts) tiles, lowest
+/// Frobenius norm first, until at least `sparsity` of the tiles are gone.
+/// This is the sparsity granularity a tile-skipping ProTEA variant can
+/// actually exploit (cf. the block-circulant structure FTRANS imposes).
+void prune_tiles(tensor::MatrixF& w, double sparsity, uint32_t ts);
+
+/// Fraction of (ts x ts) weight tiles containing at least one nonzero —
+/// the tiles a tile-skipping controller must still schedule. Partial
+/// border tiles count like full tiles (the hardware loads them whole).
+double tile_occupancy(const tensor::MatrixF& w, uint32_t ts);
+
+/// Occupancy of the three FFN-engine weight streams of one encoder layer
+/// under ProTEA's TS_FFN tiling: {wo, w1, w2}.
+struct FfnOccupancy {
+  double ffn1 = 1.0;  // output projection (wo)
+  double ffn2 = 1.0;  // expansion (w1)
+  double ffn3 = 1.0;  // contraction (w2)
+};
+FfnOccupancy ffn_tile_occupancy(const ref::EncoderLayerWeights& layer,
+                                uint32_t ts_ffn);
+
+}  // namespace protea::baseline

@@ -1,0 +1,36 @@
+#include "baseline/sparsity.hpp"
+
+namespace protea::baseline {
+
+double sparsity_adjusted_latency_ms(double dense_ms, double sparsity) {
+  if (!(sparsity >= 0.0) || sparsity >= 1.0) {
+    throw std::invalid_argument("sparsity must be in [0, 1)");
+  }
+  if (!(dense_ms >= 0.0)) {
+    throw std::invalid_argument("latency must be non-negative");
+  }
+  return dense_ms * (1.0 - sparsity);
+}
+
+double speedup(double latency_a_ms, double latency_b_ms) {
+  if (!(latency_a_ms > 0.0) || !(latency_b_ms > 0.0)) {
+    throw std::invalid_argument("speedup: latencies must be positive");
+  }
+  return latency_b_ms / latency_a_ms;
+}
+
+double dense_equivalent_gops(double executed_gops, double sparsity) {
+  if (!(sparsity >= 0.0) || sparsity >= 1.0) {
+    throw std::invalid_argument("sparsity must be in [0, 1)");
+  }
+  return executed_gops / (1.0 - sparsity);
+}
+
+double gops_per_dsp_x1000(double gops, uint32_t dsp_count) {
+  if (dsp_count == 0) {
+    throw std::invalid_argument("gops_per_dsp: zero DSP count");
+  }
+  return gops / static_cast<double>(dsp_count) * 1000.0;
+}
+
+}  // namespace protea::baseline

@@ -1,0 +1,31 @@
+// Sparsity / compression scaling model.
+//
+// The paper's Table II discussion adjusts dense latencies by pruning
+// ratios: "If the same sparsity level were applied to ProTEA, its latency
+// would mathematically be reduced to 0.448 ms (calculated as
+// 4.48 − 4.48 × 0.9)". These helpers reproduce exactly that arithmetic,
+// plus the derived throughput and comparison ratios, so the Table II
+// narrative numbers can be regenerated.
+#pragma once
+
+#include <stdexcept>
+
+namespace protea::baseline {
+
+/// Ideal latency after pruning a `sparsity` fraction of the work:
+/// dense_ms * (1 - sparsity). Throws for sparsity outside [0, 1).
+double sparsity_adjusted_latency_ms(double dense_ms, double sparsity);
+
+/// Speed-up of `a` over `b` expressed the way the paper writes it
+/// ("A is X× faster than B" => latency_b / latency_a).
+double speedup(double latency_a_ms, double latency_b_ms);
+
+/// Throughput scaling under sparsity: effective GOPS stays constant for
+/// the *executed* operations; dense-equivalent GOPS inflates by
+/// 1/(1-sparsity). Returns the dense-equivalent value.
+double dense_equivalent_gops(double executed_gops, double sparsity);
+
+/// GOPS per DSP scaled by 1000, Table II's normalized-throughput metric.
+double gops_per_dsp_x1000(double gops, uint32_t dsp_count);
+
+}  // namespace protea::baseline

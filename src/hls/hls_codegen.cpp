@@ -1,0 +1,272 @@
+#include "hls/hls_codegen.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace protea::hls {
+namespace {
+
+/// Device part numbers for the synthesis TCL.
+std::string part_for_device(const hw::Device& device) {
+  if (device.name == "Alveo U55C") return "xcu55c-fsvh2892-2L-e";
+  if (device.name == "Alveo U200") return "xcu200-fsgd2104-2-e";
+  if (device.name == "Alveo U250") return "xcu250-figd2104-2L-e";
+  if (device.name == "ZCU102") return "xczu9eg-ffvb1156-2-e";
+  if (device.name == "VCU118") return "xcvu9p-flga2104-2L-e";
+  throw std::invalid_argument("hls_codegen: no part for " + device.name);
+}
+
+}  // namespace
+
+std::string generate_params_header(const hw::SynthParams& p) {
+  p.validate();
+  std::ostringstream out;
+  out << "// protea_params.h — synthesis-time constants (generated).\n"
+      << "// Changing anything here requires re-synthesis; everything\n"
+      << "// else is programmed at runtime over AXI-Lite.\n"
+      << "#ifndef PROTEA_PARAMS_H\n#define PROTEA_PARAMS_H\n\n"
+      << "#include <ap_int.h>\n#include <ap_fixed.h>\n\n"
+      << "#define TS_MHA " << p.ts_mha << "\n"
+      << "#define TS_FFN " << p.ts_ffn << "\n"
+      << "#define MAX_HEADS " << p.max_heads << "\n"
+      << "#define MAX_D_MODEL " << p.max_d_model << "\n"
+      << "#define MAX_SEQ_LEN " << p.max_seq_len << "\n"
+      << "#define SL_UNROLL " << p.sl_unroll << "\n"
+      << "#define HEAD_DIM_MAX " << p.head_dim_max() << "\n"
+      << "#define TILES_MHA_MAX " << p.tiles_mha_max() << "\n"
+      << "#define TILES_FFN_MAX " << p.tiles_ffn_max() << "\n"
+      << "#define MAX_FFN_DIM " << p.max_ffn_dim() << "\n\n"
+      << "typedef ap_fixed<" << p.bits << ", " << (p.bits - 5)
+      << ", AP_RND_CONV, AP_SAT> data_t;\n"
+      << "typedef ap_int<32> acc_t;\n\n"
+      << "#endif  // PROTEA_PARAMS_H\n";
+  return out.str();
+}
+
+std::string generate_qkv_engine(const hw::SynthParams& p) {
+  std::ostringstream out;
+  out << "// qkv_engine.cpp — Algorithm 1 (generated).\n"
+      << "#include \"protea_params.h\"\n\n"
+      << "void qkv_engine(const data_t x[MAX_SEQ_LEN][TS_MHA],\n"
+      << "                const data_t wq[HEAD_DIM_MAX][TS_MHA],\n"
+      << "                const data_t wk[HEAD_DIM_MAX][TS_MHA],\n"
+      << "                const data_t wv[HEAD_DIM_MAX][TS_MHA],\n"
+      << "                acc_t q[MAX_SEQ_LEN][HEAD_DIM_MAX],\n"
+      << "                acc_t k[MAX_SEQ_LEN][HEAD_DIM_MAX],\n"
+      << "                acc_t v[MAX_SEQ_LEN][HEAD_DIM_MAX],\n"
+      << "                int seq_len, int head_dim) {\n"
+      << "#pragma HLS ARRAY_PARTITION variable=x cyclic factor=" << p.ts_mha
+      << " dim=2\n"
+      << "#pragma HLS ARRAY_PARTITION variable=wq cyclic factor="
+      << p.ts_mha << " dim=2\n"
+      << "#pragma HLS ARRAY_PARTITION variable=wk cyclic factor="
+      << p.ts_mha << " dim=2\n"
+      << "#pragma HLS ARRAY_PARTITION variable=wv cyclic factor="
+      << p.ts_mha << " dim=2\n"
+      << "row_loop:\n"
+      << "  for (int i = 0; i < seq_len; ++i) {\n"
+      << "#pragma HLS LOOP_TRIPCOUNT max=MAX_SEQ_LEN\n"
+      << "#pragma HLS PIPELINE off\n"
+      << "  col_loop:\n"
+      << "    for (int kk = 0; kk < head_dim; ++kk) {\n"
+      << "#pragma HLS LOOP_TRIPCOUNT max=HEAD_DIM_MAX\n"
+      << "#pragma HLS PIPELINE II=1\n"
+      << "      acc_t sq = 0, sk = 0, sv = 0;\n"
+      << "    tile_loop:\n"
+      << "      for (int j = 0; j < TS_MHA; ++j) {\n"
+      << "#pragma HLS UNROLL\n"
+      << "        sq += x[i][j] * wq[kk][j];\n"
+      << "        sk += x[i][j] * wk[kk][j];\n"
+      << "        sv += x[i][j] * wv[kk][j];\n"
+      << "      }\n"
+      << "      q[i][kk] += sq;\n"
+      << "      k[i][kk] += sk;\n"
+      << "      v[i][kk] += sv;\n"
+      << "    }\n"
+      << "  }\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string generate_qk_engine(const hw::SynthParams& p) {
+  std::ostringstream out;
+  out << "// qk_engine.cpp — Algorithm 2 (generated).\n"
+      << "#include \"protea_params.h\"\n\n"
+      << "void qk_engine(const data_t q[MAX_SEQ_LEN][HEAD_DIM_MAX],\n"
+      << "               const data_t k[MAX_SEQ_LEN][HEAD_DIM_MAX],\n"
+      << "               acc_t s[MAX_SEQ_LEN][MAX_SEQ_LEN],\n"
+      << "               int seq_len, int head_dim) {\n"
+      << "#pragma HLS ARRAY_PARTITION variable=q cyclic factor="
+      << p.head_dim_max() << " dim=2\n"
+      << "#pragma HLS ARRAY_PARTITION variable=k cyclic factor="
+      << p.head_dim_max() << " dim=2\n"
+      << "row_loop:\n"
+      << "  for (int i = 0; i < seq_len; ++i) {\n"
+      << "#pragma HLS PIPELINE off\n"
+      << "  col_loop:\n"
+      << "    for (int j = 0; j < seq_len; ++j) {\n"
+      << "#pragma HLS PIPELINE II=1\n"
+      << "      acc_t sum = 0;\n"
+      << "    dot_loop:\n"
+      << "      for (int kk = 0; kk < HEAD_DIM_MAX; ++kk) {\n"
+      << "#pragma HLS UNROLL\n"
+      << "        sum += q[i][kk] * k[j][kk];\n"
+      << "      }\n"
+      << "      s[i][j] = sum;\n"
+      << "    }\n"
+      << "  }\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string generate_sv_engine(const hw::SynthParams& p) {
+  std::ostringstream out;
+  out << "// sv_engine.cpp — Algorithm 3 (generated).\n"
+      << "#include \"protea_params.h\"\n\n"
+      << "void sv_engine(const data_t s[MAX_SEQ_LEN][MAX_SEQ_LEN],\n"
+      << "               const data_t v[MAX_SEQ_LEN][HEAD_DIM_MAX],\n"
+      << "               acc_t sv[MAX_SEQ_LEN][HEAD_DIM_MAX],\n"
+      << "               int seq_len, int head_dim) {\n"
+      << "#pragma HLS ARRAY_PARTITION variable=s cyclic factor="
+      << p.sl_unroll << " dim=2\n"
+      << "#pragma HLS ARRAY_PARTITION variable=v cyclic factor="
+      << p.sl_unroll << " dim=1\n"
+      << "row_loop:\n"
+      << "  for (int i = 0; i < seq_len; ++i) {\n"
+      << "#pragma HLS PIPELINE off\n"
+      << "  col_loop:\n"
+      << "    for (int j = 0; j < head_dim; ++j) {\n"
+      << "#pragma HLS PIPELINE II=1\n"
+      << "      acc_t vv = 0;\n"
+      << "    seq_loop:\n"
+      << "      for (int kk = 0; kk < SL_UNROLL; ++kk) {\n"
+      << "#pragma HLS UNROLL\n"
+      << "        vv += s[i][kk] * v[kk][j];\n"
+      << "      }\n"
+      << "      sv[i][j] = vv;\n"
+      << "    }\n"
+      << "  }\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string generate_ffn_engine(const hw::SynthParams& p) {
+  std::ostringstream out;
+  out << "// ffn_engine.cpp — Algorithm 4 (generated).\n"
+      << "#include \"protea_params.h\"\n\n"
+      << "void ffn_engine(const data_t inputs[MAX_SEQ_LEN][TS_FFN],\n"
+      << "                const data_t weights[TS_FFN][TS_FFN],\n"
+      << "                acc_t outputs[MAX_SEQ_LEN][TS_FFN],\n"
+      << "                int seq_len, int tile_index) {\n"
+      << "#pragma HLS ARRAY_PARTITION variable=inputs cyclic factor="
+      << p.ts_ffn << " dim=2\n"
+      << "#pragma HLS ARRAY_PARTITION variable=weights cyclic factor="
+      << p.ts_ffn << " dim=1\n"
+      << "row_loop:\n"
+      << "  for (int i = 0; i < seq_len; ++i) {\n"
+      << "#pragma HLS PIPELINE off\n"
+      << "  col_loop:\n"
+      << "    for (int j = 0; j < TS_FFN; ++j) {\n"
+      << "#pragma HLS PIPELINE II=1\n"
+      << "      acc_t sum = 0;\n"
+      << "    dot_loop:\n"
+      << "      for (int kk = 0; kk < TS_FFN; ++kk) {\n"
+      << "#pragma HLS UNROLL\n"
+      << "        sum += inputs[i][kk] * weights[kk][j];\n"
+      << "      }\n"
+      << "      outputs[i][j] += sum;\n"
+      << "    }\n"
+      << "  }\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string generate_top(const hw::SynthParams& p) {
+  std::ostringstream out;
+  out << "// protea_top.cpp — kernel top with AXI interfaces (generated).\n"
+      << "#include \"protea_params.h\"\n\n"
+      << "void protea_top(const data_t* hbm_weights, const data_t* "
+         "hbm_inputs,\n"
+      << "                data_t* hbm_outputs, int seq_len, int d_model,\n"
+      << "                int num_heads, int num_layers, int activation) "
+         "{\n"
+      << "#pragma HLS INTERFACE m_axi port=hbm_weights bundle=gmem0 "
+         "depth=16777216\n"
+      << "#pragma HLS INTERFACE m_axi port=hbm_inputs bundle=gmem1 "
+         "depth=1048576\n"
+      << "#pragma HLS INTERFACE m_axi port=hbm_outputs bundle=gmem2 "
+         "depth=1048576\n"
+      << "#pragma HLS INTERFACE s_axilite port=seq_len\n"
+      << "#pragma HLS INTERFACE s_axilite port=d_model\n"
+      << "#pragma HLS INTERFACE s_axilite port=num_heads\n"
+      << "#pragma HLS INTERFACE s_axilite port=num_layers\n"
+      << "#pragma HLS INTERFACE s_axilite port=activation\n"
+      << "#pragma HLS INTERFACE s_axilite port=return\n"
+      << "  // Runtime bound checks (the MicroBlaze also enforces these).\n"
+      << "  if (seq_len > MAX_SEQ_LEN || d_model > MAX_D_MODEL ||\n"
+      << "      num_heads > MAX_HEADS) return;\n"
+      << "  // Per-layer sequencing of the " << p.max_heads
+      << " head pipelines and the FFN chain\n"
+      << "  // (engine calls elided in the generated skeleton).\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string generate_synthesis_tcl(const hw::SynthParams& params,
+                                   const hw::Device& device,
+                                   double target_mhz) {
+  if (!(target_mhz > 0.0)) {
+    throw std::invalid_argument("generate_synthesis_tcl: bad frequency");
+  }
+  std::ostringstream out;
+  const double period_ns = 1000.0 / target_mhz;
+  out << "# run_hls.tcl (generated) — ProTEA synthesis for "
+      << device.name << "\n"
+      << "open_project -reset protea_ts" << params.ts_mha << "_"
+      << params.ts_ffn << "\n"
+      << "set_top protea_top\n"
+      << "add_files protea_top.cpp\n"
+      << "add_files qkv_engine.cpp\n"
+      << "add_files qk_engine.cpp\n"
+      << "add_files sv_engine.cpp\n"
+      << "add_files ffn_engine.cpp\n"
+      << "open_solution -reset solution1\n"
+      << "set_part {" << part_for_device(device) << "}\n"
+      << "create_clock -period " << period_ns << " -name default\n"
+      << "csim_design\n"
+      << "csynth_design\n"
+      << "cosim_design\n"
+      << "export_design -format ip_catalog\n"
+      << "exit\n";
+  return out.str();
+}
+
+int write_hls_project(const std::string& directory,
+                      const hw::SynthParams& params,
+                      const hw::Device& device, double target_mhz) {
+  std::filesystem::create_directories(directory);
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"protea_params.h", generate_params_header(params)},
+      {"qkv_engine.cpp", generate_qkv_engine(params)},
+      {"qk_engine.cpp", generate_qk_engine(params)},
+      {"sv_engine.cpp", generate_sv_engine(params)},
+      {"ffn_engine.cpp", generate_ffn_engine(params)},
+      {"protea_top.cpp", generate_top(params)},
+      {"run_hls.tcl",
+       generate_synthesis_tcl(params, device, target_mhz)},
+  };
+  for (const auto& [name, content] : files) {
+    std::ofstream out(directory + "/" + name);
+    if (!out) {
+      throw std::runtime_error("write_hls_project: cannot write " + name);
+    }
+    out << content;
+  }
+  return static_cast<int>(files.size());
+}
+
+}  // namespace protea::hls

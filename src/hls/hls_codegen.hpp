@@ -1,0 +1,53 @@
+// Vitis HLS artifact generator.
+//
+// The paper's §IV: "A parameterized HLS code that allows for design-time
+// adjustments of parameters in the HLS tool." This module regenerates
+// that artifact from a SynthParams: the kernel header with the
+// synthesis-time constants, C sources for each computation engine with
+// the exact loop nests of Algorithms 1-4 and the pragmas the cycle model
+// assumes (ARRAY_PARTITION factors, PIPELINE II, UNROLL), the AXI
+// interface top, and a synthesis TCL script targeting the chosen device.
+// On a machine with Vitis HLS installed the emitted project is intended
+// to synthesize as-is; in this repository it serves as the executable
+// specification tying the simulator's timing assumptions to real pragmas
+// (tests assert the pragmas match what frequency_model/perf_model charge
+// for).
+#pragma once
+
+#include <string>
+
+#include "hw/device.hpp"
+#include "hw/synth_params.hpp"
+
+namespace protea::hls {
+
+/// protea_params.h — synthesis-time constants.
+std::string generate_params_header(const hw::SynthParams& params);
+
+/// qkv_engine.cpp — Algorithm 1 with tiling (Fig. 5).
+std::string generate_qkv_engine(const hw::SynthParams& params);
+
+/// qk_engine.cpp — Algorithm 2 (fully unrolled head-dim reduction).
+std::string generate_qk_engine(const hw::SynthParams& params);
+
+/// sv_engine.cpp — Algorithm 3 (sequence-unrolled reduction).
+std::string generate_sv_engine(const hw::SynthParams& params);
+
+/// ffn_engine.cpp — Algorithm 4 with 2-D tiling (Fig. 6).
+std::string generate_ffn_engine(const hw::SynthParams& params);
+
+/// protea_top.cpp — AXI4 master/AXI-Lite slave kernel top (paper §IV).
+std::string generate_top(const hw::SynthParams& params);
+
+/// run_hls.tcl — project script: part selection, clock target, csim/csynth.
+std::string generate_synthesis_tcl(const hw::SynthParams& params,
+                                   const hw::Device& device,
+                                   double target_mhz);
+
+/// Writes the complete project under `directory` (created if needed).
+/// Returns the number of files written. Throws on I/O failure.
+int write_hls_project(const std::string& directory,
+                      const hw::SynthParams& params,
+                      const hw::Device& device, double target_mhz);
+
+}  // namespace protea::hls

@@ -1,0 +1,26 @@
+#include "hw/axi.hpp"
+
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace protea::hw {
+
+AxiMaster::AxiMaster(AxiConfig config) : config_(config) {
+  if (config_.bus_bits == 0 || config_.bus_bits % 8 != 0) {
+    throw std::invalid_argument("AxiMaster: bus width must be a multiple of 8");
+  }
+  if (config_.max_burst_beats == 0) {
+    throw std::invalid_argument("AxiMaster: burst length must be positive");
+  }
+}
+
+Cycles AxiMaster::read_cycles(uint64_t bytes) const {
+  if (bytes == 0) return 0;
+  const uint64_t beats = util::ceil_div<uint64_t>(bytes, bytes_per_beat());
+  const uint64_t bursts =
+      util::ceil_div<uint64_t>(beats, config_.max_burst_beats);
+  return beats + bursts * config_.burst_overhead;
+}
+
+}  // namespace protea::hw

@@ -1,0 +1,46 @@
+// AXI4 master burst-transfer model.
+//
+// ProTEA fetches inputs and weights from HBM through AXI4 master
+// interfaces (§IV, [34]). Transfer latency in cycles is deterministic:
+// bursts of up to 256 beats on a `bus_bits`-wide bus, one beat per cycle,
+// plus a fixed per-burst handshake overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/clock.hpp"
+
+namespace protea::hw {
+
+struct AxiConfig {
+  uint32_t bus_bits = 512;        // data bus width
+  uint32_t max_burst_beats = 256; // AXI4 INCR burst cap
+  Cycles burst_overhead = 12;     // address handshake + first-beat latency
+};
+
+class AxiMaster {
+ public:
+  explicit AxiMaster(AxiConfig config = {});
+
+  const AxiConfig& config() const { return config_; }
+  uint32_t bytes_per_beat() const { return config_.bus_bits / 8; }
+
+  /// Cycles to read `bytes` as a sequence of maximal bursts.
+  Cycles read_cycles(uint64_t bytes) const;
+
+  /// Cycles to write `bytes` (same burst structure).
+  Cycles write_cycles(uint64_t bytes) const { return read_cycles(bytes); }
+
+  /// Cumulative traffic counters (bytes), for bandwidth reports.
+  void record_read(uint64_t bytes) { bytes_read_ += bytes; }
+  void record_write(uint64_t bytes) { bytes_written_ += bytes; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  AxiConfig config_;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace protea::hw

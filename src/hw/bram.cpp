@@ -1,0 +1,58 @@
+#include "hw/bram.hpp"
+
+#include <algorithm>
+
+#include "util/math_util.hpp"
+
+namespace protea::hw {
+
+BankingPlan plan_banking(uint64_t total_bytes, uint32_t parallel_reads) {
+  BankingPlan plan;
+  if (total_bytes == 0) return plan;
+  const uint32_t reads = std::max<uint32_t>(1, parallel_reads);
+  // Each dual-port bank can serve kBramPorts reads per cycle; HLS rounds
+  // the cyclic partition factor up to cover the demanded parallelism.
+  plan.banks = util::ceil_div<uint64_t>(reads, kBramPorts);
+  plan.bytes_per_bank = util::ceil_div(total_bytes, plan.banks);
+  if (plan.bytes_per_bank < kLutramThresholdBytes) {
+    plan.uses_lutram = true;
+    plan.lutram_bytes = total_bytes;
+    plan.bram36_count = 0;
+  } else {
+    plan.bram36_count =
+        plan.banks * util::ceil_div(plan.bytes_per_bank, kBram36Bytes);
+  }
+  return plan;
+}
+
+BankedBuffer::BankedBuffer(uint64_t words, uint32_t word_bytes,
+                           uint64_t banks)
+    : words_(words), banks_(banks) {
+  if (banks == 0) throw std::invalid_argument("BankedBuffer: zero banks");
+  if (word_bytes == 0) {
+    throw std::invalid_argument("BankedBuffer: zero word size");
+  }
+  ports_this_cycle_.assign(banks, 0);
+}
+
+void BankedBuffer::begin_cycle() {
+  std::fill(ports_this_cycle_.begin(), ports_this_cycle_.end(), 0u);
+}
+
+void BankedBuffer::access(uint64_t index) {
+  if (index >= words_) {
+    throw std::out_of_range("BankedBuffer: index out of range");
+  }
+  const uint64_t bank = index % banks_;
+  uint32_t& ports = ports_this_cycle_[bank];
+  ++ports;
+  ++total_accesses_;
+  peak_ports_ = std::max(peak_ports_, ports);
+  if (ports > kBramPorts) {
+    throw std::runtime_error(
+        "BankedBuffer: port conflict — more than 2 accesses to one bank "
+        "in a single cycle (partitioning bug)");
+  }
+}
+
+}  // namespace protea::hw

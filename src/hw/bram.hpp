@@ -1,0 +1,70 @@
+// On-chip memory model: BRAM/LUTRAM banks produced by HLS array
+// partitioning.
+//
+// ProTEA stores tile buffers in "multiple BRAMs/LUTRAMs to support parallel
+// access" (§IV-A): an array feeding T parallel DSPs must be cyclically
+// partitioned into at least ceil(T / ports) banks, because a BRAM36 has two
+// ports. This model captures bank math (counts, capacity, BRAM-vs-LUTRAM
+// choice) for the resource model, and provides a functional banked buffer
+// whose access checker verifies the simulator never exceeds per-bank port
+// limits within one "cycle" of accesses — the invariant HLS partitioning
+// exists to guarantee.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace protea::hw {
+
+/// One BRAM36 stores 36 Kbit = 4608 bytes (at byte-wide aspect ratios).
+inline constexpr uint64_t kBram36Bytes = 4608;
+/// Below this many bytes HLS maps a bank to distributed LUTRAM instead.
+inline constexpr uint64_t kLutramThresholdBytes = 1024;
+/// Dual-port block RAM: two accesses per cycle per bank.
+inline constexpr uint32_t kBramPorts = 2;
+
+struct BankingPlan {
+  uint64_t banks = 0;           // number of physical banks
+  uint64_t bytes_per_bank = 0;  // capacity needed per bank
+  uint64_t bram36_count = 0;    // banks mapped to BRAM36 (0 if LUTRAM)
+  bool uses_lutram = false;     // true when banks are below the threshold
+  uint64_t lutram_bytes = 0;    // total bytes held in LUTRAM
+};
+
+/// Computes the banking HLS would generate for an array of
+/// `total_bytes` that must sustain `parallel_reads` reads per cycle.
+BankingPlan plan_banking(uint64_t total_bytes, uint32_t parallel_reads);
+
+/// Functional banked byte buffer with a per-cycle port-conflict checker.
+class BankedBuffer {
+ public:
+  /// `words` elements of `word_bytes` each, cyclically partitioned into
+  /// `banks` banks (element i lives in bank i % banks).
+  BankedBuffer(uint64_t words, uint32_t word_bytes, uint64_t banks);
+
+  uint64_t words() const { return words_; }
+  uint64_t banks() const { return banks_; }
+
+  /// Begins a new access cycle: clears per-bank port counters.
+  void begin_cycle();
+
+  /// Records an access to element `index`; throws std::runtime_error when
+  /// the containing bank would exceed its two ports this cycle.
+  void access(uint64_t index);
+
+  /// Total accesses recorded since construction.
+  uint64_t total_accesses() const { return total_accesses_; }
+
+  /// Peak ports used on any bank in any cycle so far.
+  uint32_t peak_ports() const { return peak_ports_; }
+
+ private:
+  uint64_t words_;
+  uint64_t banks_;
+  std::vector<uint32_t> ports_this_cycle_;
+  uint64_t total_accesses_ = 0;
+  uint32_t peak_ports_ = 0;
+};
+
+}  // namespace protea::hw

@@ -1,0 +1,58 @@
+// Cycle-accounting primitives mirroring how Vitis HLS schedules loops.
+//
+// ProTEA's latency is dominated by deterministic loop structure: inner
+// loops fully unrolled into PE arrays, middle loops pipelined at II=1,
+// outer loops serialized with `#pragma HLS pipeline off`. These helpers
+// reproduce the corresponding cycle formulas so engine latencies fall out
+// of the same trip counts as the paper's Algorithms 1-4.
+#pragma once
+
+#include <cstdint>
+
+namespace protea::hw {
+
+using Cycles = uint64_t;
+
+/// Cycle counts of a pipelined loop: first result after `depth` cycles,
+/// then one iteration per `ii` cycles. Zero trips costs nothing.
+constexpr Cycles pipelined_loop(uint64_t trips, uint64_t ii = 1,
+                                uint64_t depth = 1) {
+  if (trips == 0) return 0;
+  return depth + (trips - 1) * ii;
+}
+
+/// A serial (pipeline-off) outer loop around a pipelined body:
+/// each outer iteration pays the full body latency plus loop control.
+constexpr Cycles serial_outer_loop(uint64_t outer_trips, Cycles body,
+                                   Cycles control_overhead) {
+  return outer_trips * (body + control_overhead);
+}
+
+/// Latency of `tiles` double-buffered iterations where loading tile i+1
+/// overlaps computing tile i (the paper's "overlap of data loading and
+/// computation"): prologue load + max-compose + epilogue compute.
+constexpr Cycles overlapped_tiles(uint64_t tiles, Cycles load_per_tile,
+                                  Cycles compute_per_tile) {
+  if (tiles == 0) return 0;
+  const Cycles steady =
+      load_per_tile > compute_per_tile ? load_per_tile : compute_per_tile;
+  return load_per_tile + (tiles - 1) * steady + compute_per_tile;
+}
+
+/// Non-overlapped variant (ablation): strict load-then-compute per tile.
+constexpr Cycles sequential_tiles(uint64_t tiles, Cycles load_per_tile,
+                                  Cycles compute_per_tile) {
+  return tiles * (load_per_tile + compute_per_tile);
+}
+
+/// Converts cycles at `freq_mhz` to milliseconds.
+constexpr double cycles_to_ms(Cycles cycles, double freq_mhz) {
+  return static_cast<double>(cycles) / (freq_mhz * 1e3);
+}
+
+/// Converts cycles at `freq_mhz` to microseconds.
+constexpr double cycles_to_us(Cycles cycles, double freq_mhz) {
+  return static_cast<double>(cycles) / freq_mhz;
+}
+
+}  // namespace protea::hw

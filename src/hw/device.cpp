@@ -1,0 +1,106 @@
+#include "hw/device.hpp"
+
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace protea::hw {
+
+const Device& alveo_u55c() {
+  static const Device d{
+      .name = "Alveo U55C",
+      .budget = {.dsp = 9024,
+                 .lut = 1303680,
+                 .ff = 2607360,
+                 .bram36 = 2016,
+                 .uram = 960},
+      .hbm_bandwidth_gbps = 460.0,
+      .hbm_channels = 32,
+      .ddr_bandwidth_gbps = 0.0,
+  };
+  return d;
+}
+
+const Device& alveo_u200() {
+  static const Device d{
+      .name = "Alveo U200",
+      .budget = {.dsp = 6840,
+                 .lut = 1182240,
+                 .ff = 2364480,
+                 .bram36 = 2160,
+                 .uram = 960},
+      .hbm_bandwidth_gbps = 0.0,
+      .hbm_channels = 0,
+      .ddr_bandwidth_gbps = 77.0,
+  };
+  return d;
+}
+
+const Device& alveo_u250() {
+  static const Device d{
+      .name = "Alveo U250",
+      .budget = {.dsp = 12288,
+                 .lut = 1728000,
+                 .ff = 3456000,
+                 .bram36 = 2688,
+                 .uram = 1280},
+      .hbm_bandwidth_gbps = 0.0,
+      .hbm_channels = 0,
+      .ddr_bandwidth_gbps = 77.0,
+  };
+  return d;
+}
+
+const Device& zcu102() {
+  static const Device d{
+      .name = "ZCU102",
+      .budget = {.dsp = 2520,
+                 .lut = 274080,
+                 .ff = 548160,
+                 .bram36 = 912,
+                 .uram = 0},
+      .hbm_bandwidth_gbps = 0.0,
+      .hbm_channels = 0,
+      .ddr_bandwidth_gbps = 19.2,
+  };
+  return d;
+}
+
+const Device& vcu118() {
+  static const Device d{
+      .name = "VCU118",
+      .budget = {.dsp = 6840,
+                 .lut = 1182240,
+                 .ff = 2364480,
+                 .bram36 = 2160,
+                 .uram = 960},
+      .hbm_bandwidth_gbps = 0.0,
+      .hbm_channels = 0,
+      .ddr_bandwidth_gbps = 21.3,
+  };
+  return d;
+}
+
+std::vector<const Device*> all_devices() {
+  return {&alveo_u55c(), &alveo_u200(), &alveo_u250(), &zcu102(), &vcu118()};
+}
+
+const Device& find_device(std::string_view name) {
+  const std::string lower = util::to_lower(name);
+  for (const Device* d : all_devices()) {
+    if (util::to_lower(d->name) == lower) return *d;
+  }
+  // Accept short aliases too.
+  if (lower == "u55c") return alveo_u55c();
+  if (lower == "u200") return alveo_u200();
+  if (lower == "u250") return alveo_u250();
+  throw std::invalid_argument("find_device: unknown device '" +
+                              std::string(name) + "'");
+}
+
+double utilization(uint64_t used, uint64_t budget) {
+  if (budget == 0) return 0.0;
+  return static_cast<double>(used) / static_cast<double>(budget);
+}
+
+}  // namespace protea::hw

@@ -1,0 +1,53 @@
+// FPGA device database: resource budgets of the boards appearing in the
+// paper's evaluation (Tables I and II).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace protea::hw {
+
+struct ResourceBudget {
+  uint64_t dsp = 0;
+  uint64_t lut = 0;
+  uint64_t ff = 0;
+  uint64_t bram36 = 0;   // 36-Kbit block RAMs
+  uint64_t uram = 0;     // UltraRAM blocks
+};
+
+struct Device {
+  std::string name;
+  ResourceBudget budget;
+  double hbm_bandwidth_gbps = 0.0;  // 0 when the board has no HBM
+  uint32_t hbm_channels = 0;
+  double ddr_bandwidth_gbps = 0.0;
+};
+
+/// Alveo U55C: the paper's platform. 9024 DSP slices, 1.304 M LUTs,
+/// 2.607 M FFs, 2016 BRAM36, 960 URAM, 16 GB HBM2 at 460 GB/s.
+const Device& alveo_u55c();
+
+/// Alveo U200 (Peng et al. [21], Qi et al. [28]).
+const Device& alveo_u200();
+
+/// Alveo U250 (Wojcicki et al. [23]).
+const Device& alveo_u250();
+
+/// Zynq UltraScale+ ZCU102 (EFA-Trans [25]).
+const Device& zcu102();
+
+/// Virtex UltraScale+ VCU118 (FTRANS [29]).
+const Device& vcu118();
+
+/// All registered devices.
+std::vector<const Device*> all_devices();
+
+/// Lookup by case-insensitive name; throws std::invalid_argument.
+const Device& find_device(std::string_view name);
+
+/// Utilization of `used` against `budget` as a fraction (0..1+).
+double utilization(uint64_t used, uint64_t budget);
+
+}  // namespace protea::hw

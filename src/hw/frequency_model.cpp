@@ -1,0 +1,51 @@
+#include "hw/frequency_model.hpp"
+
+#include <algorithm>
+
+namespace protea::hw {
+namespace {
+
+// Penalty slopes (MHz per unit of tile size away from the sweet spot).
+// Fitted to reproduce Fig. 7's ordering: the 12-tile MHA series (TS=64)
+// achieves the highest frequency; halving the tile count (TS=128) costs
+// ~58 MHz of congestion, while quadrupling it (TS=16) costs ~26 MHz of
+// bank-mux depth. FFN behaves the same around TS=128.
+constexpr double kMhaOverSlope = 0.90;   // per element above TS_MHA=64
+constexpr double kMhaUnderSlope = 0.55;  // per element below TS_MHA=64
+constexpr double kFfnOverSlope = 0.55;   // per element above TS_FFN=128
+constexpr double kFfnUnderSlope = 0.40;  // per element below TS_FFN=128
+constexpr double kBaseMhz = 200.0;
+constexpr double kFloorMhz = 60.0;
+constexpr uint32_t kMhaSweetSpot = 64;
+constexpr uint32_t kFfnSweetSpot = 128;
+
+double tile_penalty(uint32_t ts, uint32_t sweet, double over_slope,
+                    double under_slope) {
+  if (ts >= sweet) {
+    return over_slope * static_cast<double>(ts - sweet);
+  }
+  return under_slope * static_cast<double>(sweet - ts);
+}
+
+}  // namespace
+
+FrequencyBreakdown frequency_model(const SynthParams& params) {
+  params.validate();
+  FrequencyBreakdown out;
+  out.base_mhz = kBaseMhz;
+  out.mha_penalty =
+      tile_penalty(params.ts_mha, kMhaSweetSpot, kMhaOverSlope,
+                   kMhaUnderSlope);
+  out.ffn_penalty =
+      tile_penalty(params.ts_ffn, kFfnSweetSpot, kFfnOverSlope,
+                   kFfnUnderSlope);
+  out.fmax_mhz =
+      std::max(kFloorMhz, kBaseMhz - out.mha_penalty - out.ffn_penalty);
+  return out;
+}
+
+double fmax_mhz(const SynthParams& params) {
+  return frequency_model(params).fmax_mhz;
+}
+
+}  // namespace protea::hw

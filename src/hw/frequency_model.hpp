@@ -1,0 +1,50 @@
+// Achieved-frequency and initiation-interval model (paper Fig. 7).
+//
+// Two HLS/implementation effects limit ProTEA's clock and throughput as a
+// function of tile size:
+//
+//  1. *Initiation interval.* An engine sustaining II=1 must read all its
+//     operands every cycle. Array partitioning can feed at most
+//     ~kMaxParallelReadsII1 parallel on-chip reads per engine before port
+//     multiplexing forces II=2, 3, ... (this is why the paper finds
+//     TS_MHA=64 / TS_FFN=128 "optimal for HLS": QKV reads 4*TS_MHA = 256
+//     and FFN reads 2*TS_FFN = 256 operands/cycle — exactly the limit).
+//
+//  2. *Routing congestion.* Larger unrolls spread a PE array across more
+//     columns of the die and deepen the accumulation network, lowering
+//     Fmax; very small tiles instead multiply the number of tiny banks and
+//     the address-mux depth. The penalty slopes below are fitted so the
+//     optimum of Fig. 7 lands at 12 MHA tiles / 6 FFN tiles = 200 MHz.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/synth_params.hpp"
+
+namespace protea::hw {
+
+/// Maximum parallel on-chip reads one engine can sustain at II=1.
+inline constexpr uint32_t kMaxParallelReadsII1 = 256;
+
+/// Initiation interval HLS achieves for an engine demanding
+/// `parallel_reads` operands per cycle.
+constexpr uint32_t achieved_ii(uint32_t parallel_reads) {
+  if (parallel_reads == 0) return 1;
+  return (parallel_reads + kMaxParallelReadsII1 - 1) / kMaxParallelReadsII1;
+}
+
+struct FrequencyBreakdown {
+  double base_mhz = 200.0;
+  double mha_penalty = 0.0;
+  double ffn_penalty = 0.0;
+  double fmax_mhz = 200.0;
+};
+
+/// Fmax for a synthesis configuration. Peaks at exactly 200 MHz for the
+/// paper's TS_MHA=64 / TS_FFN=128 point; floor-clamped at 60 MHz.
+FrequencyBreakdown frequency_model(const SynthParams& params);
+
+/// Convenience accessor.
+double fmax_mhz(const SynthParams& params);
+
+}  // namespace protea::hw

@@ -1,0 +1,54 @@
+#include "hw/hbm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace protea::hw {
+
+HbmModel::HbmModel(HbmConfig config) : config_(config), axi_(config.axi) {
+  if (config_.channels == 0) {
+    throw std::invalid_argument("HbmModel: zero channels");
+  }
+  if (!(config_.efficiency > 0.0) || config_.efficiency > 1.0) {
+    throw std::invalid_argument("HbmModel: efficiency must be in (0, 1]");
+  }
+}
+
+Cycles HbmModel::load_cycles(uint64_t bytes, uint32_t channels_used) const {
+  if (channels_used == 0 || channels_used > config_.channels) {
+    throw std::invalid_argument("HbmModel: bad channel count");
+  }
+  if (bytes == 0) return 0;
+  const uint64_t per_channel = util::ceil_div<uint64_t>(bytes, channels_used);
+  const Cycles raw = axi_.read_cycles(per_channel);
+  return static_cast<Cycles>(
+      std::ceil(static_cast<double>(raw) / config_.efficiency));
+}
+
+Cycles HbmModel::concurrent_load_cycles(
+    const std::vector<uint64_t>& per_channel) const {
+  if (per_channel.size() > config_.channels) {
+    throw std::invalid_argument("HbmModel: more transfers than channels");
+  }
+  Cycles worst = 0;
+  for (uint64_t bytes : per_channel) {
+    const Cycles raw = axi_.read_cycles(bytes);
+    const auto scaled = static_cast<Cycles>(
+        std::ceil(static_cast<double>(raw) / config_.efficiency));
+    worst = std::max(worst, scaled);
+  }
+  return worst;
+}
+
+double HbmModel::bytes_per_cycle(uint32_t channels_used) const {
+  if (channels_used == 0 || channels_used > config_.channels) {
+    throw std::invalid_argument("HbmModel: bad channel count");
+  }
+  return static_cast<double>(axi_.bytes_per_beat()) * config_.efficiency *
+         static_cast<double>(channels_used);
+}
+
+}  // namespace protea::hw

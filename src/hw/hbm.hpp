@@ -1,0 +1,45 @@
+// High-bandwidth-memory model (the U55C's 16 GB HBM2 stack).
+//
+// HBM exposes independent pseudo-channels; a kernel binds each AXI master
+// to one channel. Effective load cycles for a tile are the max over the
+// channels involved of each channel's AXI burst time, degraded by a
+// channel-efficiency factor (row activation, refresh).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/axi.hpp"
+#include "hw/clock.hpp"
+
+namespace protea::hw {
+
+struct HbmConfig {
+  uint32_t channels = 32;
+  double efficiency = 0.85;  // achievable fraction of peak per channel
+  AxiConfig axi = {};
+};
+
+class HbmModel {
+ public:
+  explicit HbmModel(HbmConfig config = {});
+
+  const HbmConfig& config() const { return config_; }
+
+  /// Cycles (at kernel clock) to load `bytes` striped evenly over
+  /// `channels_used` channels. Channels beyond the configured count throw.
+  Cycles load_cycles(uint64_t bytes, uint32_t channels_used) const;
+
+  /// Cycles for a set of concurrent per-channel transfers
+  /// (one entry = bytes moved on that channel); returns the slowest.
+  Cycles concurrent_load_cycles(const std::vector<uint64_t>& per_channel) const;
+
+  /// Sustained bandwidth in bytes/cycle for `channels_used` channels.
+  double bytes_per_cycle(uint32_t channels_used) const;
+
+ private:
+  HbmConfig config_;
+  AxiMaster axi_;
+};
+
+}  // namespace protea::hw

@@ -1,0 +1,77 @@
+#include "hw/power_model.hpp"
+
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace protea::hw {
+namespace {
+
+// UltraScale+ dynamic-power orders of magnitude at nominal voltage:
+// a DSP48E2 multiply-accumulate toggling every cycle draws ~2.5 mW at
+// 200 MHz (scales linearly with frequency and activity); a busy BRAM36
+// ~1.5 mW; fabric logic ~0.3 uW per utilized LUT. Static power of a
+// UV+HBM device (U55C class) is ~20 W with the HBM stacks on standby.
+constexpr double kDspMwPerMhzFullActivity = 2.5 / 200.0;
+constexpr double kBramMwPerMhzFullActivity = 1.5 / 200.0;
+constexpr double kLogicUwPerLutPerMhz = 0.3 / 200.0;
+constexpr double kStaticWatts = 20.0;
+constexpr double kHbmMaxWatts = 10.0;  // all 32 channels saturated
+
+}  // namespace
+
+PowerBreakdown estimate_power(const SynthParams& params, double fmax_mhz,
+                              double activity, double hbm_share) {
+  if (!(activity >= 0.0) || activity > 1.0) {
+    throw std::invalid_argument("estimate_power: activity in [0,1]");
+  }
+  if (!(hbm_share >= 0.0) || hbm_share > 1.0) {
+    throw std::invalid_argument("estimate_power: hbm_share in [0,1]");
+  }
+  if (!(fmax_mhz > 0.0)) {
+    throw std::invalid_argument("estimate_power: frequency must be > 0");
+  }
+  const ResourceReport resources = estimate_resources(params);
+
+  PowerBreakdown p;
+  p.static_w = kStaticWatts;
+  p.dsp_w = static_cast<double>(resources.used.dsp) *
+            kDspMwPerMhzFullActivity * fmax_mhz * activity * 1e-3;
+  p.bram_w = static_cast<double>(resources.used.bram36 +
+                                 resources.total_banks) *
+             kBramMwPerMhzFullActivity * fmax_mhz * activity * 1e-3;
+  p.logic_w = static_cast<double>(resources.used.lut) *
+              kLogicUwPerLutPerMhz * fmax_mhz * activity * 1e-6;
+  p.hbm_w = kHbmMaxWatts * hbm_share;
+  p.total_w = p.static_w + p.dsp_w + p.bram_w + p.logic_w + p.hbm_w;
+  return p;
+}
+
+EnergyReport estimate_energy(const SynthParams& params, double fmax_mhz,
+                             double activity, double hbm_share,
+                             double latency_ms, double gops) {
+  if (!(latency_ms > 0.0)) {
+    throw std::invalid_argument("estimate_energy: latency must be > 0");
+  }
+  EnergyReport report;
+  report.power =
+      estimate_power(params, fmax_mhz, activity, hbm_share);
+  report.latency_ms = latency_ms;
+  report.energy_mj = report.power.total_w * latency_ms;  // W * ms = mJ
+  report.gops_per_watt = gops / report.power.total_w;
+  return report;
+}
+
+double platform_tdp_watts(const std::string& platform_name) {
+  const std::string lower = util::to_lower(platform_name);
+  // Published TDPs of the Table III platforms.
+  if (lower.find("titan xp") != std::string::npos) return 250.0;
+  if (lower.find("rtx 3060") != std::string::npos) return 170.0;
+  if (lower.find("jetson") != std::string::npos) return 15.0;
+  if (lower.find("i5-5257u") != std::string::npos) return 28.0;
+  if (lower.find("i5-4460") != std::string::npos) return 84.0;
+  throw std::invalid_argument("platform_tdp_watts: unknown platform '" +
+                              platform_name + "'");
+}
+
+}  // namespace protea::hw

@@ -1,0 +1,49 @@
+// Power and energy model.
+//
+// The paper motivates FPGAs with "low run time inference latencies with
+// efficient power consumption" and compares against GPUs with 70-250 W
+// TDPs. This model estimates ProTEA's power from resource activity —
+// per-DSP/BRAM/LUT dynamic energy coefficients at the modeled clock plus
+// static device power — so the benches can report energy-per-inference
+// next to latency. Coefficients follow Xilinx UltraScale+ power
+// characterization orders of magnitude (documented per constant); they
+// drive *relative* comparisons, not sign-off numbers.
+#pragma once
+
+#include "hw/resource_model.hpp"
+#include "hw/synth_params.hpp"
+
+namespace protea::hw {
+
+struct PowerBreakdown {
+  double static_w = 0.0;     // device leakage + HBM standby
+  double dsp_w = 0.0;        // DSP48 dynamic
+  double bram_w = 0.0;       // BRAM/LUTRAM dynamic
+  double logic_w = 0.0;      // LUT/FF fabric dynamic
+  double hbm_w = 0.0;        // HBM transfer power
+  double total_w = 0.0;
+};
+
+struct EnergyReport {
+  PowerBreakdown power;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;           // per inference
+  double gops_per_watt = 0.0;
+};
+
+/// Average power of a synthesized configuration running at `fmax_mhz`
+/// with the given average datapath activity (0..1, the DSP utilization
+/// the perf model reports) and HBM bandwidth share.
+PowerBreakdown estimate_power(const SynthParams& params, double fmax_mhz,
+                              double activity, double hbm_share);
+
+/// Energy per inference from a latency + throughput pair.
+EnergyReport estimate_energy(const SynthParams& params, double fmax_mhz,
+                             double activity, double hbm_share,
+                             double latency_ms, double gops);
+
+/// Published TDPs of the comparison platforms (Table III), for
+/// energy-ratio context.
+double platform_tdp_watts(const std::string& platform_name);
+
+}  // namespace protea::hw

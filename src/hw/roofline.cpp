@@ -1,0 +1,50 @@
+#include "hw/roofline.hpp"
+
+#include <stdexcept>
+
+#include "hw/hbm.hpp"
+#include "hw/resource_model.hpp"
+
+namespace protea::hw {
+
+double peak_compute_gops(const SynthParams& params, double fmax_mhz) {
+  if (!(fmax_mhz > 0.0)) {
+    throw std::invalid_argument("peak_compute_gops: bad frequency");
+  }
+  const ResourceReport resources = estimate_resources(params);
+  // Each PE performs one MAC (2 ops) per cycle.
+  return static_cast<double>(resources.total_pes) * 2.0 * fmax_mhz * 1e-3;
+}
+
+double peak_bandwidth_gbps(const SynthParams& params, double fmax_mhz) {
+  const HbmModel hbm;
+  // bytes/cycle over the bound channels at the kernel clock.
+  return hbm.bytes_per_cycle(params.hbm_channels_used) * fmax_mhz * 1e-3;
+}
+
+RooflinePoint make_roofline_point(const SynthParams& params,
+                                  double fmax_mhz, const std::string& name,
+                                  uint64_t ops, uint64_t bytes,
+                                  double latency_ms) {
+  if (bytes == 0) {
+    throw std::invalid_argument("make_roofline_point: zero bytes");
+  }
+  if (!(latency_ms > 0.0)) {
+    throw std::invalid_argument("make_roofline_point: bad latency");
+  }
+  RooflinePoint point;
+  point.name = name;
+  point.arithmetic_intensity =
+      static_cast<double>(ops) / static_cast<double>(bytes);
+  point.achieved_gops =
+      static_cast<double>(ops) / (latency_ms * 1e-3) / 1e9;
+  point.peak_compute_gops = peak_compute_gops(params, fmax_mhz);
+  point.peak_bandwidth_gbps = peak_bandwidth_gbps(params, fmax_mhz);
+  point.ridge_intensity =
+      point.peak_compute_gops / point.peak_bandwidth_gbps;
+  point.compute_bound =
+      point.arithmetic_intensity >= point.ridge_intensity;
+  return point;
+}
+
+}  // namespace protea::hw

@@ -1,0 +1,41 @@
+// Roofline analysis of a programmed accelerator.
+//
+// Classifies each workload (and each engine stage) as compute-bound or
+// bandwidth-bound on the modeled U55C: peak compute = engine PEs x 2 ops
+// x Fmax; peak bandwidth = the HBM channels bound to the kernel. The
+// paper's overlap claim ("latency reflects computation time, accounting
+// for the overlap of data loading and computation") holds exactly when
+// arithmetic intensity clears the ridge point — this module makes that
+// statement quantitative.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/synth_params.hpp"
+
+namespace protea::hw {
+
+struct RooflinePoint {
+  std::string name;
+  double arithmetic_intensity = 0.0;  // ops per byte moved from HBM
+  double achieved_gops = 0.0;
+  double peak_compute_gops = 0.0;
+  double peak_bandwidth_gbps = 0.0;
+  double ridge_intensity = 0.0;       // ops/byte where the roofs meet
+  bool compute_bound = false;
+};
+
+/// Peak compute of the synthesized engine array in GOPS (2 ops/MAC).
+double peak_compute_gops(const SynthParams& params, double fmax_mhz);
+
+/// Sustained HBM bandwidth available to the kernel in GB/s.
+double peak_bandwidth_gbps(const SynthParams& params, double fmax_mhz);
+
+/// Builds a roofline point from measured totals.
+RooflinePoint make_roofline_point(const SynthParams& params,
+                                  double fmax_mhz, const std::string& name,
+                                  uint64_t ops, uint64_t bytes,
+                                  double latency_ms);
+
+}  // namespace protea::hw

@@ -1,0 +1,60 @@
+// Synthesis-time parameters of the ProTEA accelerator.
+//
+// These are the quantities the paper fixes *before* synthesis (§IV-E): the
+// tile sizes TS_MHA and TS_FFN, plus the maximum model dimensions the
+// buffers and PE arrays are sized for. Everything else (h, N, d_model, SL)
+// is runtime-programmable up to these maxima. Changing anything in this
+// struct means "re-synthesizing the hardware".
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace protea::hw {
+
+struct SynthParams {
+  uint32_t ts_mha = 64;        // MHA weight tile width (columns)
+  uint32_t ts_ffn = 128;       // FFN tile size (square tiles)
+  uint32_t max_heads = 8;      // attention-head engines instantiated
+  uint32_t max_d_model = 768;  // widest embedding the buffers hold
+  uint32_t max_seq_len = 128;  // longest sequence the buffers hold
+  uint32_t sl_unroll = 64;     // SV engine unroll factor (PEs per head)
+  uint32_t bits = 8;           // fixed-point word width
+  uint32_t hbm_channels_used = 8;
+
+  /// Per-head projection width the QK engine is unrolled for.
+  uint32_t head_dim_max() const { return max_d_model / max_heads; }
+
+  /// Number of MHA weight tiles at the synthesized maximum width.
+  uint32_t tiles_mha_max() const {
+    return util::ceil_div(max_d_model, ts_mha);
+  }
+  /// Number of FFN tiles per dimension at the synthesized maximum width.
+  uint32_t tiles_ffn_max() const {
+    return util::ceil_div(max_d_model, ts_ffn);
+  }
+  /// FFN hidden width at the synthesized maximum (4 * d_model).
+  uint32_t max_ffn_dim() const { return 4 * max_d_model; }
+
+  void validate() const {
+    if (ts_mha == 0 || ts_ffn == 0 || max_heads == 0 || max_d_model == 0 ||
+        max_seq_len == 0 || sl_unroll == 0) {
+      throw std::invalid_argument("SynthParams: zero field");
+    }
+    if (max_d_model % max_heads != 0) {
+      throw std::invalid_argument(
+          "SynthParams: max_d_model must divide by max_heads");
+    }
+    if (bits != 8 && bits != 16) {
+      throw std::invalid_argument("SynthParams: bits must be 8 or 16");
+    }
+  }
+};
+
+/// The configuration the paper synthesizes once and evaluates throughout
+/// Table I: TS_MHA=64, TS_FFN=128, 8 heads, BERT-variant maxima.
+inline SynthParams paper_synth_params() { return SynthParams{}; }
+
+}  // namespace protea::hw

@@ -1,0 +1,154 @@
+#include "isa/controller.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace protea::isa {
+
+Controller::Controller(accel::ProteaAccelerator& accelerator)
+    : accel_(accelerator) {}
+
+void Controller::bind_weights(uint32_t slot, accel::QuantizedModel model) {
+  weight_slots_.insert_or_assign(slot, std::move(model));
+}
+
+void Controller::bind_input(uint32_t slot, tensor::MatrixF input) {
+  input_slots_.insert_or_assign(slot, std::move(input));
+}
+
+void Controller::apply_config_to_csr(const Instruction& inst) {
+  switch (inst.op) {
+    case Opcode::kSetSeqLen:
+      csr_.write(CsrAddr::kSeqLen, inst.operand);
+      break;
+    case Opcode::kSetDModel:
+      csr_.write(CsrAddr::kDModel, inst.operand);
+      break;
+    case Opcode::kSetHeads:
+      csr_.write(CsrAddr::kHeads, inst.operand);
+      break;
+    case Opcode::kSetLayers:
+      csr_.write(CsrAddr::kLayers, inst.operand);
+      break;
+    case Opcode::kSetActivation:
+      csr_.write(CsrAddr::kActivation, inst.operand);
+      break;
+    default:
+      throw std::logic_error("Controller: not a config opcode");
+  }
+}
+
+ref::ModelConfig Controller::staged_config() const {
+  ref::ModelConfig config;
+  config.seq_len = csr_.seq_len();
+  config.d_model = csr_.d_model();
+  config.num_heads = csr_.heads();
+  config.num_layers = csr_.layers();
+  config.activation = csr_.activation() != 0 ? ref::Activation::kGelu
+                                             : ref::Activation::kRelu;
+  return config;
+}
+
+std::vector<RunResult> Controller::execute(
+    const std::vector<Instruction>& program) {
+  std::vector<RunResult> results;
+  for (const Instruction& inst : program) {
+    switch (inst.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kHalt:
+        return results;
+      case Opcode::kSetSeqLen:
+      case Opcode::kSetDModel:
+      case Opcode::kSetHeads:
+      case Opcode::kSetLayers:
+      case Opcode::kSetActivation:
+        apply_config_to_csr(inst);
+        break;
+      case Opcode::kLoadWeights: {
+        const auto it = weight_slots_.find(inst.operand);
+        if (it == weight_slots_.end()) {
+          throw std::out_of_range("Controller: unbound weight slot " +
+                                  std::to_string(inst.operand));
+        }
+        accel_.load_model(it->second);
+        loaded_weights_slot_ = inst.operand;
+        break;
+      }
+      case Opcode::kLoadInput: {
+        if (input_slots_.find(inst.operand) == input_slots_.end()) {
+          throw std::out_of_range("Controller: unbound input slot " +
+                                  std::to_string(inst.operand));
+        }
+        loaded_input_slot_ = static_cast<int64_t>(inst.operand);
+        break;
+      }
+      case Opcode::kRun: {
+        csr_.write(CsrAddr::kCtrl, 1);
+        csr_.set_done(false);
+        if (loaded_weights_slot_ < 0 || loaded_input_slot_ < 0) {
+          throw std::logic_error(
+              "Controller: RUN before weights/input were loaded");
+        }
+        const ref::ModelConfig config = staged_config();
+        try {
+          accel::validate_runtime(accel_.config().synth, config);
+          const auto& loaded = accel_.model().config;
+          if (config.d_model != loaded.d_model ||
+              config.num_heads != loaded.num_heads ||
+              config.num_layers > loaded.num_layers) {
+            throw std::invalid_argument(
+                "Controller: staged program does not match loaded weights");
+          }
+          accel_.program_layers(config.num_layers);
+          accel_.program_seq_len(config.seq_len);
+        } catch (const std::invalid_argument& e) {
+          PROTEA_LOG_WARN << "run rejected: " << e.what();
+          csr_.set_error(1);
+          csr_.clear_start();
+          ++rejected_runs_;
+          break;
+        }
+        const tensor::MatrixF& input =
+            input_slots_.at(static_cast<uint32_t>(loaded_input_slot_));
+        if (input.rows() != config.seq_len ||
+            input.cols() != config.d_model) {
+          throw std::invalid_argument(
+              "Controller: input buffer shape does not match program");
+        }
+        RunResult result;
+        result.config = accel_.programmed_config();
+        result.output = accel_.forward(input);
+        result.perf = accel_.performance();
+        results.push_back(std::move(result));
+        csr_.set_done(true);
+        csr_.set_error(0);
+        csr_.clear_start();
+        break;
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<Instruction> assemble_program(const ref::ModelConfig& model,
+                                          uint32_t weight_slot,
+                                          uint32_t input_slot,
+                                          uint32_t output_slot) {
+  model.validate();
+  return {
+      {Opcode::kSetSeqLen, model.seq_len},
+      {Opcode::kSetDModel, model.d_model},
+      {Opcode::kSetHeads, model.num_heads},
+      {Opcode::kSetLayers, model.num_layers},
+      {Opcode::kSetActivation,
+       model.activation == ref::Activation::kGelu ? 1u : 0u},
+      {Opcode::kLoadWeights, weight_slot},
+      {Opcode::kLoadInput, input_slot},
+      {Opcode::kRun, output_slot},
+      {Opcode::kHalt, 0},
+  };
+}
+
+}  // namespace protea::isa

@@ -1,0 +1,69 @@
+// MicroBlaze-style soft controller.
+//
+// Executes the instruction stream against a ProteaAccelerator: CONFIG
+// opcodes stage hyperparameters in the CSR file, LOAD opcodes bind host
+// buffers (quantized models / input activations), RUN validates the staged
+// program against the synthesized hardware — rejecting anything that would
+// need re-synthesis — and launches a forward pass, recording functional
+// output and the cycle-model performance report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "isa/csr.hpp"
+#include "isa/instruction.hpp"
+
+namespace protea::isa {
+
+struct RunResult {
+  ref::ModelConfig config;       // the committed runtime program
+  tensor::MatrixF output;        // functional result
+  accel::PerfReport perf;        // cycle-model report
+};
+
+class Controller {
+ public:
+  explicit Controller(accel::ProteaAccelerator& accelerator);
+
+  /// Host-side buffers the LOAD instructions reference.
+  void bind_weights(uint32_t slot, accel::QuantizedModel model);
+  void bind_input(uint32_t slot, tensor::MatrixF input);
+
+  CsrFile& csr() { return csr_; }
+  const CsrFile& csr() const { return csr_; }
+
+  /// Executes until kHalt or end of program. Returns one RunResult per
+  /// successfully executed kRun. A failed validation sets the CSR error
+  /// state and *skips* that run (the paper's host reports and continues);
+  /// other errors propagate as exceptions.
+  std::vector<RunResult> execute(const std::vector<Instruction>& program);
+
+  /// Number of runs rejected by bound-checking since construction.
+  uint32_t rejected_runs() const { return rejected_runs_; }
+
+ private:
+  void apply_config_to_csr(const Instruction& inst);
+  ref::ModelConfig staged_config() const;
+
+  accel::ProteaAccelerator& accel_;
+  CsrFile csr_;
+  std::map<uint32_t, accel::QuantizedModel> weight_slots_;
+  std::map<uint32_t, tensor::MatrixF> input_slots_;
+  int64_t loaded_weights_slot_ = -1;
+  int64_t loaded_input_slot_ = -1;
+  uint32_t rejected_runs_ = 0;
+};
+
+/// Builds the canonical instruction stream that programs `model` and runs
+/// it: the sequence the paper's Python-interpreter host flow would emit
+/// after parsing a .pth checkpoint.
+std::vector<Instruction> assemble_program(const ref::ModelConfig& model,
+                                          uint32_t weight_slot,
+                                          uint32_t input_slot,
+                                          uint32_t output_slot = 0);
+
+}  // namespace protea::isa

@@ -1,0 +1,54 @@
+#include "isa/csr.hpp"
+
+namespace protea::isa {
+
+void CsrFile::write(CsrAddr addr, uint32_t value) {
+  switch (addr) {
+    case CsrAddr::kCtrl:
+      if ((value & 1u) != 0) start_pending_ = true;
+      return;
+    case CsrAddr::kSeqLen:
+      seq_len_ = value;
+      return;
+    case CsrAddr::kDModel:
+      d_model_ = value;
+      return;
+    case CsrAddr::kHeads:
+      heads_ = value;
+      return;
+    case CsrAddr::kLayers:
+      layers_ = value;
+      return;
+    case CsrAddr::kActivation:
+      activation_ = value;
+      return;
+    case CsrAddr::kStatus:
+    case CsrAddr::kErrorCode:
+      throw std::invalid_argument("CsrFile: write to read-only register");
+  }
+  throw std::invalid_argument("CsrFile: unmapped address");
+}
+
+uint32_t CsrFile::read(CsrAddr addr) const {
+  switch (addr) {
+    case CsrAddr::kCtrl:
+      return start_pending_ ? 1u : 0u;
+    case CsrAddr::kStatus:
+      return (done_ ? 1u : 0u) | (error_ ? 2u : 0u);
+    case CsrAddr::kSeqLen:
+      return seq_len_;
+    case CsrAddr::kDModel:
+      return d_model_;
+    case CsrAddr::kHeads:
+      return heads_;
+    case CsrAddr::kLayers:
+      return layers_;
+    case CsrAddr::kActivation:
+      return activation_;
+    case CsrAddr::kErrorCode:
+      return error_code_;
+  }
+  throw std::invalid_argument("CsrFile: unmapped address");
+}
+
+}  // namespace protea::isa

@@ -1,0 +1,64 @@
+// AXI-Lite control/status register file.
+//
+// The accelerator "receives control signals from the processor through an
+// AXI-lite slave interface" (§IV, [35]). This models the register map the
+// MicroBlaze writes: staged runtime hyperparameters, a START pulse and a
+// DONE/ERROR status word, addressable at 4-byte-aligned offsets.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace protea::isa {
+
+/// Register offsets (byte addresses on the AXI-Lite slave).
+enum class CsrAddr : uint32_t {
+  kCtrl = 0x00,        // bit0 = START (self-clearing)
+  kStatus = 0x04,      // bit0 = DONE, bit1 = ERROR (read-only)
+  kSeqLen = 0x10,
+  kDModel = 0x14,
+  kHeads = 0x18,
+  kLayers = 0x1C,
+  kActivation = 0x20,  // 0 = ReLU, 1 = GELU
+  kErrorCode = 0x24,   // last validation error (read-only)
+};
+
+class CsrFile {
+ public:
+  /// Writes a 32-bit register; read-only addresses throw.
+  void write(CsrAddr addr, uint32_t value);
+
+  /// Reads any register.
+  uint32_t read(CsrAddr addr) const;
+
+  // Typed accessors used by the controller.
+  uint32_t seq_len() const { return seq_len_; }
+  uint32_t d_model() const { return d_model_; }
+  uint32_t heads() const { return heads_; }
+  uint32_t layers() const { return layers_; }
+  uint32_t activation() const { return activation_; }
+
+  bool start_pending() const { return start_pending_; }
+  void clear_start() { start_pending_ = false; }
+
+  void set_done(bool done) { done_ = done; }
+  void set_error(uint32_t code) {
+    error_ = code != 0;
+    error_code_ = code;
+  }
+  bool done() const { return done_; }
+  bool error() const { return error_; }
+
+ private:
+  uint32_t seq_len_ = 0;
+  uint32_t d_model_ = 0;
+  uint32_t heads_ = 0;
+  uint32_t layers_ = 0;
+  uint32_t activation_ = 0;
+  uint32_t error_code_ = 0;
+  bool start_pending_ = false;
+  bool done_ = false;
+  bool error_ = false;
+};
+
+}  // namespace protea::isa

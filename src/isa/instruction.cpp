@@ -1,0 +1,117 @@
+#include "isa/instruction.hpp"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace protea::isa {
+namespace {
+
+struct Mnemonic {
+  Opcode op;
+  const char* name;
+  bool has_operand;
+};
+
+constexpr std::array<Mnemonic, 9> kMnemonics = {{
+    {Opcode::kNop, "nop", false},
+    {Opcode::kSetSeqLen, "set_seq_len", true},
+    {Opcode::kSetDModel, "set_d_model", true},
+    {Opcode::kSetHeads, "set_heads", true},
+    {Opcode::kSetLayers, "set_layers", true},
+    {Opcode::kSetActivation, "set_activation", true},
+    {Opcode::kLoadWeights, "load_weights", true},
+    {Opcode::kLoadInput, "load_input", true},
+    {Opcode::kRun, "run", true},
+}};
+
+const Mnemonic* find_by_op(Opcode op) {
+  for (const auto& m : kMnemonics) {
+    if (m.op == op) return &m;
+  }
+  return nullptr;
+}
+
+const Mnemonic* find_by_name(std::string_view name) {
+  for (const auto& m : kMnemonics) {
+    if (name == m.name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+uint64_t encode(const Instruction& inst) {
+  return (uint64_t{static_cast<uint8_t>(inst.op)} << 56) | inst.operand;
+}
+
+Instruction decode(uint64_t word) {
+  Instruction inst;
+  inst.op = static_cast<Opcode>(word >> 56);
+  inst.operand = static_cast<uint32_t>(word & 0xFFFFFFFFull);
+  return inst;
+}
+
+std::string to_string(const Instruction& inst) {
+  if (inst.op == Opcode::kHalt) return "halt";
+  const Mnemonic* m = find_by_op(inst.op);
+  if (m == nullptr) return "<invalid>";
+  if (!m->has_operand) return m->name;
+  return std::string(m->name) + " " + std::to_string(inst.operand);
+}
+
+Instruction parse_instruction(const std::string& line) {
+  const std::string_view body = util::trim(line);
+  const auto tokens = util::split(std::string(body), ' ');
+  if (tokens.empty() || tokens[0].empty()) {
+    throw std::invalid_argument("parse_instruction: empty line");
+  }
+  if (tokens[0] == "halt") {
+    return Instruction{Opcode::kHalt, 0};
+  }
+  const Mnemonic* m = find_by_name(tokens[0]);
+  if (m == nullptr) {
+    throw std::invalid_argument("parse_instruction: unknown mnemonic '" +
+                                tokens[0] + "'");
+  }
+  Instruction inst{m->op, 0};
+  if (m->has_operand) {
+    if (tokens.size() < 2) {
+      throw std::invalid_argument("parse_instruction: missing operand for " +
+                                  tokens[0]);
+    }
+    size_t consumed = 0;
+    const unsigned long value = std::stoul(tokens[1], &consumed);
+    if (consumed != tokens[1].size() || value > 0xFFFFFFFFull) {
+      throw std::invalid_argument("parse_instruction: bad operand '" +
+                                  tokens[1] + "'");
+    }
+    inst.operand = static_cast<uint32_t>(value);
+  }
+  return inst;
+}
+
+std::vector<Instruction> parse_program(const std::string& text) {
+  std::vector<Instruction> program;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const std::string_view body = util::trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    program.push_back(parse_instruction(std::string(body)));
+  }
+  return program;
+}
+
+std::string format_program(const std::vector<Instruction>& program) {
+  std::string out;
+  for (const auto& inst : program) {
+    out += to_string(inst);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace protea::isa

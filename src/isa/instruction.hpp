@@ -1,0 +1,55 @@
+// Instruction set of the ProTEA control path.
+//
+// The paper's MicroBlaze host "utilizes the extracted data to generate
+// instructions and control signals" (§IV-D). We give that control stream a
+// concrete encoding: 64-bit words, an 8-bit opcode and a 32-bit operand.
+// CONFIG instructions stage runtime hyperparameters in the CSR file; RUN
+// commits them (after bound checks against the synthesis) and launches a
+// forward pass. Tile sizes have deliberately NO opcode — they are frozen
+// at synthesis, which is the paper's central constraint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace protea::isa {
+
+enum class Opcode : uint8_t {
+  kNop = 0x00,
+  kSetSeqLen = 0x01,     // operand: sequence length
+  kSetDModel = 0x02,     // operand: embedding dimension
+  kSetHeads = 0x03,      // operand: number of attention heads
+  kSetLayers = 0x04,     // operand: number of encoder layers
+  kSetActivation = 0x05, // operand: 0 = ReLU, 1 = GELU
+  kLoadWeights = 0x10,   // operand: host weight-buffer slot
+  kLoadInput = 0x11,     // operand: host input-buffer slot
+  kRun = 0x20,           // operand: output slot
+  kHalt = 0xFF,
+};
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  uint32_t operand = 0;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// 64-bit encoding: [63:56] opcode, [31:0] operand, middle bits zero.
+uint64_t encode(const Instruction& inst);
+Instruction decode(uint64_t word);
+
+/// Mnemonic text, e.g. "set_seq_len 64".
+std::string to_string(const Instruction& inst);
+
+/// Parses one mnemonic line (comments start with '#'); throws
+/// std::invalid_argument on unknown mnemonics or malformed operands.
+Instruction parse_instruction(const std::string& line);
+
+/// Parses a whole program, skipping blank/comment lines.
+std::vector<Instruction> parse_program(const std::string& text);
+
+/// Renders a program as mnemonic text, one instruction per line.
+std::string format_program(const std::vector<Instruction>& program);
+
+}  // namespace protea::isa

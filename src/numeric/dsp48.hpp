@@ -1,0 +1,63 @@
+// Behavioural model of the Xilinx DSP48E2 slice as used by ProTEA's PEs.
+//
+// Each ProTEA processing element maps one multiply-accumulate onto a DSP48:
+// the 27x18 signed multiplier takes the int8 activation and weight, and the
+// 48-bit post-adder accumulates partial sums across tiles. This model keeps
+// the accumulator in an int64 clamped to the 48-bit two's-complement range,
+// so overflow behaviour matches the silicon (saturation is NOT free in the
+// DSP48 — real designs size accumulators to avoid it; we detect it).
+#pragma once
+
+#include <cstdint>
+
+namespace protea::numeric {
+
+class Dsp48Accumulator {
+ public:
+  static constexpr int64_t kAccMax = (int64_t{1} << 47) - 1;
+  static constexpr int64_t kAccMin = -(int64_t{1} << 47);
+
+  constexpr Dsp48Accumulator() = default;
+
+  /// P += A*B. Returns false (and clamps) when the 48-bit accumulator
+  /// would overflow — callers treat that as a design error.
+  constexpr bool mac(int32_t a, int32_t b) {
+    const int64_t prod = int64_t{a} * int64_t{b};
+    int64_t next = acc_ + prod;
+    if (next > kAccMax) {
+      acc_ = kAccMax;
+      overflowed_ = true;
+      return false;
+    }
+    if (next < kAccMin) {
+      acc_ = kAccMin;
+      overflowed_ = true;
+      return false;
+    }
+    acc_ = next;
+    return true;
+  }
+
+  constexpr void reset() {
+    acc_ = 0;
+    overflowed_ = false;
+  }
+
+  constexpr void load(int64_t value) { acc_ = value; }
+
+  constexpr int64_t value() const { return acc_; }
+  constexpr bool overflowed() const { return overflowed_; }
+
+ private:
+  int64_t acc_ = 0;
+  bool overflowed_ = false;
+};
+
+/// Static capacity check used by tests and the resource model: the deepest
+/// ProTEA reduction is SL_max * |int8*int8| products; with SL_max=512 the
+/// worst-case magnitude 512*128*128 = 2^23 fits 48 bits with huge margin.
+constexpr bool accumulation_fits_dsp48(int64_t depth, int64_t max_product) {
+  return depth * max_product <= Dsp48Accumulator::kAccMax;
+}
+
+}  // namespace protea::numeric

@@ -1,0 +1,155 @@
+// Saturating fixed-point arithmetic mirroring Vitis HLS `ap_fixed`.
+//
+// ProTEA quantizes activations and weights to an 8-bit fixed-point format
+// (Table I: "8bit fixed"). This header provides the compile-time template
+// `Fixed<W, F>` — W total bits including sign, F fractional bits — with
+// saturation on overflow and configurable rounding, the semantics HLS
+// synthesizes for `ap_fixed<W, W-F, AP_RND_CONV, AP_SAT>`.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace protea::numeric {
+
+enum class Rounding {
+  kTruncate,       // AP_TRN: drop fraction bits (round toward -inf)
+  kNearestEven,    // AP_RND_CONV: round half to even (convergent)
+  kNearestAway,    // AP_RND: round half away from zero
+};
+
+namespace detail {
+
+/// Shifts right by `shift` applying the requested rounding to the bits
+/// shifted out. `shift` may be zero.
+constexpr int64_t shift_right_rounded(int64_t value, int shift,
+                                      Rounding mode) {
+  if (shift <= 0) return value << -shift;
+  const int64_t floor_part = value >> shift;
+  if (mode == Rounding::kTruncate) return floor_part;
+  const int64_t frac_mask = (int64_t{1} << shift) - 1;
+  const int64_t frac = value & frac_mask;
+  const int64_t half = int64_t{1} << (shift - 1);
+  if (frac > half) return floor_part + 1;
+  if (frac < half) return floor_part;
+  // Exactly half.
+  if (mode == Rounding::kNearestAway) {
+    return value >= 0 ? floor_part + 1 : floor_part;
+  }
+  // kNearestEven: round to the even neighbour.
+  return (floor_part & 1) != 0 ? floor_part + 1 : floor_part;
+}
+
+}  // namespace detail
+
+/// Fixed<W, F>: signed two's-complement fixed point, saturating.
+///   W: total width in bits (2..32), F: fraction bits (0..W-1).
+/// Value represented = raw / 2^F.
+template <int W, int F, Rounding R = Rounding::kNearestEven>
+class Fixed {
+  static_assert(W >= 2 && W <= 32, "width must be in [2, 32]");
+  static_assert(F >= 0 && F < W, "fraction bits must be in [0, W)");
+
+ public:
+  using raw_type = int32_t;
+
+  static constexpr int width = W;
+  static constexpr int fraction_bits = F;
+  static constexpr raw_type raw_max = (raw_type{1} << (W - 1)) - 1;
+  static constexpr raw_type raw_min = -(raw_type{1} << (W - 1));
+
+  constexpr Fixed() = default;
+
+  /// Quantizes a double with rounding mode R and saturation.
+  static constexpr Fixed from_double(double v) {
+    const double scaled = v * static_cast<double>(int64_t{1} << F);
+    // Round according to R on the already-scaled value.
+    double rounded = 0.0;
+    if constexpr (R == Rounding::kTruncate) {
+      rounded = std::floor(scaled);
+    } else if constexpr (R == Rounding::kNearestAway) {
+      rounded = scaled >= 0 ? std::floor(scaled + 0.5)
+                            : std::ceil(scaled - 0.5);
+    } else {
+      const double fl = std::floor(scaled);
+      const double frac = scaled - fl;
+      if (frac > 0.5) {
+        rounded = fl + 1;
+      } else if (frac < 0.5) {
+        rounded = fl;
+      } else {
+        rounded = (static_cast<int64_t>(fl) % 2 == 0) ? fl : fl + 1;
+      }
+    }
+    return from_raw_saturated(static_cast<int64_t>(rounded));
+  }
+
+  static constexpr Fixed from_raw(raw_type raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  /// Builds from a wide intermediate, saturating into range.
+  static constexpr Fixed from_raw_saturated(int64_t raw) {
+    Fixed f;
+    if (raw > raw_max) {
+      f.raw_ = raw_max;
+    } else if (raw < raw_min) {
+      f.raw_ = raw_min;
+    } else {
+      f.raw_ = static_cast<raw_type>(raw);
+    }
+    return f;
+  }
+
+  constexpr raw_type raw() const { return raw_; }
+
+  constexpr double to_double() const {
+    return static_cast<double>(raw_) / static_cast<double>(int64_t{1} << F);
+  }
+
+  static constexpr double max_value() {
+    return static_cast<double>(raw_max) / static_cast<double>(int64_t{1} << F);
+  }
+  static constexpr double min_value() {
+    return static_cast<double>(raw_min) / static_cast<double>(int64_t{1} << F);
+  }
+  /// Smallest representable step (1 ulp).
+  static constexpr double epsilon() {
+    return 1.0 / static_cast<double>(int64_t{1} << F);
+  }
+
+  constexpr Fixed operator+(Fixed other) const {
+    return from_raw_saturated(int64_t{raw_} + other.raw_);
+  }
+  constexpr Fixed operator-(Fixed other) const {
+    return from_raw_saturated(int64_t{raw_} - other.raw_);
+  }
+  constexpr Fixed operator-() const {
+    return from_raw_saturated(-int64_t{raw_});
+  }
+  /// Full-precision product re-rounded back into the format.
+  constexpr Fixed operator*(Fixed other) const {
+    const int64_t prod = int64_t{raw_} * other.raw_;  // scale 2^(2F)
+    return from_raw_saturated(detail::shift_right_rounded(prod, F, R));
+  }
+
+  constexpr auto operator<=>(const Fixed&) const = default;
+
+ private:
+  raw_type raw_ = 0;
+};
+
+/// The paper's data format: 8-bit fixed with 5 fraction bits, i.e. range
+/// [-4, 3.969] with 1/32 resolution — wide enough for layer-normalized
+/// activations, which concentrate in [-3, 3].
+using Fix8 = Fixed<8, 5>;
+
+/// 16-bit variant used by the quantization-width ablation.
+using Fix16 = Fixed<16, 10>;
+
+}  // namespace protea::numeric

@@ -1,0 +1,112 @@
+#include "numeric/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace protea::numeric {
+namespace {
+
+// Round half to even, matching Fixed<> and the HLS AP_RND_CONV mode.
+int64_t round_half_even(double x) {
+  const double fl = std::floor(x);
+  const double frac = x - fl;
+  if (frac > 0.5) return static_cast<int64_t>(fl) + 1;
+  if (frac < 0.5) return static_cast<int64_t>(fl);
+  const auto f = static_cast<int64_t>(fl);
+  return (f % 2 == 0) ? f : f + 1;
+}
+
+}  // namespace
+
+Quantizer::Quantizer(int bits, bool pow2_scale)
+    : bits_(bits), pow2_scale_(pow2_scale) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("Quantizer: bits must be in [2, 16]");
+  }
+  qmax_ = (int32_t{1} << (bits - 1)) - 1;
+  qmin_ = -(int32_t{1} << (bits - 1));
+}
+
+double Quantizer::calibrate(std::span<const float> data) {
+  float max_abs = 0.0f;
+  for (float x : data) max_abs = std::max(max_abs, std::abs(x));
+  if (max_abs == 0.0f) max_abs = 1.0f;
+  double scale = static_cast<double>(max_abs) / static_cast<double>(qmax_);
+  if (pow2_scale_) {
+    // Round the scale up to the next power of two so no value saturates.
+    scale = std::exp2(std::ceil(std::log2(scale)));
+  }
+  scale_ = scale;
+  return scale_;
+}
+
+void Quantizer::set_scale(double scale) {
+  if (scale <= 0.0) {
+    throw std::invalid_argument("Quantizer: scale must be positive");
+  }
+  scale_ = scale;
+}
+
+int32_t Quantizer::quantize_one(float x) const {
+  const int64_t q = round_half_even(static_cast<double>(x) / scale_);
+  return static_cast<int32_t>(
+      std::clamp<int64_t>(q, qmin_, qmax_));
+}
+
+void Quantizer::quantize(std::span<const float> in,
+                         std::span<int8_t> out) const {
+  if (in.size() != out.size()) {
+    throw std::invalid_argument("Quantizer: size mismatch");
+  }
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = static_cast<int8_t>(quantize_one(in[i]));
+  }
+}
+
+void Quantizer::quantize(std::span<const float> in,
+                         std::span<int16_t> out) const {
+  if (in.size() != out.size()) {
+    throw std::invalid_argument("Quantizer: size mismatch");
+  }
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = static_cast<int16_t>(quantize_one(in[i]));
+  }
+}
+
+float Quantizer::dequantize_one(int32_t q) const {
+  return static_cast<float>(static_cast<double>(q) * scale_);
+}
+
+void Quantizer::dequantize(std::span<const int8_t> in,
+                           std::span<float> out) const {
+  if (in.size() != out.size()) {
+    throw std::invalid_argument("Quantizer: size mismatch");
+  }
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = dequantize_one(in[i]);
+  }
+}
+
+QuantStats Quantizer::measure(std::span<const float> data) const {
+  QuantStats stats;
+  double sum_abs = 0.0;
+  double sum_sq = 0.0;
+  for (float x : data) {
+    const int32_t q = quantize_one(x);
+    if (q == qmax_ || q == qmin_) ++stats.saturated_count;
+    const double err = static_cast<double>(x) - dequantize_one(q);
+    const double abs_err = std::abs(err);
+    stats.max_abs_error = std::max(stats.max_abs_error, abs_err);
+    sum_abs += abs_err;
+    sum_sq += err * err;
+  }
+  if (!data.empty()) {
+    const auto n = static_cast<double>(data.size());
+    stats.mean_abs_error = sum_abs / n;
+    stats.rms_error = std::sqrt(sum_sq / n);
+  }
+  return stats;
+}
+
+}  // namespace protea::numeric

@@ -1,0 +1,223 @@
+#include "ref/decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace protea::ref {
+namespace {
+
+void fill_normal(tensor::MatrixF& m, util::Xoshiro256& rng, double sigma) {
+  for (float& x : m.flat()) {
+    const double v = rng.normal() * sigma;
+    x = static_cast<float>(std::clamp(v, -3.0 * sigma, 3.0 * sigma));
+  }
+}
+
+void fill_normal(std::vector<float>& v, util::Xoshiro256& rng,
+                 double sigma) {
+  for (float& x : v) {
+    const double value = rng.normal() * sigma;
+    x = static_cast<float>(std::clamp(value, -3.0 * sigma, 3.0 * sigma));
+  }
+}
+
+/// Applies the causal mask in place: logits(i, j) = -inf for j > i.
+void apply_causal_mask(tensor::MatrixF& logits) {
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    for (size_t j = i + 1; j < logits.cols(); ++j) {
+      logits(i, j) = -std::numeric_limits<float>::infinity();
+    }
+  }
+}
+
+/// One attention block (optionally causal): queries from `q_src`,
+/// keys/values from `kv_src`, full projection weights. Per-head traces
+/// are appended when sinks are provided.
+tensor::MatrixF attention(
+    const ModelConfig& cfg, const tensor::MatrixF& q_src,
+    const tensor::MatrixF& kv_src, const tensor::MatrixF& wq,
+    std::span<const float> bq, const tensor::MatrixF& wk,
+    std::span<const float> bk, const tensor::MatrixF& wv,
+    std::span<const float> bv, bool causal,
+    std::vector<tensor::MatrixF>* q_trace,
+    std::vector<tensor::MatrixF>* k_trace,
+    std::vector<tensor::MatrixF>* v_trace,
+    std::vector<tensor::MatrixF>* w_trace) {
+  const size_t dk = cfg.head_dim();
+  tensor::MatrixF q_full = tensor::matmul_bias(q_src, wq, bq);
+  tensor::MatrixF k_full = tensor::matmul_bias(kv_src, wk, bk);
+  tensor::MatrixF v_full = tensor::matmul_bias(kv_src, wv, bv);
+
+  const float scale =
+      cfg.attn_scale == AttnScale::kInvSqrtDk
+          ? 1.0f / std::sqrt(static_cast<float>(dk))
+          : 1.0f / static_cast<float>(cfg.d_model);
+
+  tensor::MatrixF concat(q_src.rows(), cfg.d_model);
+  for (size_t head = 0; head < cfg.num_heads; ++head) {
+    tensor::MatrixF q = q_full.slice_cols(head * dk, dk);
+    tensor::MatrixF k = k_full.slice_cols(head * dk, dk);
+    tensor::MatrixF v = v_full.slice_cols(head * dk, dk);
+    tensor::MatrixF logits = tensor::matmul_bt(q, k);
+    tensor::scale_inplace(logits, scale);
+    if (causal) apply_causal_mask(logits);
+    tensor::softmax_rows_inplace(logits);
+    tensor::MatrixF scores = tensor::matmul(logits, v);
+    for (size_t r = 0; r < scores.rows(); ++r) {
+      for (size_t c = 0; c < dk; ++c) {
+        concat(r, head * dk + c) = scores(r, c);
+      }
+    }
+    if (q_trace != nullptr) q_trace->push_back(std::move(q));
+    if (k_trace != nullptr) k_trace->push_back(std::move(k));
+    if (v_trace != nullptr) v_trace->push_back(std::move(v));
+    if (w_trace != nullptr) w_trace->push_back(std::move(logits));
+  }
+  return concat;
+}
+
+}  // namespace
+
+DecoderWeights make_random_decoder_weights(const ModelConfig& config,
+                                           uint64_t seed) {
+  config.validate();
+  DecoderWeights w;
+  w.config = config;
+  w.layers.resize(config.num_layers);
+
+  const size_t d = config.d_model;
+  const size_t f = config.ffn_hidden();
+  util::Xoshiro256 rng(seed ^ 0xDECDECDECull);
+  const double sigma_d = 1.0 / std::sqrt(static_cast<double>(d));
+  const double sigma_f = 1.0 / std::sqrt(static_cast<double>(f));
+  const double sigma_b = 0.02;
+
+  for (auto& layer : w.layers) {
+    for (tensor::MatrixF* m : {&layer.wq, &layer.wk, &layer.wv, &layer.wo,
+                               &layer.cq, &layer.ck, &layer.cv, &layer.co}) {
+      *m = tensor::MatrixF(d, d);
+      fill_normal(*m, rng, sigma_d);
+    }
+    layer.w1 = tensor::MatrixF(d, f);
+    fill_normal(layer.w1, rng, sigma_d);
+    layer.w2 = tensor::MatrixF(f, d);
+    fill_normal(layer.w2, rng, sigma_f);
+
+    for (std::vector<float>* b :
+         {&layer.bq, &layer.bk, &layer.bv, &layer.bo, &layer.cbq,
+          &layer.cbk, &layer.cbv, &layer.cbo, &layer.b2}) {
+      b->assign(d, 0.0f);
+      if (config.use_bias) fill_normal(*b, rng, sigma_b);
+    }
+    layer.b1.assign(f, 0.0f);
+    if (config.use_bias) fill_normal(layer.b1, rng, sigma_b);
+
+    for (std::vector<float>* g :
+         {&layer.ln1_gamma, &layer.ln2_gamma, &layer.ln3_gamma}) {
+      g->assign(d, 1.0f);
+    }
+    for (std::vector<float>* b :
+         {&layer.ln1_beta, &layer.ln2_beta, &layer.ln3_beta}) {
+      b->assign(d, 0.0f);
+    }
+  }
+  return w;
+}
+
+Decoder::Decoder(DecoderWeights weights) : weights_(std::move(weights)) {
+  weights_.config.validate();
+  if (weights_.layers.size() != weights_.config.num_layers) {
+    throw std::invalid_argument("Decoder: layer count mismatch");
+  }
+}
+
+tensor::MatrixF Decoder::forward(const tensor::MatrixF& target,
+                                 const tensor::MatrixF& memory) const {
+  tensor::MatrixF x = target;
+  for (const auto& layer : weights_.layers) {
+    x = forward_layer(x, memory, layer, nullptr);
+  }
+  return x;
+}
+
+tensor::MatrixF Decoder::forward_traced(
+    const tensor::MatrixF& target, const tensor::MatrixF& memory,
+    std::vector<DecoderLayerTrace>& traces) const {
+  traces.clear();
+  traces.resize(weights_.layers.size());
+  tensor::MatrixF x = target;
+  for (size_t i = 0; i < weights_.layers.size(); ++i) {
+    x = forward_layer(x, memory, weights_.layers[i], &traces[i]);
+  }
+  return x;
+}
+
+tensor::MatrixF Decoder::forward_layer(const tensor::MatrixF& x,
+                                       const tensor::MatrixF& memory,
+                                       const DecoderLayerWeights& layer,
+                                       DecoderLayerTrace* trace) const {
+  const ModelConfig& cfg = weights_.config;
+  if (x.cols() != cfg.d_model || memory.cols() != cfg.d_model) {
+    throw std::invalid_argument("Decoder: width mismatch");
+  }
+  if (x.rows() > cfg.seq_len) {
+    throw std::invalid_argument("Decoder: target longer than seq_len");
+  }
+
+  // --- masked self-attention + residual + LN ---------------------------------
+  tensor::MatrixF self_concat = attention(
+      cfg, x, x, layer.wq, layer.bq, layer.wk, layer.bk, layer.wv,
+      layer.bv, /*causal=*/true,
+      trace != nullptr ? &trace->self_q : nullptr,
+      trace != nullptr ? &trace->self_k : nullptr,
+      trace != nullptr ? &trace->self_v : nullptr,
+      trace != nullptr ? &trace->self_weights : nullptr);
+  tensor::MatrixF self_proj =
+      tensor::matmul_bias(self_concat, layer.wo, layer.bo);
+  tensor::MatrixF x1 = tensor::add(x, self_proj);
+  tensor::layer_norm_rows_inplace(x1, layer.ln1_gamma, layer.ln1_beta);
+
+  // --- cross-attention over encoder memory + residual + LN --------------------
+  tensor::MatrixF cross_concat = attention(
+      cfg, x1, memory, layer.cq, layer.cbq, layer.ck, layer.cbk, layer.cv,
+      layer.cbv, /*causal=*/false,
+      trace != nullptr ? &trace->cross_q : nullptr,
+      trace != nullptr ? &trace->cross_k : nullptr,
+      trace != nullptr ? &trace->cross_v : nullptr,
+      trace != nullptr ? &trace->cross_weights : nullptr);
+  tensor::MatrixF cross_proj =
+      tensor::matmul_bias(cross_concat, layer.co, layer.cbo);
+  tensor::MatrixF x2 = tensor::add(x1, cross_proj);
+  tensor::layer_norm_rows_inplace(x2, layer.ln2_gamma, layer.ln2_beta);
+
+  // --- FFN + residual + LN -----------------------------------------------------
+  tensor::MatrixF hidden = tensor::matmul_bias(x2, layer.w1, layer.b1);
+  if (cfg.activation == Activation::kRelu) {
+    tensor::relu_inplace(hidden);
+  } else {
+    tensor::gelu_inplace(hidden);
+  }
+  tensor::MatrixF ffn_out = tensor::matmul_bias(hidden, layer.w2, layer.b2);
+  tensor::MatrixF x3 = tensor::add(x2, ffn_out);
+  tensor::layer_norm_rows_inplace(x3, layer.ln3_gamma, layer.ln3_beta);
+
+  if (trace != nullptr) {
+    trace->self_concat = std::move(self_concat);
+    trace->self_proj = std::move(self_proj);
+    trace->ln1_out = x1;
+    trace->cross_concat = std::move(cross_concat);
+    trace->cross_proj = std::move(cross_proj);
+    trace->ln2_out = x2;
+    trace->ffn_hidden = std::move(hidden);
+    trace->ffn_out = std::move(ffn_out);
+    trace->ln3_out = x3;
+  }
+  return x3;
+}
+
+}  // namespace protea::ref

@@ -1,0 +1,86 @@
+// Float32 reference transformer decoder (golden model for the decoder
+// extension).
+//
+// The paper's §VI names decoder support as future work "using the same
+// design principles"; this reproduction implements it. A decoder layer is
+// (Fig. 1):
+//   masked self-attention -> residual + LN
+//   encoder-decoder cross-attention -> residual + LN
+//   position-wise FFN -> residual + LN
+// The mask (Fig. 2) prevents position i from attending to positions > i.
+#pragma once
+
+#include <vector>
+
+#include "ref/model_config.hpp"
+#include "ref/weights.hpp"
+#include "tensor/matrix.hpp"
+
+namespace protea::ref {
+
+/// Weights of one decoder layer. Self- and cross-attention have separate
+/// projection sets; cross-attention keys/values are computed from the
+/// encoder memory.
+struct DecoderLayerWeights {
+  // Masked self-attention.
+  tensor::MatrixF wq, wk, wv, wo;          // (d x d)
+  std::vector<float> bq, bk, bv, bo;       // (d)
+  // Encoder-decoder cross-attention (queries from the decoder stream,
+  // keys/values from the encoder memory).
+  tensor::MatrixF cq, ck, cv, co;          // (d x d)
+  std::vector<float> cbq, cbk, cbv, cbo;   // (d)
+  // Position-wise FFN.
+  tensor::MatrixF w1;                      // (d x ffn)
+  std::vector<float> b1;
+  tensor::MatrixF w2;                      // (ffn x d)
+  std::vector<float> b2;
+  // Three LayerNorms.
+  std::vector<float> ln1_gamma, ln1_beta;
+  std::vector<float> ln2_gamma, ln2_beta;
+  std::vector<float> ln3_gamma, ln3_beta;
+};
+
+struct DecoderWeights {
+  ModelConfig config;  // seq_len = maximum target length
+  std::vector<DecoderLayerWeights> layers;
+};
+
+/// Per-layer intermediates for testing the quantized datapath.
+struct DecoderLayerTrace {
+  std::vector<tensor::MatrixF> self_q, self_k, self_v;   // per head
+  std::vector<tensor::MatrixF> self_weights;             // masked softmax
+  tensor::MatrixF self_concat, self_proj, ln1_out;
+  std::vector<tensor::MatrixF> cross_q, cross_k, cross_v;
+  std::vector<tensor::MatrixF> cross_weights;
+  tensor::MatrixF cross_concat, cross_proj, ln2_out;
+  tensor::MatrixF ffn_hidden, ffn_out, ln3_out;
+};
+
+DecoderWeights make_random_decoder_weights(const ModelConfig& config,
+                                           uint64_t seed);
+
+class Decoder {
+ public:
+  explicit Decoder(DecoderWeights weights);
+
+  const ModelConfig& config() const { return weights_.config; }
+
+  /// Full decoder stack: `target` is (T x d_model) with T <= seq_len,
+  /// `memory` is the encoder output (S x d_model).
+  tensor::MatrixF forward(const tensor::MatrixF& target,
+                          const tensor::MatrixF& memory) const;
+
+  tensor::MatrixF forward_traced(const tensor::MatrixF& target,
+                                 const tensor::MatrixF& memory,
+                                 std::vector<DecoderLayerTrace>& traces) const;
+
+ private:
+  tensor::MatrixF forward_layer(const tensor::MatrixF& x,
+                                const tensor::MatrixF& memory,
+                                const DecoderLayerWeights& layer,
+                                DecoderLayerTrace* trace) const;
+
+  DecoderWeights weights_;
+};
+
+}  // namespace protea::ref

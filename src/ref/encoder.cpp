@@ -1,0 +1,110 @@
+#include "ref/encoder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace protea::ref {
+
+Encoder::Encoder(EncoderWeights weights) : weights_(std::move(weights)) {
+  weights_.config.validate();
+  if (weights_.layers.size() != weights_.config.num_layers) {
+    throw std::invalid_argument("Encoder: layer count mismatch");
+  }
+}
+
+tensor::MatrixF Encoder::forward(const tensor::MatrixF& input) const {
+  tensor::MatrixF x = input;
+  for (const auto& layer : weights_.layers) {
+    x = forward_layer(x, layer, nullptr);
+  }
+  return x;
+}
+
+tensor::MatrixF Encoder::forward_traced(const tensor::MatrixF& input,
+                                        std::vector<LayerTrace>& traces) const {
+  traces.clear();
+  traces.resize(weights_.layers.size());
+  tensor::MatrixF x = input;
+  for (size_t i = 0; i < weights_.layers.size(); ++i) {
+    x = forward_layer(x, weights_.layers[i], &traces[i]);
+  }
+  return x;
+}
+
+tensor::MatrixF Encoder::forward_layer(const tensor::MatrixF& input,
+                                       const EncoderLayerWeights& layer,
+                                       LayerTrace* trace) const {
+  const ModelConfig& cfg = weights_.config;
+  if (input.rows() != cfg.seq_len || input.cols() != cfg.d_model) {
+    throw std::invalid_argument("Encoder: input shape mismatch");
+  }
+  const size_t dk = cfg.head_dim();
+  const size_t h = cfg.num_heads;
+
+  // --- Multi-head attention -----------------------------------------------
+  // Full projections, then per-head column slices (the accelerator computes
+  // the slices directly with per-head weight buffers; results agree).
+  tensor::MatrixF q_full = tensor::matmul_bias(input, layer.wq, layer.bq);
+  tensor::MatrixF k_full = tensor::matmul_bias(input, layer.wk, layer.bk);
+  tensor::MatrixF v_full = tensor::matmul_bias(input, layer.wv, layer.bv);
+
+  const float scale =
+      cfg.attn_scale == AttnScale::kInvSqrtDk
+          ? 1.0f / std::sqrt(static_cast<float>(dk))
+          : 1.0f / static_cast<float>(cfg.d_model);
+
+  tensor::MatrixF concat(cfg.seq_len, cfg.d_model);
+  for (size_t head = 0; head < h; ++head) {
+    tensor::MatrixF q = q_full.slice_cols(head * dk, dk);
+    tensor::MatrixF k = k_full.slice_cols(head * dk, dk);
+    tensor::MatrixF v = v_full.slice_cols(head * dk, dk);
+
+    tensor::MatrixF logits = tensor::matmul_bt(q, k);
+    tensor::scale_inplace(logits, scale);
+    tensor::softmax_rows_inplace(logits);
+    tensor::MatrixF scores = tensor::matmul(logits, v);
+
+    for (size_t r = 0; r < cfg.seq_len; ++r) {
+      for (size_t c = 0; c < dk; ++c) {
+        concat(r, head * dk + c) = scores(r, c);
+      }
+    }
+    if (trace != nullptr) {
+      trace->q.push_back(std::move(q));
+      trace->k.push_back(std::move(k));
+      trace->v.push_back(std::move(v));
+      trace->attn_weights.push_back(std::move(logits));
+      trace->attn_scores.push_back(std::move(scores));
+    }
+  }
+
+  // --- Output projection + residual + LN ----------------------------------
+  tensor::MatrixF proj = tensor::matmul_bias(concat, layer.wo, layer.bo);
+  tensor::MatrixF x1 = tensor::add(input, proj);
+  tensor::layer_norm_rows_inplace(x1, layer.ln1_gamma, layer.ln1_beta);
+
+  // --- Feed-forward network ------------------------------------------------
+  tensor::MatrixF hidden = tensor::matmul_bias(x1, layer.w1, layer.b1);
+  if (cfg.activation == Activation::kRelu) {
+    tensor::relu_inplace(hidden);
+  } else {
+    tensor::gelu_inplace(hidden);
+  }
+  tensor::MatrixF ffn_out = tensor::matmul_bias(hidden, layer.w2, layer.b2);
+  tensor::MatrixF x2 = tensor::add(x1, ffn_out);
+  tensor::layer_norm_rows_inplace(x2, layer.ln2_gamma, layer.ln2_beta);
+
+  if (trace != nullptr) {
+    trace->concat = std::move(concat);
+    trace->proj = std::move(proj);
+    trace->ln1_out = x1;
+    trace->ffn_hidden = std::move(hidden);
+    trace->ffn_out = std::move(ffn_out);
+    trace->ln2_out = x2;
+  }
+  return x2;
+}
+
+}  // namespace protea::ref

@@ -1,0 +1,55 @@
+// Float32 reference transformer encoder (golden model).
+//
+// Structure follows the paper's Fig. 1/2 and §II: per layer,
+//   MHA  -> output projection -> residual + LayerNorm
+//   FFN (expand, activation, contract) -> residual + LayerNorm
+// The accelerator simulator is verified against this model under
+// quantization tolerances.
+#pragma once
+
+#include <vector>
+
+#include "ref/model_config.hpp"
+#include "ref/weights.hpp"
+#include "tensor/matrix.hpp"
+
+namespace protea::ref {
+
+/// Per-layer intermediate activations, captured for fine-grained
+/// equivalence testing against the accelerator engines.
+struct LayerTrace {
+  std::vector<tensor::MatrixF> q, k, v;        // per head: (SL x d_k)
+  std::vector<tensor::MatrixF> attn_weights;   // per head: (SL x SL)
+  std::vector<tensor::MatrixF> attn_scores;    // per head: (SL x d_k)
+  tensor::MatrixF concat;                      // (SL x d_model)
+  tensor::MatrixF proj;                        // after Wo
+  tensor::MatrixF ln1_out;                     // post-attention LN
+  tensor::MatrixF ffn_hidden;                  // after activation
+  tensor::MatrixF ffn_out;                     // after second linear
+  tensor::MatrixF ln2_out;                     // layer output
+};
+
+class Encoder {
+ public:
+  explicit Encoder(EncoderWeights weights);
+
+  const ModelConfig& config() const { return weights_.config; }
+  const EncoderWeights& weights() const { return weights_; }
+
+  /// Full forward pass: input (SL x d_model) -> output (SL x d_model).
+  tensor::MatrixF forward(const tensor::MatrixF& input) const;
+
+  /// Forward pass capturing every intermediate for testing.
+  tensor::MatrixF forward_traced(const tensor::MatrixF& input,
+                                 std::vector<LayerTrace>& traces) const;
+
+  /// One encoder layer, optionally tracing intermediates.
+  tensor::MatrixF forward_layer(const tensor::MatrixF& input,
+                                const EncoderLayerWeights& layer,
+                                LayerTrace* trace) const;
+
+ private:
+  EncoderWeights weights_;
+};
+
+}  // namespace protea::ref

@@ -1,0 +1,81 @@
+// Transformer-encoder hyperparameters.
+//
+// These are exactly the quantities ProTEA exposes as *runtime-programmable*
+// (paper §IV-D): sequence length SL, embedding dimension d_model, number of
+// attention heads h, number of encoder layers N. The FFN hidden size is the
+// conventional 4*d_model unless overridden.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace protea::ref {
+
+enum class Activation { kRelu, kGelu };
+
+/// How attention logits are scaled before softmax. The paper's Eq. (1) uses
+/// 1/sqrt(d_k); its Algorithm 2 line 9 divides by the embedding dimension
+/// instead. Both are supported so the simulator can mirror either.
+enum class AttnScale { kInvSqrtDk, kInvDModel };
+
+struct ModelConfig {
+  std::string name = "unnamed";
+  uint32_t seq_len = 64;      // SL
+  uint32_t d_model = 768;     // embedding dimension
+  uint32_t num_heads = 8;     // h
+  uint32_t num_layers = 12;   // N
+  uint32_t ffn_dim = 0;       // 0 -> 4 * d_model
+  Activation activation = Activation::kRelu;
+  AttnScale attn_scale = AttnScale::kInvSqrtDk;
+  bool use_bias = true;
+
+  uint32_t ffn_hidden() const { return ffn_dim == 0 ? 4 * d_model : ffn_dim; }
+
+  /// Per-head dimension d_k = d_model / h.
+  uint32_t head_dim() const { return d_model / num_heads; }
+
+  /// Throws std::invalid_argument when dimensions are inconsistent.
+  void validate() const {
+    if (seq_len == 0 || d_model == 0 || num_heads == 0 || num_layers == 0) {
+      throw std::invalid_argument("ModelConfig: zero dimension");
+    }
+    if (d_model % num_heads != 0) {
+      throw std::invalid_argument(
+          "ModelConfig: d_model must be divisible by num_heads");
+    }
+  }
+
+  /// Total multiply-accumulate count for one forward pass (all layers),
+  /// the operation count used for GOPS (2 ops per MAC plus the elementwise
+  /// work in softmax/LN, counted separately by ops_total()).
+  uint64_t macs_total() const {
+    const uint64_t sl = seq_len;
+    const uint64_t d = d_model;
+    const uint64_t f = ffn_hidden();
+    const uint64_t qkv = 3 * sl * d * d;
+    const uint64_t logits = sl * sl * d;   // Q*K^T over all heads
+    const uint64_t apply = sl * sl * d;    // S*V over all heads
+    const uint64_t proj = sl * d * d;      // attention output projection
+    const uint64_t ffn = 2 * sl * d * f;   // expansion + contraction
+    return num_layers * (qkv + logits + apply + proj + ffn);
+  }
+
+  /// Total operation count: 2*MACs + bias adds + softmax/LN/residual
+  /// elementwise operations. This matches how FPGA accelerator papers
+  /// typically report GOPS (everything the datapath executes).
+  uint64_t ops_total() const {
+    const uint64_t sl = seq_len;
+    const uint64_t d = d_model;
+    const uint64_t f = ffn_hidden();
+    const uint64_t h = num_heads;
+    const uint64_t bias = 3 * sl * d + sl * d + 2 * sl * f + sl * d;
+    const uint64_t softmax = h * sl * seq_len * 4;  // exp, sum, div, scale
+    const uint64_t ln = 2 * sl * d * 6;             // two LNs, ~6 ops/elem
+    const uint64_t residual = 2 * sl * d;
+    return 2 * macs_total() +
+           num_layers * (bias + softmax + ln + residual);
+  }
+};
+
+}  // namespace protea::ref

@@ -1,0 +1,138 @@
+#include "ref/model_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace protea::ref {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'T', 'E', 'A'};
+
+void write_u32(std::ostream& os, uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t read_u32(std::istream& is) {
+  uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("model_io: truncated file");
+  return v;
+}
+
+void write_floats(std::ostream& os, std::span<const float> data) {
+  write_u32(os, static_cast<uint32_t>(data.size()));
+  os.write(reinterpret_cast<const char*>(data.data()),
+           static_cast<std::streamsize>(data.size() * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::istream& is, size_t expected) {
+  const uint32_t n = read_u32(is);
+  if (n != expected) {
+    throw std::runtime_error("model_io: tensor size mismatch");
+  }
+  std::vector<float> data(n);
+  is.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!is) throw std::runtime_error("model_io: truncated tensor");
+  return data;
+}
+
+tensor::MatrixF read_matrix(std::istream& is, size_t rows, size_t cols) {
+  return tensor::MatrixF::from_rows(rows, cols,
+                                    read_floats(is, rows * cols));
+}
+
+}  // namespace
+
+void save_model(const EncoderWeights& weights, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_model: cannot open " + path);
+
+  os.write(kMagic, sizeof(kMagic));
+  write_u32(os, kModelFormatVersion);
+  const ModelConfig& c = weights.config;
+  write_u32(os, c.seq_len);
+  write_u32(os, c.d_model);
+  write_u32(os, c.num_heads);
+  write_u32(os, c.num_layers);
+  write_u32(os, c.ffn_hidden());
+  write_u32(os, c.activation == Activation::kGelu ? 1u : 0u);
+  write_u32(os, c.attn_scale == AttnScale::kInvDModel ? 1u : 0u);
+  write_u32(os, c.use_bias ? 1u : 0u);
+
+  for (const auto& l : weights.layers) {
+    write_floats(os, l.wq.flat());
+    write_floats(os, l.wk.flat());
+    write_floats(os, l.wv.flat());
+    write_floats(os, l.bq);
+    write_floats(os, l.bk);
+    write_floats(os, l.bv);
+    write_floats(os, l.wo.flat());
+    write_floats(os, l.bo);
+    write_floats(os, l.w1.flat());
+    write_floats(os, l.b1);
+    write_floats(os, l.w2.flat());
+    write_floats(os, l.b2);
+    write_floats(os, l.ln1_gamma);
+    write_floats(os, l.ln1_beta);
+    write_floats(os, l.ln2_gamma);
+    write_floats(os, l.ln2_beta);
+  }
+  if (!os) throw std::runtime_error("save_model: write failure");
+}
+
+EncoderWeights load_model(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_model: cannot open " + path);
+
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_model: bad magic");
+  }
+  const uint32_t version = read_u32(is);
+  if (version != kModelFormatVersion) {
+    throw std::runtime_error("load_model: unsupported version");
+  }
+
+  ModelConfig c;
+  c.name = path;
+  c.seq_len = read_u32(is);
+  c.d_model = read_u32(is);
+  c.num_heads = read_u32(is);
+  c.num_layers = read_u32(is);
+  c.ffn_dim = read_u32(is);
+  c.activation = read_u32(is) != 0 ? Activation::kGelu : Activation::kRelu;
+  c.attn_scale =
+      read_u32(is) != 0 ? AttnScale::kInvDModel : AttnScale::kInvSqrtDk;
+  c.use_bias = read_u32(is) != 0;
+  c.validate();
+
+  EncoderWeights w;
+  w.config = c;
+  w.layers.resize(c.num_layers);
+  const size_t d = c.d_model;
+  const size_t f = c.ffn_hidden();
+  for (auto& l : w.layers) {
+    l.wq = read_matrix(is, d, d);
+    l.wk = read_matrix(is, d, d);
+    l.wv = read_matrix(is, d, d);
+    l.bq = read_floats(is, d);
+    l.bk = read_floats(is, d);
+    l.bv = read_floats(is, d);
+    l.wo = read_matrix(is, d, d);
+    l.bo = read_floats(is, d);
+    l.w1 = read_matrix(is, d, f);
+    l.b1 = read_floats(is, f);
+    l.w2 = read_matrix(is, f, d);
+    l.b2 = read_floats(is, d);
+    l.ln1_gamma = read_floats(is, d);
+    l.ln1_beta = read_floats(is, d);
+    l.ln2_gamma = read_floats(is, d);
+    l.ln2_beta = read_floats(is, d);
+  }
+  return w;
+}
+
+}  // namespace protea::ref

@@ -1,0 +1,26 @@
+// Binary serialization of encoder weights.
+//
+// Stands in for the paper's host flow: "models are saved as .pth files,
+// then a Python interpreter extracts key parameters" (§IV-D). Our format
+// stores the ModelConfig header followed by raw float tensors so the
+// simulator, examples and benches can exchange models on disk.
+//
+// Layout (little-endian):
+//   magic "PTEA" | u32 version | config fields | per-layer tensors
+#pragma once
+
+#include <string>
+
+#include "ref/weights.hpp"
+
+namespace protea::ref {
+
+inline constexpr uint32_t kModelFormatVersion = 1;
+
+/// Writes the full weight stack; throws std::runtime_error on I/O failure.
+void save_model(const EncoderWeights& weights, const std::string& path);
+
+/// Reads a model produced by save_model; validates magic/version/shapes.
+EncoderWeights load_model(const std::string& path);
+
+}  // namespace protea::ref

@@ -1,0 +1,54 @@
+#include "ref/positional.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace protea::ref {
+
+tensor::MatrixF sinusoidal_positional_encoding(size_t seq_len,
+                                               size_t d_model) {
+  tensor::MatrixF pe(seq_len, d_model);
+  for (size_t pos = 0; pos < seq_len; ++pos) {
+    for (size_t i = 0; i < d_model; i += 2) {
+      const double angle =
+          static_cast<double>(pos) /
+          std::pow(10000.0, static_cast<double>(i) /
+                                static_cast<double>(d_model));
+      pe(pos, i) = static_cast<float>(std::sin(angle));
+      if (i + 1 < d_model) {
+        pe(pos, i + 1) = static_cast<float>(std::cos(angle));
+      }
+    }
+  }
+  return pe;
+}
+
+tensor::MatrixF make_embedding_table(size_t vocab_size, size_t d_model,
+                                     uint64_t seed) {
+  tensor::MatrixF table(vocab_size, d_model);
+  util::Xoshiro256 rng(seed);
+  for (float& x : table.flat()) {
+    x = static_cast<float>(rng.normal() * 0.5);
+  }
+  return table;
+}
+
+tensor::MatrixF embed_tokens(std::span<const uint32_t> tokens,
+                             const tensor::MatrixF& table) {
+  tensor::MatrixF out(tokens.size(), table.cols());
+  const tensor::MatrixF pe =
+      sinusoidal_positional_encoding(tokens.size(), table.cols());
+  for (size_t pos = 0; pos < tokens.size(); ++pos) {
+    if (tokens[pos] >= table.rows()) {
+      throw std::out_of_range("embed_tokens: token id out of vocabulary");
+    }
+    for (size_t c = 0; c < table.cols(); ++c) {
+      out(pos, c) = table(tokens[pos], c) + pe(pos, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace protea::ref

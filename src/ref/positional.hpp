@@ -1,0 +1,25 @@
+// Sinusoidal positional encoding and token-embedding synthesis
+// ("Attention is All You Need" §3.5), used by the example applications to
+// build realistic encoder inputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace protea::ref {
+
+/// PE(pos, 2i)   = sin(pos / 10000^(2i/d))
+/// PE(pos, 2i+1) = cos(pos / 10000^(2i/d))
+tensor::MatrixF sinusoidal_positional_encoding(size_t seq_len, size_t d_model);
+
+/// Deterministic embedding table: vocab_size x d_model, seeded.
+tensor::MatrixF make_embedding_table(size_t vocab_size, size_t d_model,
+                                     uint64_t seed);
+
+/// Looks up token ids in `table` and adds positional encoding.
+tensor::MatrixF embed_tokens(std::span<const uint32_t> tokens,
+                             const tensor::MatrixF& table);
+
+}  // namespace protea::ref

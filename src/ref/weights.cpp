@@ -1,0 +1,101 @@
+#include "ref/weights.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace protea::ref {
+namespace {
+
+void fill_normal(tensor::MatrixF& m, util::Xoshiro256& rng, double sigma) {
+  for (float& x : m.flat()) {
+    const double v = rng.normal() * sigma;
+    x = static_cast<float>(std::clamp(v, -3.0 * sigma, 3.0 * sigma));
+  }
+}
+
+void fill_normal(std::vector<float>& v, util::Xoshiro256& rng, double sigma) {
+  for (float& x : v) {
+    const double value = rng.normal() * sigma;
+    x = static_cast<float>(std::clamp(value, -3.0 * sigma, 3.0 * sigma));
+  }
+}
+
+}  // namespace
+
+uint64_t EncoderWeights::parameter_count() const {
+  uint64_t n = 0;
+  for (const auto& l : layers) {
+    n += l.wq.size() + l.wk.size() + l.wv.size() + l.wo.size() +
+         l.w1.size() + l.w2.size();
+    n += l.bq.size() + l.bk.size() + l.bv.size() + l.bo.size() +
+         l.b1.size() + l.b2.size();
+    n += l.ln1_gamma.size() + l.ln1_beta.size() + l.ln2_gamma.size() +
+         l.ln2_beta.size();
+  }
+  return n;
+}
+
+EncoderWeights make_random_weights(const ModelConfig& config, uint64_t seed) {
+  config.validate();
+  EncoderWeights w;
+  w.config = config;
+  w.layers.resize(config.num_layers);
+
+  const size_t d = config.d_model;
+  const size_t f = config.ffn_hidden();
+  util::Xoshiro256 rng(seed);
+
+  const double sigma_d = 1.0 / std::sqrt(static_cast<double>(d));
+  const double sigma_f = 1.0 / std::sqrt(static_cast<double>(f));
+  const double sigma_b = 0.02;
+
+  for (auto& layer : w.layers) {
+    layer.wq = tensor::MatrixF(d, d);
+    layer.wk = tensor::MatrixF(d, d);
+    layer.wv = tensor::MatrixF(d, d);
+    layer.wo = tensor::MatrixF(d, d);
+    layer.w1 = tensor::MatrixF(d, f);
+    layer.w2 = tensor::MatrixF(f, d);
+    fill_normal(layer.wq, rng, sigma_d);
+    fill_normal(layer.wk, rng, sigma_d);
+    fill_normal(layer.wv, rng, sigma_d);
+    fill_normal(layer.wo, rng, sigma_d);
+    fill_normal(layer.w1, rng, sigma_d);
+    fill_normal(layer.w2, rng, sigma_f);
+
+    layer.bq.assign(d, 0.0f);
+    layer.bk.assign(d, 0.0f);
+    layer.bv.assign(d, 0.0f);
+    layer.bo.assign(d, 0.0f);
+    layer.b1.assign(f, 0.0f);
+    layer.b2.assign(d, 0.0f);
+    if (config.use_bias) {
+      fill_normal(layer.bq, rng, sigma_b);
+      fill_normal(layer.bk, rng, sigma_b);
+      fill_normal(layer.bv, rng, sigma_b);
+      fill_normal(layer.bo, rng, sigma_b);
+      fill_normal(layer.b1, rng, sigma_b);
+      fill_normal(layer.b2, rng, sigma_b);
+    }
+
+    layer.ln1_gamma.assign(d, 1.0f);
+    layer.ln1_beta.assign(d, 0.0f);
+    layer.ln2_gamma.assign(d, 1.0f);
+    layer.ln2_beta.assign(d, 0.0f);
+  }
+  return w;
+}
+
+tensor::MatrixF make_random_input(const ModelConfig& config, uint64_t seed) {
+  config.validate();
+  tensor::MatrixF x(config.seq_len, config.d_model);
+  util::Xoshiro256 rng(seed ^ 0xA5A5A5A5ull);
+  for (float& v : x.flat()) {
+    v = static_cast<float>(std::clamp(rng.normal(), -3.0, 3.0));
+  }
+  return x;
+}
+
+}  // namespace protea::ref

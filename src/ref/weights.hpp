@@ -1,0 +1,46 @@
+// Weight containers for a transformer encoder stack, plus deterministic
+// random initialization (substitute for PyTorch-extracted .pth weights —
+// the paper only uses layer *shapes* for its latency evaluation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ref/model_config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace protea::ref {
+
+/// Weights of one encoder layer. Projection matrices are stored full-size
+/// (d_model x d_model); head slicing happens where it is consumed.
+struct EncoderLayerWeights {
+  tensor::MatrixF wq, wk, wv;      // (d_model x d_model)
+  std::vector<float> bq, bk, bv;   // (d_model)
+  tensor::MatrixF wo;              // (d_model x d_model) output projection
+  std::vector<float> bo;           // (d_model)
+  tensor::MatrixF w1;              // (d_model x ffn_hidden)
+  std::vector<float> b1;           // (ffn_hidden)
+  tensor::MatrixF w2;              // (ffn_hidden x d_model)
+  std::vector<float> b2;           // (d_model)
+  std::vector<float> ln1_gamma, ln1_beta;  // (d_model)
+  std::vector<float> ln2_gamma, ln2_beta;  // (d_model)
+};
+
+struct EncoderWeights {
+  ModelConfig config;
+  std::vector<EncoderLayerWeights> layers;
+
+  /// Total parameter count across the stack.
+  uint64_t parameter_count() const;
+};
+
+/// Deterministic Xavier-style initialization: weights ~ N(0, 1/sqrt(fan_in))
+/// clipped to +-3 sigma so int8 quantization has a benign range; biases
+/// small; LN gamma=1, beta=0.
+EncoderWeights make_random_weights(const ModelConfig& config, uint64_t seed);
+
+/// Deterministic random input embeddings (SL x d_model), distribution
+/// matching layer-normalized activations (roughly unit variance).
+tensor::MatrixF make_random_input(const ModelConfig& config, uint64_t seed);
+
+}  // namespace protea::ref

@@ -1,0 +1,102 @@
+// Row-major dense matrix, the common currency of the reference encoder,
+// the accelerator simulator and the CPU baseline.
+//
+// Kept deliberately simple (CppCoreGuidelines P.11): owning container +
+// cheap spans; numeric kernels live in tensor/ops.hpp.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace protea::tensor {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(size_t rows, size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(size_t rows, size_t cols, std::vector<T> data) {
+    if (data.size() != rows * cols) {
+      throw std::invalid_argument("Matrix::from_rows: size mismatch");
+    }
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<T> row(size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const T> row(size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<T> flat() { return {data_.data(), data_.size()}; }
+  std::span<const T> flat() const { return {data_.data(), data_.size()}; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Column slice [col0, col0+ncols) copied into a new matrix.
+  Matrix slice_cols(size_t col0, size_t ncols) const {
+    if (col0 + ncols > cols_) {
+      throw std::out_of_range("Matrix::slice_cols: out of range");
+    }
+    Matrix out(rows_, ncols);
+    for (size_t r = 0; r < rows_; ++r) {
+      for (size_t c = 0; c < ncols; ++c) out(r, c) = (*this)(r, col0 + c);
+    }
+    return out;
+  }
+
+  /// Row slice [row0, row0+nrows) copied into a new matrix.
+  Matrix slice_rows(size_t row0, size_t nrows) const {
+    if (row0 + nrows > rows_) {
+      throw std::out_of_range("Matrix::slice_rows: out of range");
+    }
+    Matrix out(nrows, cols_);
+    for (size_t r = 0; r < nrows; ++r) {
+      for (size_t c = 0; c < cols_; ++c) out(r, c) = (*this)(row0 + r, c);
+    }
+    return out;
+  }
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixI8 = Matrix<int8_t>;
+using MatrixI32 = Matrix<int32_t>;
+
+}  // namespace protea::tensor

@@ -1,0 +1,167 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace protea::tensor {
+namespace {
+
+void check_same_shape(const MatrixF& a, const MatrixF& b, const char* what) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch");
+  }
+}
+
+}  // namespace
+
+MatrixF matmul(const MatrixF& a, const MatrixF& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dimension mismatch");
+  }
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  MatrixF c(m, n, 0.0f);
+  // ikj order: streams B rows, keeps C row hot.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = a(i, kk);
+      if (aik == 0.0f) continue;
+      const auto brow = b.row(kk);
+      auto crow = c.row(i);
+      for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+MatrixF matmul_bt(const MatrixF& a, const MatrixF& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_bt: inner dimension mismatch");
+  }
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  MatrixF c(m, n, 0.0f);
+  for (size_t i = 0; i < m; ++i) {
+    const auto arow = a.row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const auto brow = b.row(j);
+      float sum = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
+      c(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+MatrixF matmul_bias(const MatrixF& a, const MatrixF& b,
+                    std::span<const float> bias) {
+  MatrixF c = matmul(a, b);
+  add_bias_inplace(c, bias);
+  return c;
+}
+
+MatrixF transpose(const MatrixF& a) {
+  MatrixF t(a.cols(), a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+  }
+  return t;
+}
+
+MatrixF add(const MatrixF& a, const MatrixF& b) {
+  check_same_shape(a, b, "add");
+  MatrixF c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) c.flat()[i] = a.flat()[i] + b.flat()[i];
+  return c;
+}
+
+void add_bias_inplace(MatrixF& a, std::span<const float> bias) {
+  if (bias.size() != a.cols()) {
+    throw std::invalid_argument("add_bias_inplace: bias length mismatch");
+  }
+  for (size_t r = 0; r < a.rows(); ++r) {
+    auto row = a.row(r);
+    for (size_t c = 0; c < a.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void scale_inplace(MatrixF& a, float s) {
+  for (float& x : a.flat()) x *= s;
+}
+
+void softmax_rows_inplace(MatrixF& a) {
+  for (size_t r = 0; r < a.rows(); ++r) {
+    auto row = a.row(r);
+    const float max_x = *std::max_element(row.begin(), row.end());
+    float sum = 0.0f;
+    for (float& x : row) {
+      x = std::exp(x - max_x);
+      sum += x;
+    }
+    const float inv = 1.0f / sum;
+    for (float& x : row) x *= inv;
+  }
+}
+
+void layer_norm_rows_inplace(MatrixF& a, std::span<const float> gamma,
+                             std::span<const float> beta, float eps) {
+  if (gamma.size() != a.cols() || beta.size() != a.cols()) {
+    throw std::invalid_argument("layer_norm: gamma/beta length mismatch");
+  }
+  for (size_t r = 0; r < a.rows(); ++r) {
+    auto row = a.row(r);
+    double mean = 0.0;
+    for (float x : row) mean += x;
+    mean /= static_cast<double>(row.size());
+    double var = 0.0;
+    for (float x : row) {
+      const double d = static_cast<double>(x) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(row.size());
+    const double inv_std = 1.0 / std::sqrt(var + static_cast<double>(eps));
+    for (size_t c = 0; c < row.size(); ++c) {
+      const double norm = (static_cast<double>(row[c]) - mean) * inv_std;
+      row[c] = static_cast<float>(norm) * gamma[c] + beta[c];
+    }
+  }
+}
+
+void relu_inplace(MatrixF& a) {
+  for (float& x : a.flat()) x = std::max(0.0f, x);
+}
+
+void gelu_inplace(MatrixF& a) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  for (float& x : a.flat()) {
+    const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+    x = 0.5f * x * (1.0f + std::tanh(inner));
+  }
+}
+
+float max_abs_diff(const MatrixF& a, const MatrixF& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  float max_d = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_d = std::max(max_d, std::abs(a.flat()[i] - b.flat()[i]));
+  }
+  return max_d;
+}
+
+float rms_diff(const MatrixF& a, const MatrixF& b) {
+  check_same_shape(a, b, "rms_diff");
+  if (a.size() == 0) return 0.0f;
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.flat()[i]) -
+                     static_cast<double>(b.flat()[i]);
+    sum += d * d;
+  }
+  return static_cast<float>(std::sqrt(sum / static_cast<double>(a.size())));
+}
+
+}  // namespace protea::tensor

@@ -1,0 +1,38 @@
+// CSV writer used by the benchmark harness to persist every regenerated
+// table/figure series alongside the human-readable console output.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace protea::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error when the file cannot be created.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row; the number of cells must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Number of data rows written so far.
+  size_t rows_written() const { return rows_; }
+
+  const std::string& path() const { return path_; }
+
+  /// RFC-4180 quoting for a single cell.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  size_t width_;
+  size_t rows_ = 0;
+};
+
+}  // namespace protea::util

@@ -1,0 +1,85 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace protea::util {
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{[] {
+    const char* env = std::getenv("PROTEA_LOG_LEVEL");
+    return static_cast<int>(env != nullptr ? parse_log_level(env)
+                                           : LogLevel::kWarn);
+  }()};
+  return level;
+}
+
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  auto eq = [&](std::string_view target) {
+    if (name.size() != target.size()) return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+      const char a = name[i];
+      const char lower = (a >= 'A' && a <= 'Z')
+                             ? static_cast<char>(a - 'A' + 'a')
+                             : a;
+      if (lower != target[i]) return false;
+    }
+    return true;
+  };
+  if (eq("trace")) return LogLevel::kTrace;
+  if (eq("debug")) return LogLevel::kDebug;
+  if (eq("info")) return LogLevel::kInfo;
+  if (eq("warn") || eq("warning")) return LogLevel::kWarn;
+  if (eq("error")) return LogLevel::kError;
+  if (eq("off") || eq("none")) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+void emit(LogLevel level, std::string_view file, int line,
+          const std::string& message) {
+  if (log_level() > level) return;
+  // Strip directories from the file path for compact output.
+  size_t slash = file.find_last_of('/');
+  std::string_view base =
+      slash == std::string_view::npos ? file : file.substr(slash + 1);
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::fprintf(stderr, "[%s] %.*s:%d: %s\n",
+               std::string(log_level_name(level)).c_str(),
+               static_cast<int>(base.size()), base.data(), line,
+               message.c_str());
+}
+
+}  // namespace detail
+}  // namespace protea::util

@@ -1,0 +1,73 @@
+// Minimal leveled logger used across the ProTEA simulator.
+//
+// Thread-safe: each Log() call formats into a local buffer and emits a
+// single write under a mutex. Level is process-global and can be set from
+// PROTEA_LOG_LEVEL (trace|debug|info|warn|error|off) or programmatically.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace protea::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the current global log level (initialized lazily from the
+/// PROTEA_LOG_LEVEL environment variable; defaults to kWarn).
+LogLevel log_level();
+
+/// Sets the global log level for the remainder of the process.
+void set_log_level(LogLevel level);
+
+/// Parses a level name ("info", "WARN", ...); returns kWarn on no match.
+LogLevel parse_log_level(std::string_view name);
+
+/// Returns the canonical lowercase name of a level.
+std::string_view log_level_name(LogLevel level);
+
+namespace detail {
+void emit(LogLevel level, std::string_view file, int line,
+          const std::string& message);
+}  // namespace detail
+
+/// Stream-style log statement builder; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { detail::emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace protea::util
+
+#define PROTEA_LOG(level)                                       \
+  if (::protea::util::log_level() <= (level))                   \
+  ::protea::util::LogMessage((level), __FILE__, __LINE__)
+
+#define PROTEA_LOG_TRACE PROTEA_LOG(::protea::util::LogLevel::kTrace)
+#define PROTEA_LOG_DEBUG PROTEA_LOG(::protea::util::LogLevel::kDebug)
+#define PROTEA_LOG_INFO PROTEA_LOG(::protea::util::LogLevel::kInfo)
+#define PROTEA_LOG_WARN PROTEA_LOG(::protea::util::LogLevel::kWarn)
+#define PROTEA_LOG_ERROR PROTEA_LOG(::protea::util::LogLevel::kError)

@@ -1,0 +1,42 @@
+// Small integer helpers shared by the tiling and performance models.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace protea::util {
+
+/// ceil(a / b) for positive integers.
+template <typename T>
+  requires std::is_integral_v<T>
+constexpr T ceil_div(T a, T b) {
+  assert(b > 0);
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Rounds `a` up to the next multiple of `b`.
+template <typename T>
+  requires std::is_integral_v<T>
+constexpr T round_up(T a, T b) {
+  return static_cast<T>(ceil_div(a, b) * b);
+}
+
+/// True when `a` is a power of two (and nonzero).
+constexpr bool is_pow2(uint64_t a) { return a != 0 && (a & (a - 1)) == 0; }
+
+/// floor(log2(a)) for a > 0.
+constexpr uint32_t ilog2(uint64_t a) {
+  assert(a > 0);
+  uint32_t r = 0;
+  while (a >>= 1) ++r;
+  return r;
+}
+
+/// Saturating clamp of a wide integer into [lo, hi].
+template <typename T>
+constexpr T clamp(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace protea::util

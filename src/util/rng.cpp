@@ -1,0 +1,34 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace protea::util {
+
+uint64_t Xoshiro256::bounded(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless bounded generation.
+  uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    const uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Xoshiro256::normal() {
+  // Box–Muller; u1 is kept away from 0 so log() is finite.
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace protea::util

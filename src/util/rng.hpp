@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments: SplitMix64 (seeding) and xoshiro256** (bulk generation).
+//
+// All workloads in the benchmark harness derive their data from these
+// generators with fixed seeds so every run regenerates identical tensors.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace protea::util {
+
+/// SplitMix64: tiny, fast generator mainly used to seed xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(uint64_t seed) : state_(seed) {}
+
+  constexpr uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: high-quality 64-bit generator (Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator so it can drive <random>.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  uint64_t next() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t bounded(uint64_t bound);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal();
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4]{};
+};
+
+}  // namespace protea::util

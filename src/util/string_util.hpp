@@ -1,0 +1,32 @@
+// String helpers used by the CSV writer, table renderer and ISA assembler.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace protea::util {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Joins `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lowercases ASCII characters.
+std::string to_lower(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style double formatting with `digits` significant decimals,
+/// trimming trailing zeros ("1.50" -> "1.5", "2.00" -> "2").
+std::string format_double(double value, int digits);
+
+/// Human-readable byte count ("1.5 KiB", "3 MiB").
+std::string format_bytes(uint64_t bytes);
+
+}  // namespace protea::util

@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace protea::util {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool digit_seen = false;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' &&
+               c != '%' && c != 'x' && c != ',') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  const size_t cols = header_.size();
+  std::vector<size_t> width(cols);
+  std::vector<bool> numeric(cols, true);
+  for (size_t c = 0; c < cols; ++c) {
+    width[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      width[c] = std::max(width[c], r[c].size());
+      if (!r[c].empty() && !looks_numeric(r[c])) numeric[c] = false;
+    }
+  }
+
+  auto hline = [&](char fill) {
+    std::string line = "+";
+    for (size_t c = 0; c < cols; ++c) {
+      line += std::string(width[c] + 2, fill);
+      line += '+';
+    }
+    return line + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& cells,
+                        bool force_left) {
+    std::string line = "|";
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = cells[c];
+      const size_t pad = width[c] - cell.size();
+      const bool right = !force_left && numeric[c];
+      line += ' ';
+      if (right) line += std::string(pad, ' ');
+      line += cell;
+      if (!right) line += std::string(pad, ' ');
+      line += " |";
+    }
+    return line + "\n";
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  out << hline('-');
+  out << render_row(header_, /*force_left=*/true);
+  out << hline('=');
+  for (const auto& r : rows_) out << render_row(r, /*force_left=*/false);
+  out << hline('-');
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_string();
+}
+
+}  // namespace protea::util

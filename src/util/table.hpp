@@ -1,0 +1,36 @@
+// Console table renderer producing aligned, paper-style tables for the
+// benchmark harness (Tables I–III of the ProTEA paper).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace protea::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with box-drawing separators and per-column alignment
+  /// (numeric-looking cells right-aligned, text left-aligned).
+  std::string to_string() const;
+
+  /// Convenience: renders to an ostream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace protea::util

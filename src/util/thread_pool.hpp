@@ -1,0 +1,58 @@
+// Fixed-size worker pool used by the CPU baseline encoder and by the
+// benchmark harness for data-parallel loops (parallel_for).
+//
+// Design notes (per C++ Core Guidelines CP.*): tasks are plain
+// std::function<void()>; exceptions thrown by a task are captured and
+// rethrown from wait_idle()/parallel_for on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace protea::util {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 -> hardware_concurrency, min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle; rethrows the
+  /// first task exception captured since the previous wait.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the pool; blocks until complete. Runs inline when the range is
+  /// small or the pool has a single worker.
+  void parallel_for(size_t begin, size_t end,
+                    const std::function<void(size_t)>& fn,
+                    size_t grain = 1);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace protea::util

@@ -1,0 +1,327 @@
+// Tests for the accelerator top level: quantization calibration, model
+// preparation, end-to-end functional equivalence with the float reference,
+// and the runtime-programming surface.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/accelerator.hpp"
+#include "accel/quant_calib.hpp"
+#include "accel/quantized_model.hpp"
+#include "ref/encoder.hpp"
+#include "ref/model_zoo.hpp"
+#include "tensor/ops.hpp"
+
+namespace protea::accel {
+namespace {
+
+ref::ModelConfig small_config(uint32_t layers = 2) {
+  ref::ModelConfig c;
+  c.seq_len = 16;
+  c.d_model = 64;
+  c.num_heads = 4;
+  c.num_layers = layers;
+  c.activation = ref::Activation::kGelu;
+  return c;
+}
+
+double correlation(const tensor::MatrixF& a, const tensor::MatrixF& b) {
+  double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+  const auto n = static_cast<double>(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double x = a.flat()[i], y = b.flat()[i];
+    sa += x;
+    sb += y;
+    saa += x * x;
+    sbb += y * y;
+    sab += x * y;
+  }
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double va = saa / n - (sa / n) * (sa / n);
+  const double vb = sbb / n - (sb / n) * (sb / n);
+  return cov / std::sqrt(va * vb);
+}
+
+// --- calibration ---------------------------------------------------------------
+
+TEST(QuantCalib, ScalesArePowersOfTwo) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 31);
+  const auto x = ref::make_random_input(cfg, 32);
+  ref::Encoder enc(w);
+  const auto scales = calibrate_scales(enc, x);
+  ASSERT_EQ(scales.size(), cfg.num_layers);
+  for (const auto& s : scales) {
+    for (double v : {s.x, s.q, s.k, s.v, s.logit, s.sv, s.proj, s.ln1,
+                     s.hidden, s.ffn_out, s.ln2}) {
+      const double l = std::log2(v);
+      EXPECT_NEAR(l, std::round(l), 1e-9) << v;
+    }
+    EXPECT_DOUBLE_EQ(s.attn_w, 1.0 / 127.0);
+  }
+}
+
+TEST(QuantCalib, ScalesCoverActivationRanges) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 33);
+  const auto x = ref::make_random_input(cfg, 34);
+  ref::Encoder enc(w);
+  std::vector<ref::LayerTrace> traces;
+  enc.forward_traced(x, traces);
+  const auto scales = calibrate_scales(enc, x);
+  // Every reference value must be representable without saturation.
+  for (size_t l = 0; l < traces.size(); ++l) {
+    for (float v : traces[l].ln2_out.flat()) {
+      EXPECT_LE(std::abs(v), 127.0 * scales[l].ln2 * 1.0001);
+    }
+    for (float v : traces[l].proj.flat()) {
+      EXPECT_LE(std::abs(v), 127.0 * scales[l].proj * 1.0001);
+    }
+  }
+}
+
+TEST(QuantCalib, ChainedScalesConsistent) {
+  // ln2 of layer l is the input of layer l+1, so the calibrated scales
+  // must be identical.
+  const auto cfg = small_config(3);
+  const auto w = ref::make_random_weights(cfg, 35);
+  const auto x = ref::make_random_input(cfg, 36);
+  ref::Encoder enc(w);
+  const auto scales = calibrate_scales(enc, x);
+  for (size_t l = 0; l + 1 < scales.size(); ++l) {
+    EXPECT_DOUBLE_EQ(scales[l].ln2, scales[l + 1].x);
+  }
+}
+
+TEST(QuantCalib, RejectsMarginBelowOne) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 37);
+  ref::Encoder enc(w);
+  EXPECT_THROW(
+      calibrate_scales(enc, ref::make_random_input(cfg, 38), 0.5),
+      std::invalid_argument);
+}
+
+// --- quantized model --------------------------------------------------------------
+
+TEST(QuantizedModel, LayoutShapes) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 41);
+  const auto qm = prepare_model(w, ref::make_random_input(cfg, 42));
+  ASSERT_EQ(qm.layers.size(), cfg.num_layers);
+  const QLayer& l = qm.layers[0];
+  ASSERT_EQ(l.heads.size(), cfg.num_heads);
+  EXPECT_EQ(l.heads[0].wqt.rows(), cfg.head_dim());
+  EXPECT_EQ(l.heads[0].wqt.cols(), cfg.d_model);
+  EXPECT_EQ(l.wo.rows(), cfg.d_model);
+  EXPECT_EQ(l.w1.cols(), cfg.ffn_hidden());
+  EXPECT_EQ(l.w2.rows(), cfg.ffn_hidden());
+  EXPECT_EQ(l.b1.size(), cfg.ffn_hidden());
+}
+
+TEST(QuantizedModel, TransposedSlicesMatchSource) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 43);
+  const auto qm = prepare_model(w, ref::make_random_input(cfg, 44));
+  const QLayer& l = qm.layers[0];
+  const size_t dk = cfg.head_dim();
+  // head h, row k, col j of wqt == wq(j, h*dk + k) quantized.
+  for (size_t h = 0; h < 2; ++h) {
+    for (size_t k = 0; k < dk; k += 3) {
+      for (size_t j = 0; j < cfg.d_model; j += 7) {
+        const double expected = w.layers[0].wq(j, h * dk + k) / l.s_wq;
+        EXPECT_NEAR(l.heads[h].wqt(k, j), expected, 0.51);
+      }
+    }
+  }
+}
+
+TEST(QuantizedModel, WeightBytesMatchesFormula) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 45);
+  const auto qm = prepare_model(w, ref::make_random_input(cfg, 46));
+  const uint64_t d = cfg.d_model, f = cfg.ffn_hidden();
+  const uint64_t per_layer = 3 * d * d + d * d + d * f + f * d;
+  EXPECT_EQ(qm.weight_bytes(), cfg.num_layers * per_layer);
+}
+
+TEST(QuantizedModel, MismatchedScalesThrow) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 47);
+  std::vector<LayerScales> wrong(1);  // config has 2 layers
+  EXPECT_THROW(quantize_model(w, wrong), std::invalid_argument);
+}
+
+// --- accelerator end-to-end ----------------------------------------------------------
+
+class AcceleratorEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t,
+                                                 uint32_t, uint32_t>> {};
+
+TEST_P(AcceleratorEquivalence, TracksFloatReference) {
+  const auto [sl, d, h, layers] = GetParam();
+  ref::ModelConfig cfg;
+  cfg.seq_len = sl;
+  cfg.d_model = d;
+  cfg.num_heads = h;
+  cfg.num_layers = layers;
+  const auto w = ref::make_random_weights(cfg, 1000 + d + sl);
+  const auto x = ref::make_random_input(cfg, 2000 + d + sl);
+  ref::Encoder enc(w);
+  const auto ref_out = enc.forward(x);
+
+  AccelConfig acfg;
+  ProteaAccelerator acc(acfg);
+  acc.load_model(prepare_model(w, x));
+  const auto acc_out = acc.forward(x);
+
+  ASSERT_EQ(acc_out.rows(), ref_out.rows());
+  ASSERT_EQ(acc_out.cols(), ref_out.cols());
+  // Outputs are layer-normalized (unit variance): int8 noise through a
+  // few layers stays well under these bounds.
+  EXPECT_LT(tensor::rms_diff(acc_out, ref_out), 0.2f);
+  EXPECT_GT(correlation(acc_out, ref_out), 0.97);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AcceleratorEquivalence,
+    ::testing::Values(std::make_tuple(8u, 32u, 2u, 1u),
+                      std::make_tuple(16u, 64u, 4u, 2u),
+                      std::make_tuple(16u, 64u, 8u, 3u),
+                      std::make_tuple(24u, 96u, 4u, 2u),
+                      std::make_tuple(12u, 48u, 4u, 1u)));
+
+TEST(Accelerator, TraceShapesAndScaleChain) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 51);
+  const auto x = ref::make_random_input(cfg, 52);
+  AccelConfig acfg;
+  ProteaAccelerator acc(acfg);
+  acc.load_model(prepare_model(w, x));
+  std::vector<AccelLayerTrace> traces;
+  acc.forward(x, &traces);
+  ASSERT_EQ(traces.size(), cfg.num_layers);
+  EXPECT_EQ(traces[0].heads.size(), cfg.num_heads);
+  EXPECT_EQ(traces[0].heads[0].q.cols(), cfg.head_dim());
+  EXPECT_EQ(traces[0].concat.cols(), cfg.d_model);
+  EXPECT_EQ(traces[1].out.rows(), cfg.seq_len);
+}
+
+TEST(Accelerator, MacCounterMatchesModelFormula) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 53);
+  const auto x = ref::make_random_input(cfg, 54);
+  AccelConfig acfg;
+  ProteaAccelerator acc(acfg);
+  acc.load_model(prepare_model(w, x));
+  acc.forward(x);
+  EXPECT_EQ(acc.stats().macs, cfg.macs_total());
+}
+
+TEST(Accelerator, DeterministicAcrossRuns) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 55);
+  const auto x = ref::make_random_input(cfg, 56);
+  AccelConfig acfg;
+  ProteaAccelerator acc(acfg);
+  acc.load_model(prepare_model(w, x));
+  EXPECT_EQ(acc.forward(x), acc.forward(x));
+}
+
+TEST(Accelerator, RejectsModelExceedingSynthesis) {
+  ref::ModelConfig big = small_config();
+  big.d_model = 1024;  // > max_d_model 768
+  const auto w = ref::make_random_weights(big, 57);
+  AccelConfig acfg;
+  ProteaAccelerator acc(acfg);
+  EXPECT_THROW(acc.load_model(prepare_model(
+                   w, ref::make_random_input(big, 58))),
+               std::invalid_argument);
+}
+
+TEST(Accelerator, RejectsSeqLenBeyondBuffers) {
+  ref::ModelConfig big = small_config();
+  big.seq_len = 256;  // > max_seq_len 128
+  const auto w = ref::make_random_weights(big, 59);
+  AccelConfig acfg;
+  ProteaAccelerator acc(acfg);
+  EXPECT_THROW(acc.load_model(prepare_model(
+                   w, ref::make_random_input(big, 60))),
+               std::invalid_argument);
+}
+
+TEST(Accelerator, RuntimeLayerReduction) {
+  const auto cfg = small_config(3);
+  const auto w = ref::make_random_weights(cfg, 61);
+  const auto x = ref::make_random_input(cfg, 62);
+  AccelConfig acfg;
+  ProteaAccelerator acc(acfg);
+  acc.load_model(prepare_model(w, x));
+
+  acc.program_layers(2);
+  EXPECT_EQ(acc.programmed_config().num_layers, 2u);
+  const auto out2 = acc.forward(x);
+
+  // Two programmed layers equal the first two layers of the full model.
+  ref::ModelConfig cfg2 = cfg;
+  cfg2.num_layers = 2;
+  auto w2 = w;
+  w2.config = cfg2;
+  w2.layers.resize(2);
+  ref::Encoder enc2(w2);
+  EXPECT_LT(tensor::rms_diff(out2, enc2.forward(x)), 0.2f);
+
+  EXPECT_THROW(acc.program_layers(4), std::invalid_argument);
+  EXPECT_THROW(acc.program_layers(0), std::invalid_argument);
+}
+
+TEST(Accelerator, RuntimeSeqLenReduction) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 63);
+  const auto x = ref::make_random_input(cfg, 64);
+  AccelConfig acfg;
+  ProteaAccelerator acc(acfg);
+  acc.load_model(prepare_model(w, x));
+
+  acc.program_seq_len(8);
+  const auto short_x = x.slice_rows(0, 8);
+  const auto out = acc.forward(short_x);
+  EXPECT_EQ(out.rows(), 8u);
+  EXPECT_THROW(acc.program_seq_len(999), std::invalid_argument);
+}
+
+TEST(Accelerator, ForwardWithoutModelThrows) {
+  AccelConfig acfg;
+  ProteaAccelerator acc(acfg);
+  tensor::MatrixF x(8, 32);
+  EXPECT_THROW(acc.forward(x), std::logic_error);
+  EXPECT_THROW(acc.programmed_config(), std::logic_error);
+  EXPECT_THROW(acc.performance(), std::logic_error);
+}
+
+TEST(Accelerator, InputShapeMustMatchProgram) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 65);
+  const auto x = ref::make_random_input(cfg, 66);
+  AccelConfig acfg;
+  ProteaAccelerator acc(acfg);
+  acc.load_model(prepare_model(w, x));
+  tensor::MatrixF wrong(cfg.seq_len, cfg.d_model / 2);
+  EXPECT_THROW(acc.forward(wrong), std::invalid_argument);
+}
+
+TEST(Accelerator, PerformanceReportAvailableAfterLoad) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_weights(cfg, 67);
+  const auto x = ref::make_random_input(cfg, 68);
+  AccelConfig acfg;
+  ProteaAccelerator acc(acfg);
+  acc.load_model(prepare_model(w, x));
+  const PerfReport report = acc.performance();
+  EXPECT_GT(report.total_cycles, 0u);
+  EXPECT_GT(report.latency_ms, 0.0);
+  EXPECT_EQ(report.macs, cfg.macs_total());
+}
+
+}  // namespace
+}  // namespace protea::accel

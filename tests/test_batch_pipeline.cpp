@@ -1,0 +1,80 @@
+// Tests for the batch-pipelining throughput model.
+#include <gtest/gtest.h>
+
+#include "accel/batch_pipeline.hpp"
+#include "ref/model_zoo.hpp"
+
+namespace protea::accel {
+namespace {
+
+AccelConfig cfg() { return AccelConfig{}; }
+
+TEST(BatchPipeline, BatchOfOneMatchesSerial) {
+  const auto report =
+      estimate_batch_performance(cfg(), ref::bert_variant(), 1);
+  EXPECT_EQ(report.pipelined_cycles, report.serial_cycles);
+  EXPECT_DOUBLE_EQ(report.speedup_vs_serial, 1.0);
+}
+
+TEST(BatchPipeline, NeverSlowerThanSerial) {
+  for (uint32_t batch : {1u, 2u, 4u, 16u, 64u}) {
+    for (const auto& name : ref::model_names()) {
+      const auto report =
+          estimate_batch_performance(cfg(), ref::find_model(name), batch);
+      EXPECT_LE(report.pipelined_cycles, report.serial_cycles)
+          << name << " batch=" << batch;
+      EXPECT_GE(report.speedup_vs_serial, 1.0);
+    }
+  }
+}
+
+TEST(BatchPipeline, SpeedupBoundedByTwoStages) {
+  // A two-stage pipeline cannot exceed 2x.
+  const auto report =
+      estimate_batch_performance(cfg(), ref::bert_variant(), 64);
+  EXPECT_LE(report.speedup_vs_serial, 2.0);
+}
+
+TEST(BatchPipeline, SteadyStateApproachesBottleneckRate) {
+  const auto model = ref::bert_variant();
+  const auto report = estimate_batch_performance(cfg(), model, 64);
+  const hw::Cycles bottleneck_layer =
+      std::max(report.mha_stage_cycles, report.ffn_stage_cycles) /
+      model.num_layers;
+  const double per_seq =
+      static_cast<double>(report.pipelined_cycles) / 64.0;
+  const double floor_cycles =
+      static_cast<double>(bottleneck_layer) * model.num_layers;
+  EXPECT_NEAR(per_seq / floor_cycles, 1.0, 0.05);
+}
+
+TEST(BatchPipeline, ThroughputGrowsWithBatch) {
+  const auto model = ref::bert_variant();
+  const auto b1 = estimate_batch_performance(cfg(), model, 1);
+  const auto b8 = estimate_batch_performance(cfg(), model, 8);
+  EXPECT_GT(b8.throughput_seq_per_s, b1.throughput_seq_per_s);
+}
+
+TEST(BatchPipeline, FfnBoundForBert) {
+  // The paper's workload is FFN-dominated, so pipelining gains little.
+  const auto report =
+      estimate_batch_performance(cfg(), ref::bert_variant(), 16);
+  EXPECT_GT(report.ffn_stage_cycles, report.mha_stage_cycles);
+  EXPECT_LT(report.speedup_vs_serial, 1.1);
+}
+
+TEST(BatchPipeline, StageSplitCoversWholeLayer) {
+  const auto model = ref::bert_variant();
+  const auto report = estimate_batch_performance(cfg(), model, 1);
+  const auto perf = estimate_performance(cfg(), model);
+  EXPECT_EQ(report.mha_stage_cycles + report.ffn_stage_cycles,
+            perf.total_cycles);
+}
+
+TEST(BatchPipeline, RejectsZeroBatch) {
+  EXPECT_THROW(estimate_batch_performance(cfg(), ref::bert_variant(), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace protea::accel

@@ -1,0 +1,352 @@
+// Tests for the decoder extension (paper §VI future work): the float
+// reference decoder, causal masking properties, the quantized decoder
+// datapath and its cycle model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/decoder_accelerator.hpp"
+#include "accel/decoder_model.hpp"
+#include "accel/softmax_unit.hpp"
+#include "ref/decoder.hpp"
+#include "ref/encoder.hpp"
+#include "ref/weights.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace protea {
+namespace {
+
+ref::ModelConfig small_config() {
+  ref::ModelConfig c;
+  c.seq_len = 12;          // max target length
+  c.d_model = 48;
+  c.num_heads = 4;
+  c.num_layers = 2;
+  c.activation = ref::Activation::kGelu;
+  return c;
+}
+
+tensor::MatrixF random_input(size_t rows, size_t cols, uint64_t seed) {
+  tensor::MatrixF m(rows, cols);
+  util::Xoshiro256 rng(seed);
+  for (float& x : m.flat()) {
+    x = static_cast<float>(std::clamp(rng.normal(), -3.0, 3.0));
+  }
+  return m;
+}
+
+double correlation(const tensor::MatrixF& a, const tensor::MatrixF& b) {
+  double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+  const auto n = static_cast<double>(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double x = a.flat()[i], y = b.flat()[i];
+    sa += x; sb += y; saa += x * x; sbb += y * y; sab += x * y;
+  }
+  const double cov = sab / n - (sa / n) * (sb / n);
+  return cov / std::sqrt((saa / n - (sa / n) * (sa / n)) *
+                         (sbb / n - (sb / n) * (sb / n)));
+}
+
+// --- reference decoder -------------------------------------------------------
+
+TEST(RefDecoder, OutputShapeFollowsTarget) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 1);
+  ref::Decoder dec(w);
+  const auto memory = random_input(10, cfg.d_model, 2);
+  const auto target = random_input(7, cfg.d_model, 3);
+  const auto out = dec.forward(target, memory);
+  EXPECT_EQ(out.rows(), 7u);
+  EXPECT_EQ(out.cols(), cfg.d_model);
+}
+
+TEST(RefDecoder, CausalityFutureTokensDoNotAffectPast) {
+  // The decisive property of masked self-attention: changing target
+  // positions >= p must not change outputs at positions < p.
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 4);
+  ref::Decoder dec(w);
+  const auto memory = random_input(8, cfg.d_model, 5);
+  auto target_a = random_input(10, cfg.d_model, 6);
+  auto target_b = target_a;
+  for (size_t r = 6; r < 10; ++r) {      // perturb the tail
+    for (size_t c = 0; c < cfg.d_model; ++c) target_b(r, c) += 1.0f;
+  }
+  const auto out_a = dec.forward(target_a, memory);
+  const auto out_b = dec.forward(target_b, memory);
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < cfg.d_model; ++c) {
+      EXPECT_NEAR(out_a(r, c), out_b(r, c), 1e-5) << r << "," << c;
+    }
+  }
+}
+
+TEST(RefDecoder, PrefixConsistency) {
+  // Running a prefix alone equals the prefix of the full run — the
+  // property autoregressive decoding relies on.
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 7);
+  ref::Decoder dec(w);
+  const auto memory = random_input(8, cfg.d_model, 8);
+  const auto target = random_input(9, cfg.d_model, 9);
+  const auto full = dec.forward(target, memory);
+  const auto prefix = dec.forward(target.slice_rows(0, 5), memory);
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < cfg.d_model; ++c) {
+      EXPECT_NEAR(full(r, c), prefix(r, c), 1e-5);
+    }
+  }
+}
+
+TEST(RefDecoder, MemoryActuallyUsed) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 10);
+  ref::Decoder dec(w);
+  const auto target = random_input(6, cfg.d_model, 11);
+  const auto mem_a = random_input(8, cfg.d_model, 12);
+  const auto mem_b = random_input(8, cfg.d_model, 13);
+  EXPECT_GT(tensor::max_abs_diff(dec.forward(target, mem_a),
+                                 dec.forward(target, mem_b)),
+            1e-3f);
+}
+
+TEST(RefDecoder, TraceMaskedWeightsAreCausalAndStochastic) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 14);
+  ref::Decoder dec(w);
+  std::vector<ref::DecoderLayerTrace> traces;
+  dec.forward_traced(random_input(8, cfg.d_model, 15),
+                     random_input(8, cfg.d_model, 16), traces);
+  ASSERT_EQ(traces.size(), cfg.num_layers);
+  for (const auto& weights : traces[0].self_weights) {
+    for (size_t i = 0; i < weights.rows(); ++i) {
+      float sum = 0.0f;
+      for (size_t j = 0; j < weights.cols(); ++j) {
+        if (j > i) {
+          EXPECT_FLOAT_EQ(weights(i, j), 0.0f) << i << "," << j;
+        }
+        sum += weights(i, j);
+      }
+      EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+  }
+}
+
+TEST(RefDecoder, RejectsBadShapes) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 17);
+  ref::Decoder dec(w);
+  const auto memory = random_input(8, cfg.d_model, 18);
+  EXPECT_THROW(dec.forward(random_input(20, cfg.d_model, 19), memory),
+               std::invalid_argument);  // target > seq_len
+  EXPECT_THROW(dec.forward(random_input(4, 32, 20), memory),
+               std::invalid_argument);  // wrong width
+}
+
+TEST(RefDecoder, DeterministicWeights) {
+  const auto cfg = small_config();
+  const auto a = ref::make_random_decoder_weights(cfg, 21);
+  const auto b = ref::make_random_decoder_weights(cfg, 21);
+  EXPECT_EQ(a.layers[0].cq, b.layers[0].cq);
+  EXPECT_EQ(a.layers[1].w2, b.layers[1].w2);
+}
+
+// --- causal softmax unit ------------------------------------------------------
+
+TEST(CausalSoftmax, MaskedPositionsZero) {
+  accel::SoftmaxUnit unit(0.05);
+  tensor::MatrixI8 logits(4, 4, 10);
+  const auto w = unit.run_causal(logits);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) EXPECT_EQ(w(i, j), 0);
+  }
+}
+
+TEST(CausalSoftmax, RowSumsApprox127OverValidPrefix) {
+  accel::SoftmaxUnit unit(0.05);
+  util::Xoshiro256 rng(22);
+  tensor::MatrixI8 logits(6, 6);
+  for (auto& v : logits.flat()) v = static_cast<int8_t>(rng.bounded(255));
+  const auto w = unit.run_causal(logits);
+  for (size_t i = 0; i < 6; ++i) {
+    int sum = 0;
+    for (size_t j = 0; j <= i; ++j) sum += w(i, j);
+    EXPECT_NEAR(sum, 127, 8) << "row " << i;
+  }
+}
+
+TEST(CausalSoftmax, FirstRowIsDelta) {
+  accel::SoftmaxUnit unit(0.05);
+  tensor::MatrixI8 logits(3, 3, -20);
+  const auto w = unit.run_causal(logits);
+  EXPECT_EQ(w(0, 0), 127);  // only itself visible
+}
+
+TEST(CausalSoftmax, MatchesUnmaskedOnLastRow) {
+  accel::SoftmaxUnit unit(0.05);
+  util::Xoshiro256 rng(23);
+  tensor::MatrixI8 logits(5, 5);
+  for (auto& v : logits.flat()) v = static_cast<int8_t>(rng.bounded(255));
+  const auto causal = unit.run_causal(logits);
+  const auto full = unit.run(logits);
+  for (size_t j = 0; j < 5; ++j) EXPECT_EQ(causal(4, j), full(4, j));
+}
+
+// --- quantized decoder --------------------------------------------------------
+
+TEST(QuantizedDecoder, ScalesArePowersOfTwo) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 24);
+  ref::Decoder dec(w);
+  const auto target = random_input(8, cfg.d_model, 25);
+  const auto memory = random_input(8, cfg.d_model, 26);
+  const auto scales = accel::calibrate_decoder_scales(dec, target, memory);
+  ASSERT_EQ(scales.size(), cfg.num_layers);
+  for (const auto& s : scales) {
+    for (double v : {s.x, s.memory, s.q, s.clogit, s.csv, s.ln3}) {
+      const double l = std::log2(v);
+      EXPECT_NEAR(l, std::round(l), 1e-9);
+    }
+  }
+}
+
+TEST(QuantizedDecoder, LayoutShapes) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 27);
+  const auto qd = accel::prepare_decoder(
+      w, random_input(8, cfg.d_model, 28), random_input(8, cfg.d_model, 29));
+  ASSERT_EQ(qd.layers.size(), cfg.num_layers);
+  EXPECT_EQ(qd.layers[0].self_heads.size(), cfg.num_heads);
+  EXPECT_EQ(qd.layers[0].cross_heads.size(), cfg.num_heads);
+  EXPECT_EQ(qd.layers[0].cross_heads[0].ckt.rows(), cfg.head_dim());
+  EXPECT_EQ(qd.layers[0].w1.cols(), cfg.ffn_hidden());
+}
+
+TEST(DecoderAccelerator, TracksFloatReference) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 30);
+  ref::Decoder dec(w);
+  const auto target = random_input(8, cfg.d_model, 31);
+  const auto memory = random_input(8, cfg.d_model, 32);
+  const auto ref_out = dec.forward(target, memory);
+
+  accel::AccelConfig acfg;
+  accel::ProteaDecoderAccelerator acc(acfg);
+  acc.load_model(accel::prepare_decoder(w, target, memory));
+  const auto out = acc.forward(target, memory);
+  EXPECT_LT(tensor::rms_diff(out, ref_out), 0.25f);
+  EXPECT_GT(correlation(out, ref_out), 0.95);
+}
+
+TEST(DecoderAccelerator, CausalityHoldsInInt8) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 33);
+  const auto memory = random_input(8, cfg.d_model, 34);
+  auto target_a = random_input(10, cfg.d_model, 35);
+  auto target_b = target_a;
+  for (size_t c = 0; c < cfg.d_model; ++c) target_b(9, c) += 2.0f;
+
+  accel::AccelConfig acfg;
+  accel::ProteaDecoderAccelerator acc(acfg);
+  acc.load_model(accel::prepare_decoder(w, target_a, memory));
+  const auto out_a = acc.forward(target_a, memory);
+  const auto out_b = acc.forward(target_b, memory);
+  // Outputs at positions < 9 must be bit-identical: the int8 datapath's
+  // causal mask leaves no path from position 9 backwards.
+  for (size_t r = 0; r < 9; ++r) {
+    for (size_t c = 0; c < cfg.d_model; ++c) {
+      EXPECT_FLOAT_EQ(out_a(r, c), out_b(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(DecoderAccelerator, PrefixRunsWork) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 36);
+  const auto target = random_input(10, cfg.d_model, 37);
+  const auto memory = random_input(8, cfg.d_model, 38);
+  accel::AccelConfig acfg;
+  accel::ProteaDecoderAccelerator acc(acfg);
+  acc.load_model(accel::prepare_decoder(w, target, memory));
+  const auto out = acc.forward(target.slice_rows(0, 3), memory);
+  EXPECT_EQ(out.rows(), 3u);
+}
+
+TEST(DecoderAccelerator, ValidatesInputs) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 39);
+  const auto target = random_input(8, cfg.d_model, 40);
+  const auto memory = random_input(8, cfg.d_model, 41);
+  accel::AccelConfig acfg;
+  accel::ProteaDecoderAccelerator acc(acfg);
+  EXPECT_THROW(acc.forward(target, memory), std::logic_error);
+  acc.load_model(accel::prepare_decoder(w, target, memory));
+  EXPECT_THROW(acc.forward(random_input(20, cfg.d_model, 42), memory),
+               std::invalid_argument);
+  EXPECT_THROW(acc.forward(target, random_input(8, 32, 43)),
+               std::invalid_argument);
+}
+
+// --- decoder perf model ---------------------------------------------------------
+
+TEST(DecoderPerf, LinearInLayers) {
+  accel::AccelConfig cfg;
+  ref::ModelConfig m = small_config();
+  m.d_model = 256;
+  m.num_heads = 8;
+  const auto r2 = accel::estimate_decoder_performance(cfg, m, 12, 16);
+  m.num_layers = 4;
+  const auto r4 = accel::estimate_decoder_performance(cfg, m, 12, 16);
+  EXPECT_NEAR(static_cast<double>(r4.total_cycles) / r2.total_cycles, 2.0,
+              1e-9);
+}
+
+TEST(DecoderPerf, GrowsWithMemoryLength) {
+  accel::AccelConfig cfg;
+  const ref::ModelConfig m = small_config();
+  const auto short_mem =
+      accel::estimate_decoder_performance(cfg, m, 8, 8);
+  const auto long_mem =
+      accel::estimate_decoder_performance(cfg, m, 8, 64);
+  EXPECT_GT(long_mem.total_cycles, short_mem.total_cycles);
+}
+
+TEST(DecoderPerf, CrossAttentionStagesPresent) {
+  accel::AccelConfig cfg;
+  const auto report =
+      accel::estimate_decoder_performance(cfg, small_config(), 8, 16);
+  EXPECT_GT(report.stage("cross_kv").total, 0u);
+  EXPECT_GT(report.stage("cross_softmax").total, 0u);
+  EXPECT_GT(report.stage("self_softmax").total, 0u);
+  hw::Cycles sum = 0;
+  for (const auto& s : report.stages) sum += s.total;
+  EXPECT_EQ(sum, report.layer_cycles);
+}
+
+TEST(DecoderPerf, MacCounterMatchesModel) {
+  const auto cfg = small_config();
+  const auto w = ref::make_random_decoder_weights(cfg, 44);
+  const auto target = random_input(cfg.seq_len, cfg.d_model, 45);
+  const auto memory = random_input(8, cfg.d_model, 46);
+  accel::AccelConfig acfg;
+  accel::ProteaDecoderAccelerator acc(acfg);
+  acc.load_model(accel::prepare_decoder(w, target, memory));
+  acc.forward(target, memory);
+  const auto report = acc.performance(cfg.seq_len, 8);
+  EXPECT_EQ(report.macs, acc.stats().macs);
+}
+
+TEST(DecoderPerf, ValidatesLengths) {
+  accel::AccelConfig cfg;
+  const auto m = small_config();
+  EXPECT_THROW(accel::estimate_decoder_performance(cfg, m, 0, 8),
+               std::invalid_argument);
+  EXPECT_THROW(accel::estimate_decoder_performance(cfg, m, 8, 0),
+               std::invalid_argument);
+  EXPECT_THROW(accel::estimate_decoder_performance(cfg, m, 999, 8),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace protea

@@ -1,0 +1,132 @@
+// Tests for the Vitis HLS artifact generator: the emitted pragmas must
+// match the assumptions the frequency/perf models charge for.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "hls/hls_codegen.hpp"
+#include "hw/frequency_model.hpp"
+
+namespace protea::hls {
+namespace {
+
+hw::SynthParams paper() { return hw::paper_synth_params(); }
+
+bool contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+TEST(HlsCodegen, HeaderCarriesSynthesisConstants) {
+  const std::string header = generate_params_header(paper());
+  EXPECT_TRUE(contains(header, "#define TS_MHA 64"));
+  EXPECT_TRUE(contains(header, "#define TS_FFN 128"));
+  EXPECT_TRUE(contains(header, "#define MAX_HEADS 8"));
+  EXPECT_TRUE(contains(header, "#define MAX_D_MODEL 768"));
+  EXPECT_TRUE(contains(header, "#define HEAD_DIM_MAX 96"));
+  EXPECT_TRUE(contains(header, "#define TILES_MHA_MAX 12"));
+  EXPECT_TRUE(contains(header, "#define TILES_FFN_MAX 6"));
+}
+
+TEST(HlsCodegen, HeaderUsesApFixedWithSaturation) {
+  const std::string header = generate_params_header(paper());
+  // The paper's 8-bit fixed format with convergent rounding + saturation.
+  EXPECT_TRUE(contains(header, "ap_fixed<8, 3, AP_RND_CONV, AP_SAT>"));
+}
+
+TEST(HlsCodegen, QkvEnginePragmasMatchCycleModel) {
+  const std::string src = generate_qkv_engine(paper());
+  // Partition factor = TS_MHA on all four operand arrays — this is what
+  // sustains the 4*TS_MHA = 256 parallel reads at II=1.
+  EXPECT_TRUE(contains(src, "ARRAY_PARTITION variable=x cyclic factor=64"));
+  EXPECT_TRUE(contains(src, "ARRAY_PARTITION variable=wq cyclic factor=64"));
+  EXPECT_TRUE(contains(src, "#pragma HLS PIPELINE II=1"));
+  EXPECT_TRUE(contains(src, "#pragma HLS PIPELINE off"));
+  EXPECT_TRUE(contains(src, "#pragma HLS UNROLL"));
+  // Algorithm 1's three parallel MAC streams.
+  EXPECT_TRUE(contains(src, "sq += x[i][j] * wq[kk][j];"));
+  EXPECT_TRUE(contains(src, "sv += x[i][j] * wv[kk][j];"));
+}
+
+TEST(HlsCodegen, QkEngineUnrollsHeadDim) {
+  const std::string src = generate_qk_engine(paper());
+  EXPECT_TRUE(contains(src, "cyclic factor=96"));  // d_max / h_max
+  EXPECT_TRUE(contains(src, "kk < HEAD_DIM_MAX"));
+}
+
+TEST(HlsCodegen, SvEngineUnrollsSequence) {
+  const std::string src = generate_sv_engine(paper());
+  EXPECT_TRUE(contains(src, "cyclic factor=64"));  // SL unroll
+  EXPECT_TRUE(contains(src, "kk < SL_UNROLL"));
+}
+
+TEST(HlsCodegen, FfnEnginePragmasMatchCycleModel) {
+  const std::string src = generate_ffn_engine(paper());
+  EXPECT_TRUE(contains(src, "cyclic factor=128"));  // TS_FFN
+  // Fig. 6 accumulation: outputs accumulate across row tiles.
+  EXPECT_TRUE(contains(src, "outputs[i][j] += sum;"));
+}
+
+TEST(HlsCodegen, TopHasAxiInterfacesAndBoundChecks) {
+  const std::string src = generate_top(paper());
+  EXPECT_TRUE(contains(src, "INTERFACE m_axi"));
+  EXPECT_TRUE(contains(src, "INTERFACE s_axilite port=seq_len"));
+  EXPECT_TRUE(contains(src, "seq_len > MAX_SEQ_LEN"));
+}
+
+TEST(HlsCodegen, TclTargetsU55cAt200MHz) {
+  const std::string tcl =
+      generate_synthesis_tcl(paper(), hw::alveo_u55c(), 200.0);
+  EXPECT_TRUE(contains(tcl, "xcu55c"));
+  EXPECT_TRUE(contains(tcl, "create_clock -period 5"));  // 5 ns = 200 MHz
+  EXPECT_TRUE(contains(tcl, "csynth_design"));
+  EXPECT_TRUE(contains(tcl, "cosim_design"));
+}
+
+TEST(HlsCodegen, TclMatchesFrequencyModelTarget) {
+  // The generated clock constraint equals what the frequency model says
+  // this synthesis achieves.
+  const double fmax = hw::fmax_mhz(paper());
+  const std::string tcl =
+      generate_synthesis_tcl(paper(), hw::alveo_u55c(), fmax);
+  std::ostringstream expect;
+  expect << "create_clock -period " << 1000.0 / fmax;
+  EXPECT_TRUE(contains(tcl, expect.str()));
+}
+
+TEST(HlsCodegen, DifferentTileSizesChangeOutput) {
+  hw::SynthParams other = paper();
+  other.ts_mha = 32;
+  EXPECT_NE(generate_qkv_engine(paper()), generate_qkv_engine(other));
+  EXPECT_TRUE(contains(generate_qkv_engine(other), "factor=32"));
+}
+
+TEST(HlsCodegen, WriteProjectEmitsSevenFiles) {
+  const std::string dir = testing::TempDir() + "/protea_hls_project";
+  const int files =
+      write_hls_project(dir, paper(), hw::alveo_u55c(), 200.0);
+  EXPECT_EQ(files, 7);
+  for (const char* name :
+       {"protea_params.h", "qkv_engine.cpp", "qk_engine.cpp",
+        "sv_engine.cpp", "ffn_engine.cpp", "protea_top.cpp",
+        "run_hls.tcl"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + name)) << name;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HlsCodegen, RejectsBadFrequency) {
+  EXPECT_THROW(generate_synthesis_tcl(paper(), hw::alveo_u55c(), 0.0),
+               std::invalid_argument);
+}
+
+TEST(HlsCodegen, AllSupportedDevicesHaveParts) {
+  for (const hw::Device* device : hw::all_devices()) {
+    EXPECT_NO_THROW(generate_synthesis_tcl(paper(), *device, 100.0))
+        << device->name;
+  }
+}
+
+}  // namespace
+}  // namespace protea::hls

@@ -1,0 +1,404 @@
+// Tests for the hardware substrate: cycle accounting, devices, BRAM
+// banking, AXI/HBM transfer models, resource model (pinned to the paper's
+// Table I utilization) and the frequency/II model (paper Fig. 7).
+#include <gtest/gtest.h>
+
+#include "hw/axi.hpp"
+#include "hw/bram.hpp"
+#include "hw/clock.hpp"
+#include "hw/device.hpp"
+#include "hw/frequency_model.hpp"
+#include "hw/hbm.hpp"
+#include "hw/pe_array.hpp"
+#include "hw/resource_model.hpp"
+#include "hw/synth_params.hpp"
+
+namespace protea::hw {
+namespace {
+
+// --- clock helpers ----------------------------------------------------------
+
+TEST(Clock, PipelinedLoopFormula) {
+  EXPECT_EQ(pipelined_loop(0), 0u);
+  EXPECT_EQ(pipelined_loop(1, 1, 1), 1u);
+  EXPECT_EQ(pipelined_loop(10, 1, 1), 10u);
+  EXPECT_EQ(pipelined_loop(10, 1, 5), 14u);   // depth + (trips-1)
+  EXPECT_EQ(pipelined_loop(10, 2, 5), 23u);   // II=2
+}
+
+TEST(Clock, SerialOuterLoop) {
+  EXPECT_EQ(serial_outer_loop(4, 100, 2), 408u);
+  EXPECT_EQ(serial_outer_loop(0, 100, 2), 0u);
+}
+
+TEST(Clock, OverlappedTilesHidesFasterSide) {
+  // compute-bound: prologue load + tiles*compute + nothing extra
+  EXPECT_EQ(overlapped_tiles(4, 10, 100), 10 + 3 * 100 + 100);
+  // load-bound
+  EXPECT_EQ(overlapped_tiles(4, 100, 10), 100 + 3 * 100 + 10);
+  EXPECT_EQ(overlapped_tiles(0, 10, 100), 0u);
+  EXPECT_EQ(overlapped_tiles(1, 10, 100), 110u);
+}
+
+TEST(Clock, SequentialTilesIsSum) {
+  EXPECT_EQ(sequential_tiles(4, 10, 100), 440u);
+}
+
+TEST(Clock, OverlapNeverSlowerThanSequential) {
+  for (uint64_t tiles : {1u, 2u, 7u, 100u}) {
+    for (uint64_t load : {1u, 50u, 500u}) {
+      for (uint64_t compute : {1u, 50u, 500u}) {
+        EXPECT_LE(overlapped_tiles(tiles, load, compute),
+                  sequential_tiles(tiles, load, compute));
+      }
+    }
+  }
+}
+
+TEST(Clock, CyclesToTime) {
+  EXPECT_DOUBLE_EQ(cycles_to_ms(200000, 200.0), 1.0);
+  EXPECT_DOUBLE_EQ(cycles_to_us(200, 200.0), 1.0);
+}
+
+// --- devices ------------------------------------------------------------------
+
+TEST(Device, U55cBudgetMatchesDatasheet) {
+  const Device& d = alveo_u55c();
+  EXPECT_EQ(d.budget.dsp, 9024u);
+  EXPECT_EQ(d.budget.lut, 1303680u);
+  EXPECT_EQ(d.budget.ff, 2607360u);
+  EXPECT_EQ(d.budget.bram36, 2016u);
+  EXPECT_GT(d.hbm_bandwidth_gbps, 400.0);
+}
+
+TEST(Device, LookupByNameAndAlias) {
+  EXPECT_EQ(find_device("Alveo U55C").budget.dsp, 9024u);
+  EXPECT_EQ(find_device("u55c").budget.dsp, 9024u);
+  EXPECT_EQ(find_device("ZCU102").budget.dsp, 2520u);
+  EXPECT_THROW(find_device("xyz"), std::invalid_argument);
+}
+
+TEST(Device, AllDevicesRegistered) {
+  EXPECT_EQ(all_devices().size(), 5u);
+}
+
+TEST(Device, UtilizationFraction) {
+  EXPECT_DOUBLE_EQ(utilization(3612, 9024), 3612.0 / 9024.0);
+  EXPECT_DOUBLE_EQ(utilization(1, 0), 0.0);
+}
+
+// --- BRAM banking ----------------------------------------------------------------
+
+TEST(Bram, BankingCoversParallelism) {
+  // 64 parallel reads on dual-port banks -> 32 banks.
+  const BankingPlan plan = plan_banking(6144, 64);
+  EXPECT_EQ(plan.banks, 32u);
+  EXPECT_EQ(plan.bytes_per_bank, 192u);
+  EXPECT_TRUE(plan.uses_lutram);  // 192 B banks go to LUTRAM
+}
+
+TEST(Bram, LargeBanksUseBram36) {
+  const BankingPlan plan = plan_banking(1u << 20, 4);  // 1 MiB over 2 banks
+  EXPECT_EQ(plan.banks, 2u);
+  EXPECT_FALSE(plan.uses_lutram);
+  EXPECT_EQ(plan.bram36_count,
+            2 * ((plan.bytes_per_bank + kBram36Bytes - 1) / kBram36Bytes));
+}
+
+TEST(Bram, ZeroBytesNeedsNothing) {
+  const BankingPlan plan = plan_banking(0, 64);
+  EXPECT_EQ(plan.banks, 0u);
+  EXPECT_EQ(plan.bram36_count, 0u);
+}
+
+TEST(Bram, SingleReadStillGetsOneBank) {
+  const BankingPlan plan = plan_banking(100, 1);
+  EXPECT_EQ(plan.banks, 1u);
+}
+
+TEST(BankedBuffer, AllowsTwoPortsPerBankPerCycle) {
+  BankedBuffer buf(64, 1, 32);
+  buf.begin_cycle();
+  // Elements 0 and 32 share bank 0: exactly two ports — legal.
+  EXPECT_NO_THROW(buf.access(0));
+  EXPECT_NO_THROW(buf.access(32));
+  EXPECT_EQ(buf.peak_ports(), 2u);
+}
+
+TEST(BankedBuffer, DetectsPortConflict) {
+  BankedBuffer buf(96, 1, 32);
+  buf.begin_cycle();
+  buf.access(0);
+  buf.access(32);
+  EXPECT_THROW(buf.access(64), std::runtime_error);  // third hit on bank 0
+}
+
+TEST(BankedBuffer, CycleBoundaryResetsPorts) {
+  BankedBuffer buf(64, 1, 32);
+  buf.begin_cycle();
+  buf.access(0);
+  buf.access(32);
+  buf.begin_cycle();
+  EXPECT_NO_THROW(buf.access(0));
+  EXPECT_EQ(buf.total_accesses(), 3u);
+}
+
+TEST(BankedBuffer, FullyPartitionedNeverConflicts) {
+  // One bank per element (full partition): any access pattern is legal.
+  BankedBuffer buf(64, 1, 64);
+  buf.begin_cycle();
+  for (uint64_t i = 0; i < 64; ++i) EXPECT_NO_THROW(buf.access(i));
+}
+
+TEST(BankedBuffer, BoundsChecked) {
+  BankedBuffer buf(8, 1, 4);
+  buf.begin_cycle();
+  EXPECT_THROW(buf.access(8), std::out_of_range);
+  EXPECT_THROW(BankedBuffer(8, 1, 0), std::invalid_argument);
+}
+
+// --- AXI ---------------------------------------------------------------------------
+
+TEST(Axi, BeatsPlusBurstOverhead) {
+  AxiMaster axi;  // 512-bit bus = 64 B/beat, 256-beat bursts, 12 cyc ovh
+  EXPECT_EQ(axi.read_cycles(0), 0u);
+  EXPECT_EQ(axi.read_cycles(64), 1u + 12u);
+  EXPECT_EQ(axi.read_cycles(65), 2u + 12u);
+  // 256 beats = one full burst.
+  EXPECT_EQ(axi.read_cycles(256 * 64), 256u + 12u);
+  // One byte more spills into a second burst.
+  EXPECT_EQ(axi.read_cycles(256 * 64 + 1), 257u + 24u);
+}
+
+TEST(Axi, ValidatesConfig) {
+  EXPECT_THROW(AxiMaster({.bus_bits = 0}), std::invalid_argument);
+  EXPECT_THROW(AxiMaster({.bus_bits = 12}), std::invalid_argument);
+  EXPECT_THROW(AxiMaster({.bus_bits = 64, .max_burst_beats = 0}),
+               std::invalid_argument);
+}
+
+TEST(Axi, TrafficCounters) {
+  AxiMaster axi;
+  axi.record_read(100);
+  axi.record_read(50);
+  axi.record_write(30);
+  EXPECT_EQ(axi.bytes_read(), 150u);
+  EXPECT_EQ(axi.bytes_written(), 30u);
+}
+
+// --- HBM ----------------------------------------------------------------------------
+
+TEST(Hbm, StripingSpeedsUpLoads) {
+  HbmModel hbm;
+  const uint64_t bytes = 1 << 20;
+  EXPECT_LT(hbm.load_cycles(bytes, 8), hbm.load_cycles(bytes, 1));
+  EXPECT_LE(hbm.load_cycles(bytes, 32), hbm.load_cycles(bytes, 8));
+}
+
+TEST(Hbm, EfficiencyInflatesCycles) {
+  HbmModel perfect({.channels = 8, .efficiency = 1.0});
+  HbmModel real({.channels = 8, .efficiency = 0.5});
+  EXPECT_GT(real.load_cycles(1 << 16, 4), perfect.load_cycles(1 << 16, 4));
+}
+
+TEST(Hbm, ValidatesChannelCount) {
+  HbmModel hbm;
+  EXPECT_THROW(hbm.load_cycles(100, 0), std::invalid_argument);
+  EXPECT_THROW(hbm.load_cycles(100, 33), std::invalid_argument);
+  EXPECT_THROW(HbmModel({.channels = 0}), std::invalid_argument);
+  EXPECT_THROW(HbmModel({.channels = 4, .efficiency = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Hbm, ConcurrentLoadTakesSlowest) {
+  HbmModel hbm;
+  const Cycles slow = hbm.concurrent_load_cycles({1 << 20});
+  EXPECT_EQ(hbm.concurrent_load_cycles({64, 1 << 20, 128}), slow);
+}
+
+TEST(Hbm, BytesPerCycleScalesWithChannels) {
+  HbmModel hbm;
+  EXPECT_DOUBLE_EQ(hbm.bytes_per_cycle(8), 2 * hbm.bytes_per_cycle(4));
+}
+
+// --- PE array ----------------------------------------------------------------------
+
+TEST(PeArray, MacAndUtilization) {
+  PeArray pes(4);
+  pes.mac(0, 3, 4);
+  pes.mac(0, 1, 1);
+  pes.mac(1, 2, 2);
+  EXPECT_EQ(pes.value(0), 13);
+  EXPECT_EQ(pes.value(1), 4);
+  EXPECT_EQ(pes.macs_issued(), 3u);
+  // 3 MACs over 4 PEs x 1 cycle.
+  EXPECT_DOUBLE_EQ(pes.utilization(1), 0.75);
+}
+
+TEST(PeArray, ResetAndBounds) {
+  PeArray pes(2);
+  pes.mac(0, 5, 5);
+  pes.reset_all();
+  EXPECT_EQ(pes.value(0), 0);
+  EXPECT_THROW(pes.mac(2, 1, 1), std::out_of_range);
+  EXPECT_THROW(PeArray(0), std::invalid_argument);
+}
+
+// --- synth params --------------------------------------------------------------------
+
+TEST(SynthParams, PaperDefaults) {
+  const SynthParams p = paper_synth_params();
+  EXPECT_EQ(p.ts_mha, 64u);
+  EXPECT_EQ(p.ts_ffn, 128u);
+  EXPECT_EQ(p.max_heads, 8u);
+  EXPECT_EQ(p.head_dim_max(), 96u);
+  EXPECT_EQ(p.tiles_mha_max(), 12u);  // the paper's optimal point
+  EXPECT_EQ(p.tiles_ffn_max(), 6u);
+  EXPECT_EQ(p.max_ffn_dim(), 3072u);
+}
+
+TEST(SynthParams, Validation) {
+  SynthParams p;
+  p.max_d_model = 770;  // not divisible by 8 heads
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SynthParams{};
+  p.bits = 12;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SynthParams{};
+  p.ts_mha = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+// --- resource model: pinned to Table I -----------------------------------------------
+
+TEST(ResourceModel, PaperDspCountExact) {
+  const ResourceReport r = estimate_resources(paper_synth_params());
+  // Table I: 3612 DSPs = 40% of the U55C.
+  EXPECT_EQ(r.used.dsp, 3612u);
+  EXPECT_NEAR(utilization(r.used.dsp, alveo_u55c().budget.dsp), 0.40,
+              0.005);
+}
+
+TEST(ResourceModel, PaperLutFfExact) {
+  const ResourceReport r = estimate_resources(paper_synth_params());
+  // Table I: 993107 LUTs (76%), 704115 FFs (27%).
+  EXPECT_EQ(r.used.lut, 993107u);
+  EXPECT_EQ(r.used.ff, 704115u);
+  EXPECT_NEAR(utilization(r.used.lut, alveo_u55c().budget.lut), 0.76, 0.01);
+  EXPECT_NEAR(utilization(r.used.ff, alveo_u55c().budget.ff), 0.27, 0.01);
+}
+
+TEST(ResourceModel, EnginePeBreakdownMatchesPaperFormulas) {
+  const ResourceReport r = estimate_resources(paper_synth_params());
+  // QKV: 3*TS_MHA per head; QK: d/h; SV: SL unroll; FFN1/2: TS_FFN;
+  // FFN3: 4*TS_FFN.
+  uint64_t qkv = 0, qk = 0, sv = 0, ffn3 = 0;
+  for (const auto& e : r.engines) {
+    if (e.name == "QKV_CE") qkv = e.pes;
+    if (e.name == "QK_CE") qk = e.pes;
+    if (e.name == "SV_CE") sv = e.pes;
+    if (e.name == "FFN3_CE") ffn3 = e.pes;
+  }
+  EXPECT_EQ(qkv, 192u);
+  EXPECT_EQ(qk, 96u);
+  EXPECT_EQ(sv, 64u);
+  EXPECT_EQ(ffn3, 512u);
+  EXPECT_EQ(r.total_pes, 3584u);
+  EXPECT_EQ(r.aux_dsp, 28u);
+}
+
+TEST(ResourceModel, FitsU55c) {
+  const ResourceReport r = estimate_resources(paper_synth_params());
+  EXPECT_TRUE(r.fits(alveo_u55c().budget));
+}
+
+TEST(ResourceModel, DoesNotFitZcu102) {
+  // The full 8-head U55C configuration cannot fit the small ZCU102.
+  const ResourceReport r = estimate_resources(paper_synth_params());
+  EXPECT_FALSE(r.fits(zcu102().budget));
+}
+
+TEST(ResourceModel, ResourcesGrowWithHeads) {
+  SynthParams small = paper_synth_params();
+  small.max_heads = 4;
+  SynthParams big = paper_synth_params();
+  big.max_heads = 8;
+  EXPECT_LT(estimate_resources(small).used.dsp,
+            estimate_resources(big).used.dsp);
+  EXPECT_LT(estimate_resources(small).used.lut,
+            estimate_resources(big).used.lut);
+}
+
+TEST(ResourceModel, ResourcesGrowWithTileSize) {
+  SynthParams small = paper_synth_params();
+  small.ts_mha = 32;
+  EXPECT_LT(estimate_resources(small).used.dsp,
+            estimate_resources(paper_synth_params()).used.dsp);
+}
+
+TEST(ResourceModel, MaxHeadsFittingU55cIsEight) {
+  // The paper: "the optimal number of parallel attention heads was
+  // determined to be 8 on the Alveo U55C".
+  EXPECT_EQ(max_heads_fitting(paper_synth_params(), alveo_u55c()), 8u);
+}
+
+TEST(ResourceModel, LutBoundBeforeDspBound) {
+  // Table I discussion: "Further DSP utilization was limited by the
+  // available LUTs" — at the paper's point LUT utilization (76%) is far
+  // above DSP utilization (40%).
+  const ResourceReport r = estimate_resources(paper_synth_params());
+  const auto& budget = alveo_u55c().budget;
+  EXPECT_GT(utilization(r.used.lut, budget.lut),
+            utilization(r.used.dsp, budget.dsp));
+}
+
+// --- frequency / II model (Fig. 7) -----------------------------------------------------
+
+TEST(FrequencyModel, PaperPointHits200MHz) {
+  EXPECT_DOUBLE_EQ(fmax_mhz(paper_synth_params()), 200.0);
+}
+
+TEST(FrequencyModel, PeakIsAtPaperTileSizes) {
+  const double peak = fmax_mhz(paper_synth_params());
+  for (uint32_t ts_mha : {16u, 32u, 128u, 192u}) {
+    SynthParams p = paper_synth_params();
+    p.ts_mha = ts_mha;
+    EXPECT_LT(fmax_mhz(p), peak) << "ts_mha=" << ts_mha;
+  }
+  for (uint32_t ts_ffn : {32u, 64u, 192u, 256u, 384u}) {
+    SynthParams p = paper_synth_params();
+    p.ts_ffn = ts_ffn;
+    EXPECT_LT(fmax_mhz(p), peak) << "ts_ffn=" << ts_ffn;
+  }
+}
+
+TEST(FrequencyModel, FlooredAtSixtyMHz) {
+  SynthParams p = paper_synth_params();
+  p.ts_mha = 512;
+  p.max_d_model = 4096;  // keep divisibility
+  EXPECT_GE(fmax_mhz(p), 60.0);
+}
+
+TEST(FrequencyModel, BreakdownConsistent) {
+  SynthParams p = paper_synth_params();
+  p.ts_mha = 128;
+  const FrequencyBreakdown b = frequency_model(p);
+  EXPECT_DOUBLE_EQ(b.fmax_mhz, b.base_mhz - b.mha_penalty - b.ffn_penalty);
+  EXPECT_GT(b.mha_penalty, 0.0);
+  EXPECT_DOUBLE_EQ(b.ffn_penalty, 0.0);
+}
+
+TEST(FrequencyModel, AchievedIiSteps) {
+  // <=256 parallel reads: II=1 (the paper's TS_MHA=64 / TS_FFN=128 are
+  // exactly at the limit: 4*64 = 2*128 = 256).
+  EXPECT_EQ(achieved_ii(0), 1u);
+  EXPECT_EQ(achieved_ii(256), 1u);
+  EXPECT_EQ(achieved_ii(257), 2u);
+  EXPECT_EQ(achieved_ii(4 * 64), 1u);
+  EXPECT_EQ(achieved_ii(2 * 128), 1u);
+  EXPECT_EQ(achieved_ii(4 * 128), 2u);   // TS_MHA=128 -> II=2
+  EXPECT_EQ(achieved_ii(2 * 384), 3u);   // TS_FFN=384 -> II=3
+}
+
+}  // namespace
+}  // namespace protea::hw

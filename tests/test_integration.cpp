@@ -1,0 +1,195 @@
+// Cross-module integration tests: the full deployment flow (train ->
+// save -> load -> quantize -> program via ISA -> run -> verify) and
+// consistency between the functional simulator and the analytic models.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "accel/accelerator.hpp"
+#include "accel/perf_model.hpp"
+#include "baseline/cpu_encoder.hpp"
+#include "baseline/published.hpp"
+#include "hw/frequency_model.hpp"
+#include "hw/resource_model.hpp"
+#include "isa/controller.hpp"
+#include "ref/encoder.hpp"
+#include "ref/model_io.hpp"
+#include "ref/model_zoo.hpp"
+#include "tensor/ops.hpp"
+
+namespace protea {
+namespace {
+
+ref::ModelConfig small_config() {
+  ref::ModelConfig c;
+  c.seq_len = 16;
+  c.d_model = 64;
+  c.num_heads = 4;
+  c.num_layers = 2;
+  c.activation = ref::Activation::kGelu;
+  return c;
+}
+
+TEST(Integration, FullDeploymentFlow) {
+  // 1. "Train" (random-init) and save the model to disk.
+  const auto cfg = small_config();
+  const auto weights = ref::make_random_weights(cfg, 91);
+  const std::string path = testing::TempDir() + "/protea_flow.bin";
+  ref::save_model(weights, path);
+
+  // 2. Host flow: load the checkpoint, calibrate and quantize.
+  const auto loaded = ref::load_model(path);
+  const auto input = ref::make_random_input(cfg, 92);
+  auto qmodel = accel::prepare_model(loaded, input);
+
+  // 3. Program the accelerator through the ISA and run.
+  accel::AccelConfig acfg;
+  accel::ProteaAccelerator accelerator(acfg);
+  isa::Controller controller(accelerator);
+  controller.bind_weights(0, std::move(qmodel));
+  controller.bind_input(0, input);
+  const auto results =
+      controller.execute(isa::assemble_program(cfg, 0, 0));
+  ASSERT_EQ(results.size(), 1u);
+
+  // 4. Verify against the float reference and the CPU baseline.
+  ref::Encoder reference(loaded);
+  const auto ref_out = reference.forward(input);
+  EXPECT_LT(tensor::rms_diff(results[0].output, ref_out), 0.2f);
+
+  baseline::CpuEncoder cpu(loaded, 2);
+  EXPECT_LE(tensor::max_abs_diff(cpu.forward(input), ref_out), 2e-4f);
+
+  std::filesystem::remove(path);
+}
+
+TEST(Integration, PerfModelAgreesWithFunctionalMacCount) {
+  // The analytic model's MAC count must equal what the engines actually
+  // execute — the operation accounting has a single source of truth.
+  const auto cfg = small_config();
+  const auto weights = ref::make_random_weights(cfg, 93);
+  const auto input = ref::make_random_input(cfg, 94);
+  accel::AccelConfig acfg;
+  accel::ProteaAccelerator accelerator(acfg);
+  accelerator.load_model(accel::prepare_model(weights, input));
+  accelerator.forward(input);
+  const accel::PerfReport report = accelerator.performance();
+  EXPECT_EQ(report.macs, accelerator.stats().macs);
+}
+
+TEST(Integration, ReprogrammingMatchesSeparateSyntheses) {
+  // Running model A then model B on one accelerator (runtime
+  // reprogramming) must give the same functional results as two separate
+  // accelerators — programmability cannot change the datapath.
+  const auto cfg_a = small_config();
+  ref::ModelConfig cfg_b = small_config();
+  cfg_b.num_heads = 8;
+  cfg_b.activation = ref::Activation::kRelu;
+
+  const auto w_a = ref::make_random_weights(cfg_a, 95);
+  const auto w_b = ref::make_random_weights(cfg_b, 96);
+  const auto x_a = ref::make_random_input(cfg_a, 97);
+  const auto x_b = ref::make_random_input(cfg_b, 98);
+
+  accel::AccelConfig acfg;
+  accel::ProteaAccelerator shared(acfg);
+  shared.load_model(accel::prepare_model(w_a, x_a));
+  const auto out_a_shared = shared.forward(x_a);
+  shared.load_model(accel::prepare_model(w_b, x_b));
+  const auto out_b_shared = shared.forward(x_b);
+
+  accel::ProteaAccelerator fresh_a(acfg), fresh_b(acfg);
+  fresh_a.load_model(accel::prepare_model(w_a, x_a));
+  fresh_b.load_model(accel::prepare_model(w_b, x_b));
+  EXPECT_EQ(out_a_shared, fresh_a.forward(x_a));
+  EXPECT_EQ(out_b_shared, fresh_b.forward(x_b));
+}
+
+TEST(Integration, AllZooModelsRunFunctionally) {
+  // Every Table II/III workload must execute end to end on the simulator
+  // (shrunk to their zoo shapes, which are all within the synthesis).
+  accel::AccelConfig acfg;
+  for (const auto& name : ref::model_names()) {
+    const auto cfg = ref::find_model(name);
+    if (cfg.d_model > 256) continue;  // keep the functional test fast
+    const auto weights = ref::make_random_weights(cfg, 99);
+    const auto input = ref::make_random_input(cfg, 100);
+    accel::ProteaAccelerator accelerator(acfg);
+    accelerator.load_model(accel::prepare_model(weights, input));
+    const auto out = accelerator.forward(input);
+    EXPECT_EQ(out.rows(), cfg.seq_len) << name;
+    EXPECT_EQ(out.cols(), cfg.d_model) << name;
+  }
+}
+
+TEST(Integration, Table2RowsInternallyConsistent) {
+  // The published DSP/GOPS/normalized-GOPS columns must satisfy the
+  // paper's own metric definition within rounding.
+  for (const auto& row : baseline::table2_results()) {
+    if (row.gops < 1.0) continue;  // [23] reports micro-GOPS, rounded
+    const double expected =
+        row.gops / static_cast<double>(row.dsp) * 1000.0;
+    EXPECT_NEAR(row.gops_per_dsp_x1000, expected,
+                expected * 0.05 + 1.0)
+        << row.citation;
+  }
+}
+
+TEST(Integration, SynthesisPointIsParetoReasonable) {
+  // The shipped synthesis (TS_MHA=64, TS_FFN=128) must both fit the U55C
+  // and be the fastest among the Fig. 7 grid points that fit.
+  const ref::ModelConfig bert = ref::bert_variant();
+  accel::AccelConfig best_cfg;
+  double best_latency = 1e18;
+  for (uint32_t ts_mha : {16u, 64u, 128u}) {
+    for (uint32_t ts_ffn : {128u, 192u, 256u, 384u}) {
+      accel::AccelConfig cfg;
+      cfg.synth.ts_mha = ts_mha;
+      cfg.synth.ts_ffn = ts_ffn;
+      const auto resources = hw::estimate_resources(cfg.synth);
+      if (!resources.fits(hw::alveo_u55c().budget)) continue;
+      const auto report = accel::estimate_performance(cfg, bert);
+      if (report.latency_ms < best_latency) {
+        best_latency = report.latency_ms;
+        best_cfg = cfg;
+      }
+    }
+  }
+  EXPECT_EQ(best_cfg.synth.ts_mha, 64u);
+  EXPECT_EQ(best_cfg.synth.ts_ffn, 128u);
+}
+
+TEST(Integration, QuantizationErrorShrinksWithWiderCalibrationMargin) {
+  // Sanity link between calibration and end-to-end error: an absurdly
+  // large margin wastes precision and must increase error.
+  const auto cfg = small_config();
+  const auto weights = ref::make_random_weights(cfg, 101);
+  const auto input = ref::make_random_input(cfg, 102);
+  ref::Encoder reference(weights);
+  const auto ref_out = reference.forward(input);
+
+  auto run_with_margin = [&](double margin) {
+    const auto scales =
+        accel::calibrate_scales(reference, input, margin);
+    accel::AccelConfig acfg;
+    accel::ProteaAccelerator accelerator(acfg);
+    accelerator.load_model(accel::quantize_model(weights, scales));
+    return tensor::rms_diff(accelerator.forward(input), ref_out);
+  };
+  EXPECT_LT(run_with_margin(1.25), run_with_margin(16.0));
+}
+
+TEST(Integration, EndToEndBertVariantPerfHeadline) {
+  // The repository's headline claim: the BERT variant at the paper's
+  // synthesis point runs in ~279 ms at 200 MHz with 40% DSP utilization.
+  accel::AccelConfig acfg;
+  const auto report =
+      accel::estimate_performance(acfg, ref::bert_variant());
+  EXPECT_NEAR(report.latency_ms, 279.0, 279.0 * 0.02);
+  EXPECT_DOUBLE_EQ(report.fmax_mhz, 200.0);
+  const auto resources = hw::estimate_resources(acfg.synth);
+  EXPECT_EQ(resources.used.dsp, 3612u);
+}
+
+}  // namespace
+}  // namespace protea

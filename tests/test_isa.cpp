@@ -1,0 +1,270 @@
+// Tests for the ISA: instruction encode/decode, assembly text round-trip,
+// the CSR file, and the MicroBlaze-style controller (runtime
+// programmability with bound-checking — the paper's §IV-D).
+#include <gtest/gtest.h>
+
+#include "accel/quantized_model.hpp"
+#include "isa/controller.hpp"
+#include "isa/csr.hpp"
+#include "isa/instruction.hpp"
+#include "ref/encoder.hpp"
+#include "tensor/ops.hpp"
+
+namespace protea::isa {
+namespace {
+
+ref::ModelConfig small_config() {
+  ref::ModelConfig c;
+  c.seq_len = 16;
+  c.d_model = 64;
+  c.num_heads = 4;
+  c.num_layers = 2;
+  return c;
+}
+
+// --- instruction encoding ------------------------------------------------------
+
+class OpcodeRoundTrip : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(OpcodeRoundTrip, EncodeDecodeIdentity) {
+  for (uint32_t operand : {0u, 1u, 768u, 0xFFFFFFFFu}) {
+    const Instruction inst{GetParam(), operand};
+    EXPECT_EQ(decode(encode(inst)), inst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Values(Opcode::kNop, Opcode::kSetSeqLen, Opcode::kSetDModel,
+                      Opcode::kSetHeads, Opcode::kSetLayers,
+                      Opcode::kSetActivation, Opcode::kLoadWeights,
+                      Opcode::kLoadInput, Opcode::kRun, Opcode::kHalt));
+
+TEST(Instruction, EncodingLayout) {
+  const Instruction inst{Opcode::kSetSeqLen, 64};
+  const uint64_t word = encode(inst);
+  EXPECT_EQ(word >> 56, 0x01u);
+  EXPECT_EQ(word & 0xFFFFFFFFu, 64u);
+}
+
+TEST(Instruction, TextRoundTrip) {
+  const std::vector<Instruction> program = {
+      {Opcode::kSetSeqLen, 64},   {Opcode::kSetDModel, 768},
+      {Opcode::kSetHeads, 8},     {Opcode::kSetLayers, 12},
+      {Opcode::kLoadWeights, 0},  {Opcode::kLoadInput, 1},
+      {Opcode::kRun, 0},          {Opcode::kHalt, 0},
+  };
+  EXPECT_EQ(parse_program(format_program(program)), program);
+}
+
+TEST(Instruction, ParseSkipsCommentsAndBlankLines) {
+  const auto program = parse_program(
+      "# configure the BERT variant\n"
+      "\n"
+      "set_seq_len 64\n"
+      "   # indented comment\n"
+      "run 0\n");
+  ASSERT_EQ(program.size(), 2u);
+  EXPECT_EQ(program[0].op, Opcode::kSetSeqLen);
+  EXPECT_EQ(program[1].op, Opcode::kRun);
+}
+
+TEST(Instruction, ParseErrors) {
+  EXPECT_THROW(parse_instruction("frobnicate 3"), std::invalid_argument);
+  EXPECT_THROW(parse_instruction("set_seq_len"), std::invalid_argument);
+  EXPECT_THROW(parse_instruction("set_seq_len abc"), std::invalid_argument);
+  EXPECT_THROW(parse_instruction(""), std::invalid_argument);
+}
+
+TEST(Instruction, ToStringForms) {
+  EXPECT_EQ(to_string({Opcode::kSetHeads, 8}), "set_heads 8");
+  EXPECT_EQ(to_string({Opcode::kHalt, 0}), "halt");
+  EXPECT_EQ(to_string({Opcode::kNop, 0}), "nop");
+}
+
+// --- CSR file ----------------------------------------------------------------------
+
+TEST(Csr, ConfigRegistersReadBack) {
+  CsrFile csr;
+  csr.write(CsrAddr::kSeqLen, 64);
+  csr.write(CsrAddr::kDModel, 768);
+  csr.write(CsrAddr::kHeads, 8);
+  csr.write(CsrAddr::kLayers, 12);
+  csr.write(CsrAddr::kActivation, 1);
+  EXPECT_EQ(csr.read(CsrAddr::kSeqLen), 64u);
+  EXPECT_EQ(csr.read(CsrAddr::kDModel), 768u);
+  EXPECT_EQ(csr.read(CsrAddr::kHeads), 8u);
+  EXPECT_EQ(csr.read(CsrAddr::kLayers), 12u);
+  EXPECT_EQ(csr.read(CsrAddr::kActivation), 1u);
+}
+
+TEST(Csr, StartPulseAndStatus) {
+  CsrFile csr;
+  EXPECT_FALSE(csr.start_pending());
+  csr.write(CsrAddr::kCtrl, 1);
+  EXPECT_TRUE(csr.start_pending());
+  EXPECT_EQ(csr.read(CsrAddr::kCtrl), 1u);
+  csr.clear_start();
+  EXPECT_FALSE(csr.start_pending());
+
+  csr.set_done(true);
+  EXPECT_EQ(csr.read(CsrAddr::kStatus), 1u);
+  csr.set_error(7);
+  EXPECT_EQ(csr.read(CsrAddr::kStatus), 3u);
+  EXPECT_EQ(csr.read(CsrAddr::kErrorCode), 7u);
+}
+
+TEST(Csr, ReadOnlyRegistersRejectWrites) {
+  CsrFile csr;
+  EXPECT_THROW(csr.write(CsrAddr::kStatus, 1), std::invalid_argument);
+  EXPECT_THROW(csr.write(CsrAddr::kErrorCode, 1), std::invalid_argument);
+}
+
+// --- controller -----------------------------------------------------------------------
+
+struct ControllerFixture {
+  ref::ModelConfig config = small_config();
+  ref::EncoderWeights weights;
+  tensor::MatrixF input;
+  accel::AccelConfig accel_config;
+  accel::ProteaAccelerator accelerator;
+  Controller controller;
+
+  ControllerFixture()
+      : weights(ref::make_random_weights(config, 71)),
+        input(ref::make_random_input(config, 72)),
+        accelerator(accel_config),
+        controller(accelerator) {
+    controller.bind_weights(0, accel::prepare_model(weights, input));
+    controller.bind_input(0, input);
+  }
+};
+
+TEST(Controller, AssembledProgramRuns) {
+  ControllerFixture fx;
+  const auto program = assemble_program(fx.config, 0, 0);
+  const auto results = fx.controller.execute(program);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].config.seq_len, fx.config.seq_len);
+  EXPECT_GT(results[0].perf.total_cycles, 0u);
+  EXPECT_TRUE(fx.controller.csr().done());
+  EXPECT_FALSE(fx.controller.csr().error());
+}
+
+TEST(Controller, MatchesDirectAcceleratorUse) {
+  ControllerFixture fx;
+  const auto results =
+      fx.controller.execute(assemble_program(fx.config, 0, 0));
+  ASSERT_EQ(results.size(), 1u);
+
+  accel::ProteaAccelerator direct(fx.accel_config);
+  direct.load_model(accel::prepare_model(fx.weights, fx.input));
+  EXPECT_EQ(results[0].output, direct.forward(fx.input));
+}
+
+TEST(Controller, RejectsOversizedProgramAndContinues) {
+  ControllerFixture fx;
+  // First run: d_model exceeding synthesis -> rejected via CSR error.
+  std::vector<Instruction> program = {
+      {Opcode::kSetSeqLen, 16},  {Opcode::kSetDModel, 4096},
+      {Opcode::kSetHeads, 4},    {Opcode::kSetLayers, 2},
+      {Opcode::kSetActivation, 0},
+      {Opcode::kLoadWeights, 0}, {Opcode::kLoadInput, 0},
+      {Opcode::kRun, 0},
+  };
+  // Second run: the valid program.
+  const auto good = assemble_program(fx.config, 0, 0);
+  program.insert(program.end(), good.begin(), good.end());
+
+  const auto results = fx.controller.execute(program);
+  ASSERT_EQ(results.size(), 1u);  // only the valid run executed
+  EXPECT_EQ(fx.controller.rejected_runs(), 1u);
+  EXPECT_FALSE(fx.controller.csr().error());  // cleared by the good run
+}
+
+TEST(Controller, RejectsProgramMismatchedWithLoadedWeights) {
+  ControllerFixture fx;
+  ref::ModelConfig wrong = fx.config;
+  wrong.d_model = 32;  // weights were built for 64
+  wrong.num_heads = 2;
+  const auto results =
+      fx.controller.execute(assemble_program(wrong, 0, 0));
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(fx.controller.rejected_runs(), 1u);
+  EXPECT_TRUE(fx.controller.csr().error());
+}
+
+TEST(Controller, RunWithoutLoadThrows) {
+  ControllerFixture fx;
+  const std::vector<Instruction> program = {
+      {Opcode::kSetSeqLen, 16}, {Opcode::kSetDModel, 64},
+      {Opcode::kSetHeads, 4},   {Opcode::kSetLayers, 2},
+      {Opcode::kRun, 0},
+  };
+  EXPECT_THROW(fx.controller.execute(program), std::logic_error);
+}
+
+TEST(Controller, UnboundSlotsThrow) {
+  ControllerFixture fx;
+  EXPECT_THROW(fx.controller.execute({{Opcode::kLoadWeights, 9}}),
+               std::out_of_range);
+  EXPECT_THROW(fx.controller.execute({{Opcode::kLoadInput, 9}}),
+               std::out_of_range);
+}
+
+TEST(Controller, HaltStopsExecution) {
+  ControllerFixture fx;
+  std::vector<Instruction> program = {{Opcode::kHalt, 0}};
+  const auto good = assemble_program(fx.config, 0, 0);
+  program.insert(program.end(), good.begin(), good.end());
+  EXPECT_TRUE(fx.controller.execute(program).empty());
+}
+
+TEST(Controller, ReprogramLayersBetweenRunsWithoutReload) {
+  // The headline feature: run the same loaded weights as a 2-layer and
+  // then a 1-layer encoder without touching the "hardware".
+  ControllerFixture fx;
+  auto program = assemble_program(fx.config, 0, 0);
+  program.pop_back();  // drop halt
+  ref::ModelConfig one_layer = fx.config;
+  one_layer.num_layers = 1;
+  program.push_back({Opcode::kSetLayers, 1});
+  program.push_back({Opcode::kRun, 1});
+  program.push_back({Opcode::kHalt, 0});
+
+  const auto results = fx.controller.execute(program);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].config.num_layers, 2u);
+  EXPECT_EQ(results[1].config.num_layers, 1u);
+  EXPECT_LT(results[1].perf.total_cycles, results[0].perf.total_cycles);
+}
+
+TEST(Controller, InputShapeMismatchThrows) {
+  ControllerFixture fx;
+  // Program claims SL=8 but the bound input has SL=16 rows.
+  ref::ModelConfig cfg = fx.config;
+  cfg.seq_len = 8;
+  EXPECT_THROW(fx.controller.execute(assemble_program(cfg, 0, 0)),
+               std::invalid_argument);
+}
+
+TEST(AssembleProgram, EmitsCanonicalSequence) {
+  const auto program = assemble_program(small_config(), 3, 4, 5);
+  ASSERT_EQ(program.size(), 9u);
+  EXPECT_EQ(program[0].op, Opcode::kSetSeqLen);
+  EXPECT_EQ(program[5].op, Opcode::kLoadWeights);
+  EXPECT_EQ(program[5].operand, 3u);
+  EXPECT_EQ(program[6].operand, 4u);
+  EXPECT_EQ(program[7].op, Opcode::kRun);
+  EXPECT_EQ(program[7].operand, 5u);
+  EXPECT_EQ(program.back().op, Opcode::kHalt);
+}
+
+TEST(AssembleProgram, ValidatesModel) {
+  ref::ModelConfig bad = small_config();
+  bad.num_heads = 3;  // 64 % 3 != 0
+  EXPECT_THROW(assemble_program(bad, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace protea::isa

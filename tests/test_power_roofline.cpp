@@ -1,0 +1,141 @@
+// Tests for the power/energy model and the roofline analysis.
+#include <gtest/gtest.h>
+
+#include "accel/perf_model.hpp"
+#include "hw/frequency_model.hpp"
+#include "hw/power_model.hpp"
+#include "hw/roofline.hpp"
+#include "ref/model_zoo.hpp"
+
+namespace protea::hw {
+namespace {
+
+SynthParams paper() { return paper_synth_params(); }
+
+// --- power model -----------------------------------------------------------
+
+TEST(PowerModel, BreakdownSumsToTotal) {
+  const PowerBreakdown p = estimate_power(paper(), 200.0, 0.4, 0.1);
+  EXPECT_NEAR(p.total_w,
+              p.static_w + p.dsp_w + p.bram_w + p.logic_w + p.hbm_w,
+              1e-9);
+}
+
+TEST(PowerModel, IdlePowerIsStaticOnly) {
+  const PowerBreakdown p = estimate_power(paper(), 200.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(p.dsp_w, 0.0);
+  EXPECT_DOUBLE_EQ(p.hbm_w, 0.0);
+  EXPECT_DOUBLE_EQ(p.total_w, p.static_w);
+  EXPECT_GT(p.static_w, 0.0);
+}
+
+TEST(PowerModel, ScalesWithActivityAndFrequency) {
+  const auto low = estimate_power(paper(), 200.0, 0.2, 0.1);
+  const auto high = estimate_power(paper(), 200.0, 0.8, 0.1);
+  EXPECT_NEAR(high.dsp_w, 4.0 * low.dsp_w, 1e-9);
+  const auto slow = estimate_power(paper(), 100.0, 0.4, 0.1);
+  const auto fast = estimate_power(paper(), 200.0, 0.4, 0.1);
+  EXPECT_NEAR(fast.dsp_w, 2.0 * slow.dsp_w, 1e-9);
+}
+
+TEST(PowerModel, TotalPlausibleForU55cClassCard) {
+  // Full activity at 200 MHz should land in the tens of watts — far
+  // below a 250 W GPU, which is the paper's efficiency argument.
+  const PowerBreakdown p = estimate_power(paper(), 200.0, 1.0, 1.0);
+  EXPECT_GT(p.total_w, 20.0);
+  EXPECT_LT(p.total_w, 120.0);
+}
+
+TEST(PowerModel, RejectsBadInputs) {
+  EXPECT_THROW(estimate_power(paper(), 200.0, 1.5, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_power(paper(), 200.0, 0.5, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_power(paper(), 0.0, 0.5, 0.1),
+               std::invalid_argument);
+}
+
+TEST(PowerModel, EnergyIsPowerTimesLatency) {
+  const EnergyReport e =
+      estimate_energy(paper(), 200.0, 0.4, 0.1, 279.0, 53.0);
+  EXPECT_NEAR(e.energy_mj, e.power.total_w * 279.0, 1e-6);
+  EXPECT_NEAR(e.gops_per_watt, 53.0 / e.power.total_w, 1e-9);
+  EXPECT_THROW(estimate_energy(paper(), 200.0, 0.4, 0.1, 0.0, 53.0),
+               std::invalid_argument);
+}
+
+TEST(PowerModel, PlatformTdps) {
+  EXPECT_DOUBLE_EQ(platform_tdp_watts("NVIDIA Titan XP GPU"), 250.0);
+  EXPECT_DOUBLE_EQ(platform_tdp_watts("Jetson TX2 GPU"), 15.0);
+  EXPECT_DOUBLE_EQ(platform_tdp_watts("Intel i5-5257U CPU"), 28.0);
+  EXPECT_THROW(platform_tdp_watts("abacus"), std::invalid_argument);
+}
+
+// --- roofline -----------------------------------------------------------------
+
+TEST(Roofline, PeakComputeFromPeCount) {
+  // 3584 PEs x 2 ops x 200 MHz = 1433.6 GOPS.
+  EXPECT_NEAR(peak_compute_gops(paper(), 200.0), 1433.6, 0.1);
+}
+
+TEST(Roofline, PeakBandwidthScalesWithChannels) {
+  SynthParams one = paper();
+  one.hbm_channels_used = 1;
+  SynthParams eight = paper();
+  eight.hbm_channels_used = 8;
+  EXPECT_NEAR(peak_bandwidth_gbps(eight, 200.0),
+              8.0 * peak_bandwidth_gbps(one, 200.0), 1e-9);
+}
+
+TEST(Roofline, BertWorkloadIsComputeBound) {
+  // The paper's overlap claim requires the flagship workload to clear
+  // the ridge point on 8 HBM channels.
+  accel::AccelConfig cfg;
+  const auto model = ref::bert_variant();
+  const auto report = accel::estimate_performance(cfg, model);
+  const auto point = make_roofline_point(
+      cfg.synth, report.fmax_mhz, model.name, report.ops,
+      report.bytes_loaded, report.latency_ms);
+  EXPECT_TRUE(point.compute_bound);
+  EXPECT_GT(point.arithmetic_intensity, point.ridge_intensity);
+}
+
+TEST(Roofline, SingleChannelTightensTheRoof) {
+  accel::AccelConfig cfg;
+  cfg.synth.hbm_channels_used = 1;
+  const auto model = ref::bert_variant();
+  const auto report = accel::estimate_performance(cfg, model);
+  const auto point = make_roofline_point(
+      cfg.synth, report.fmax_mhz, model.name, report.ops,
+      report.bytes_loaded, report.latency_ms);
+  // Ridge moves right by 8x; intensity is unchanged.
+  EXPECT_GT(point.ridge_intensity,
+            make_roofline_point(accel::AccelConfig{}.synth,
+                                report.fmax_mhz, model.name, report.ops,
+                                report.bytes_loaded, report.latency_ms)
+                .ridge_intensity);
+}
+
+TEST(Roofline, AchievedNeverExceedsPeak) {
+  accel::AccelConfig cfg;
+  for (const auto& model : ref::table1_tests()) {
+    const auto report = accel::estimate_performance(cfg, model);
+    const auto point = make_roofline_point(
+        cfg.synth, report.fmax_mhz, model.name, report.ops,
+        report.bytes_loaded, report.latency_ms);
+    EXPECT_LT(point.achieved_gops, point.peak_compute_gops) << model.name;
+  }
+}
+
+TEST(Roofline, RejectsDegenerateInputs) {
+  EXPECT_THROW(
+      make_roofline_point(paper(), 200.0, "x", 100, 0, 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_roofline_point(paper(), 200.0, "x", 100, 10, 0.0),
+      std::invalid_argument);
+  EXPECT_THROW(peak_compute_gops(paper(), 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace protea::hw

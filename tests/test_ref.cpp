@@ -1,0 +1,328 @@
+// Tests for the float reference encoder, weights, positional encoding,
+// model I/O and the model zoo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "ref/encoder.hpp"
+#include "ref/model_io.hpp"
+#include "ref/model_zoo.hpp"
+#include "ref/positional.hpp"
+#include "ref/weights.hpp"
+#include "tensor/ops.hpp"
+
+namespace protea::ref {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig c;
+  c.name = "tiny";
+  c.seq_len = 8;
+  c.d_model = 32;
+  c.num_heads = 4;
+  c.num_layers = 2;
+  return c;
+}
+
+// --- ModelConfig -----------------------------------------------------------
+
+TEST(ModelConfig, ValidatesDivisibility) {
+  ModelConfig c = tiny_config();
+  c.num_heads = 3;  // 32 % 3 != 0
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ModelConfig, ValidatesNonZero) {
+  ModelConfig c = tiny_config();
+  c.num_layers = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ModelConfig, FfnDefaultsToFourX) {
+  ModelConfig c = tiny_config();
+  EXPECT_EQ(c.ffn_hidden(), 128u);
+  c.ffn_dim = 64;
+  EXPECT_EQ(c.ffn_hidden(), 64u);
+}
+
+TEST(ModelConfig, MacCountMatchesHandFormula) {
+  ModelConfig c = tiny_config();
+  // per layer: qkv 3*8*32*32, logits 8*8*32, apply 8*8*32, proj 8*32*32,
+  // ffn 2*8*32*128; times 2 layers.
+  const uint64_t per_layer = 3 * 8 * 32 * 32 + 8 * 8 * 32 + 8 * 8 * 32 +
+                             8 * 32 * 32 + 2 * 8 * 32 * 128;
+  EXPECT_EQ(c.macs_total(), 2 * per_layer);
+}
+
+TEST(ModelConfig, OpsExceedTwiceMacs) {
+  ModelConfig c = bert_variant();
+  EXPECT_GT(c.ops_total(), 2 * c.macs_total());
+  EXPECT_LT(c.ops_total(), 3 * c.macs_total());  // elementwise is small
+}
+
+TEST(ModelConfig, BertVariantMatchesPaper) {
+  ModelConfig c = bert_variant();
+  EXPECT_EQ(c.seq_len, 64u);
+  EXPECT_EQ(c.d_model, 768u);
+  EXPECT_EQ(c.num_heads, 8u);
+  EXPECT_EQ(c.num_layers, 12u);
+  EXPECT_EQ(c.head_dim(), 96u);
+}
+
+// --- weights -----------------------------------------------------------------
+
+TEST(Weights, ShapesMatchConfig) {
+  const auto w = make_random_weights(tiny_config(), 1);
+  ASSERT_EQ(w.layers.size(), 2u);
+  const auto& l = w.layers[0];
+  EXPECT_EQ(l.wq.rows(), 32u);
+  EXPECT_EQ(l.wq.cols(), 32u);
+  EXPECT_EQ(l.w1.cols(), 128u);
+  EXPECT_EQ(l.w2.rows(), 128u);
+  EXPECT_EQ(l.b1.size(), 128u);
+  EXPECT_EQ(l.ln1_gamma.size(), 32u);
+}
+
+TEST(Weights, DeterministicForSeed) {
+  const auto a = make_random_weights(tiny_config(), 5);
+  const auto b = make_random_weights(tiny_config(), 5);
+  EXPECT_EQ(a.layers[0].wq, b.layers[0].wq);
+  EXPECT_EQ(a.layers[1].w2, b.layers[1].w2);
+}
+
+TEST(Weights, DifferentSeedsDiffer) {
+  const auto a = make_random_weights(tiny_config(), 5);
+  const auto b = make_random_weights(tiny_config(), 6);
+  EXPECT_NE(a.layers[0].wq, b.layers[0].wq);
+}
+
+TEST(Weights, ParameterCount) {
+  const auto w = make_random_weights(tiny_config(), 1);
+  // Per layer: 4*d*d + d*4d + 4d*d + biases(3d + d + 4d + d) + 4 LN vectors.
+  const uint64_t d = 32, f = 128;
+  const uint64_t per_layer =
+      4 * d * d + d * f + f * d + (3 * d + d + f + d) + 4 * d;
+  EXPECT_EQ(w.parameter_count(), 2 * per_layer);
+}
+
+TEST(Weights, LayerNormInitializedToIdentity) {
+  const auto w = make_random_weights(tiny_config(), 2);
+  for (float g : w.layers[0].ln1_gamma) EXPECT_FLOAT_EQ(g, 1.0f);
+  for (float b : w.layers[0].ln2_beta) EXPECT_FLOAT_EQ(b, 0.0f);
+}
+
+TEST(Weights, NoBiasOptionZeroesBiases) {
+  ModelConfig c = tiny_config();
+  c.use_bias = false;
+  const auto w = make_random_weights(c, 3);
+  for (float b : w.layers[0].bq) EXPECT_FLOAT_EQ(b, 0.0f);
+  for (float b : w.layers[1].b1) EXPECT_FLOAT_EQ(b, 0.0f);
+}
+
+TEST(Weights, RandomInputShapedAndBounded) {
+  const auto x = make_random_input(tiny_config(), 4);
+  EXPECT_EQ(x.rows(), 8u);
+  EXPECT_EQ(x.cols(), 32u);
+  for (float v : x.flat()) EXPECT_LE(std::abs(v), 3.0f);
+}
+
+// --- encoder --------------------------------------------------------------------
+
+TEST(Encoder, OutputShapeMatchesInput) {
+  const auto w = make_random_weights(tiny_config(), 7);
+  Encoder enc(w);
+  const auto x = make_random_input(tiny_config(), 8);
+  const auto y = enc.forward(x);
+  EXPECT_EQ(y.rows(), x.rows());
+  EXPECT_EQ(y.cols(), x.cols());
+}
+
+TEST(Encoder, DeterministicForward) {
+  const auto w = make_random_weights(tiny_config(), 7);
+  Encoder enc(w);
+  const auto x = make_random_input(tiny_config(), 8);
+  EXPECT_EQ(enc.forward(x), enc.forward(x));
+}
+
+TEST(Encoder, OutputIsLayerNormalized) {
+  const auto w = make_random_weights(tiny_config(), 9);
+  Encoder enc(w);
+  const auto y = enc.forward(make_random_input(tiny_config(), 10));
+  for (size_t r = 0; r < y.rows(); ++r) {
+    double mean = 0.0;
+    for (float v : y.row(r)) mean += v;
+    mean /= static_cast<double>(y.cols());
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+  }
+}
+
+TEST(Encoder, TraceCapturesEveryLayer) {
+  const auto w = make_random_weights(tiny_config(), 11);
+  Encoder enc(w);
+  std::vector<LayerTrace> traces;
+  const auto y = enc.forward_traced(make_random_input(tiny_config(), 12),
+                                    traces);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].q.size(), 4u);  // one per head
+  EXPECT_EQ(traces[0].q[0].rows(), 8u);
+  EXPECT_EQ(traces[0].q[0].cols(), 8u);  // dk = 32/4
+  EXPECT_EQ(traces[1].ln2_out, y);  // last trace equals the output
+}
+
+TEST(Encoder, AttentionWeightsAreRowStochastic) {
+  const auto w = make_random_weights(tiny_config(), 13);
+  Encoder enc(w);
+  std::vector<LayerTrace> traces;
+  enc.forward_traced(make_random_input(tiny_config(), 14), traces);
+  for (const auto& aw : traces[0].attn_weights) {
+    for (size_t r = 0; r < aw.rows(); ++r) {
+      float sum = 0.0f;
+      for (float v : aw.row(r)) {
+        EXPECT_GE(v, 0.0f);
+        sum += v;
+      }
+      EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+  }
+}
+
+TEST(Encoder, RejectsWrongInputShape) {
+  const auto w = make_random_weights(tiny_config(), 15);
+  Encoder enc(w);
+  tensor::MatrixF wrong(4, 32);
+  EXPECT_THROW(enc.forward(wrong), std::invalid_argument);
+}
+
+TEST(Encoder, GeluAndReluDiffer) {
+  ModelConfig gelu_cfg = tiny_config();
+  gelu_cfg.activation = Activation::kGelu;
+  ModelConfig relu_cfg = tiny_config();
+  relu_cfg.activation = Activation::kRelu;
+  auto w = make_random_weights(gelu_cfg, 16);
+  Encoder gelu_enc(w);
+  w.config = relu_cfg;
+  Encoder relu_enc(w);
+  const auto x = make_random_input(gelu_cfg, 17);
+  EXPECT_GT(tensor::max_abs_diff(gelu_enc.forward(x), relu_enc.forward(x)),
+            1e-4f);
+}
+
+TEST(Encoder, AttnScaleModeChangesResult) {
+  ModelConfig a = tiny_config();
+  a.attn_scale = AttnScale::kInvSqrtDk;
+  ModelConfig b = tiny_config();
+  b.attn_scale = AttnScale::kInvDModel;
+  auto w = make_random_weights(a, 18);
+  Encoder ea(w);
+  w.config = b;
+  Encoder eb(w);
+  const auto x = make_random_input(a, 19);
+  EXPECT_GT(tensor::max_abs_diff(ea.forward(x), eb.forward(x)), 1e-5f);
+}
+
+// --- positional encoding ----------------------------------------------------------
+
+TEST(Positional, KnownValues) {
+  const auto pe = sinusoidal_positional_encoding(4, 8);
+  EXPECT_FLOAT_EQ(pe(0, 0), 0.0f);  // sin(0)
+  EXPECT_FLOAT_EQ(pe(0, 1), 1.0f);  // cos(0)
+  EXPECT_NEAR(pe(1, 0), std::sin(1.0), 1e-6);
+  EXPECT_NEAR(pe(1, 1), std::cos(1.0), 1e-6);
+}
+
+TEST(Positional, ValuesBounded) {
+  const auto pe = sinusoidal_positional_encoding(32, 64);
+  for (float v : pe.flat()) EXPECT_LE(std::abs(v), 1.0f);
+}
+
+TEST(Positional, EmbedTokensAddsPosition) {
+  const auto table = make_embedding_table(16, 8, 3);
+  const std::vector<uint32_t> tokens = {3, 3};
+  const auto emb = embed_tokens(tokens, table);
+  // Same token at different positions differs by the positional term.
+  EXPECT_NE(emb.row(0)[1], emb.row(1)[1]);
+}
+
+TEST(Positional, EmbedTokensRejectsOutOfVocab) {
+  const auto table = make_embedding_table(16, 8, 3);
+  const std::vector<uint32_t> tokens = {99};
+  EXPECT_THROW(embed_tokens(tokens, table), std::out_of_range);
+}
+
+// --- model I/O ------------------------------------------------------------------------
+
+TEST(ModelIo, SaveLoadRoundTrip) {
+  const auto w = make_random_weights(tiny_config(), 21);
+  const std::string path = testing::TempDir() + "/protea_model_test.bin";
+  save_model(w, path);
+  const auto loaded = load_model(path);
+  EXPECT_EQ(loaded.config.d_model, w.config.d_model);
+  EXPECT_EQ(loaded.config.num_layers, w.config.num_layers);
+  EXPECT_EQ(loaded.layers[0].wq, w.layers[0].wq);
+  EXPECT_EQ(loaded.layers[1].b1, w.layers[1].b1);
+  EXPECT_EQ(loaded.layers[1].ln2_gamma, w.layers[1].ln2_gamma);
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIo, RoundTripPreservesForwardPass) {
+  const auto w = make_random_weights(tiny_config(), 22);
+  const std::string path = testing::TempDir() + "/protea_model_test2.bin";
+  save_model(w, path);
+  const auto loaded = load_model(path);
+  const auto x = make_random_input(tiny_config(), 23);
+  EXPECT_EQ(Encoder(w).forward(x), Encoder(loaded).forward(x));
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIo, RejectsGarbageFile) {
+  const std::string path = testing::TempDir() + "/protea_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a model";
+  }
+  EXPECT_THROW(load_model(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIo, RejectsMissingFile) {
+  EXPECT_THROW(load_model("/does/not/exist.bin"), std::runtime_error);
+}
+
+// --- model zoo -----------------------------------------------------------------------
+
+TEST(ModelZoo, AllModelsValidate) {
+  for (const auto& name : model_names()) {
+    EXPECT_NO_THROW(find_model(name).validate()) << name;
+  }
+}
+
+TEST(ModelZoo, UnknownNameThrows) {
+  EXPECT_THROW(find_model("nope"), std::invalid_argument);
+}
+
+TEST(ModelZoo, Table1HasNineTests) {
+  const auto tests = table1_tests();
+  ASSERT_EQ(tests.size(), 9u);
+  // Tests 1-3 sweep heads at fixed everything else.
+  EXPECT_EQ(tests[0].num_heads, 8u);
+  EXPECT_EQ(tests[1].num_heads, 4u);
+  EXPECT_EQ(tests[2].num_heads, 2u);
+  // Tests 4-5 sweep layers.
+  EXPECT_EQ(tests[3].num_layers, 8u);
+  EXPECT_EQ(tests[4].num_layers, 4u);
+  // Tests 6-7 sweep embedding dimension.
+  EXPECT_EQ(tests[5].d_model, 512u);
+  EXPECT_EQ(tests[6].d_model, 256u);
+  // Tests 8-9 sweep sequence length.
+  EXPECT_EQ(tests[7].seq_len, 128u);
+  EXPECT_EQ(tests[8].seq_len, 32u);
+}
+
+TEST(ModelZoo, Table1TestsAllValid) {
+  for (const auto& t : table1_tests()) EXPECT_NO_THROW(t.validate());
+}
+
+}  // namespace
+}  // namespace protea::ref

@@ -1,0 +1,118 @@
+// Tests for the execution-timeline substrate and Chrome trace export.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "accel/timeline.hpp"
+#include "ref/model_zoo.hpp"
+
+namespace protea::accel {
+namespace {
+
+TEST(Timeline, EventsOrderedAndContiguous) {
+  AccelConfig cfg;
+  ref::ModelConfig model = ref::bert_variant();
+  model.num_layers = 2;
+  const Timeline timeline = build_timeline(cfg, model);
+  ASSERT_FALSE(timeline.events().empty());
+  hw::Cycles prev_end = 0;
+  for (const auto& e : timeline.events()) {
+    EXPECT_EQ(e.start, prev_end);  // serial schedule: no gaps, no overlap
+    EXPECT_GE(e.end, e.start);
+    prev_end = e.end;
+  }
+  EXPECT_EQ(prev_end, timeline.total_cycles());
+}
+
+TEST(Timeline, TotalMatchesPerfModelClosely) {
+  // The schedule redistributes the aggregated LN stage but must preserve
+  // the total within integer-division rounding of the LN split.
+  AccelConfig cfg;
+  const ref::ModelConfig model = ref::bert_variant();
+  const Timeline timeline = build_timeline(cfg, model);
+  const PerfReport report = estimate_performance(cfg, model);
+  const auto diff =
+      report.total_cycles > timeline.total_cycles()
+          ? report.total_cycles - timeline.total_cycles()
+          : timeline.total_cycles() - report.total_cycles;
+  EXPECT_LE(diff, static_cast<hw::Cycles>(model.num_layers));
+}
+
+TEST(Timeline, EveryStagePresentPerLayer) {
+  AccelConfig cfg;
+  ref::ModelConfig model = ref::bert_variant();
+  model.num_layers = 3;
+  const Timeline timeline = build_timeline(cfg, model);
+  // 7 engine stages + 2 LN events per layer.
+  EXPECT_EQ(timeline.events().size(), 3u * 9u);
+  for (uint32_t layer = 0; layer < 3; ++layer) {
+    int count = 0;
+    for (const auto& e : timeline.events()) {
+      if (e.layer == layer) ++count;
+    }
+    EXPECT_EQ(count, 9);
+  }
+}
+
+TEST(Timeline, StageBusyAggregates) {
+  AccelConfig cfg;
+  const ref::ModelConfig model = ref::bert_variant();
+  const Timeline timeline = build_timeline(cfg, model);
+  const PerfReport report = estimate_performance(cfg, model);
+  EXPECT_EQ(timeline.stage_busy("ffn2"),
+            report.stage("ffn2").total * model.num_layers);
+  EXPECT_EQ(timeline.stage_busy("nonexistent"), 0u);
+}
+
+TEST(Timeline, FfnDominatesBusyCycles) {
+  AccelConfig cfg;
+  const Timeline timeline = build_timeline(cfg, ref::bert_variant());
+  const auto ffn = timeline.stage_busy("ffn1") +
+                   timeline.stage_busy("ffn2") +
+                   timeline.stage_busy("ffn3");
+  EXPECT_GT(ffn, timeline.total_cycles() * 9 / 10);
+}
+
+TEST(Timeline, RejectsInvertedEvent) {
+  Timeline timeline;
+  TimelineEvent bad{.stage = "x", .layer = 0, .start = 10, .end = 5};
+  EXPECT_THROW(timeline.add(std::move(bad)), std::invalid_argument);
+}
+
+TEST(Timeline, ChromeTraceIsWellFormedJson) {
+  AccelConfig cfg;
+  ref::ModelConfig model = ref::bert_variant();
+  model.num_layers = 1;
+  const Timeline timeline = build_timeline(cfg, model);
+  const std::string path = testing::TempDir() + "/protea_trace_test.json";
+  timeline.export_chrome_trace(path);
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  // Structural checks: array brackets, balanced braces, required keys.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  const auto opens = std::count(json.begin(), json.end(), '{');
+  const auto closes = std::count(json.begin(), json.end(), '}');
+  EXPECT_EQ(opens, closes);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ffn2"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Timeline, ExportFailsOnBadPath) {
+  AccelConfig cfg;
+  ref::ModelConfig model = ref::bert_variant();
+  model.num_layers = 1;
+  const Timeline timeline = build_timeline(cfg, model);
+  EXPECT_THROW(timeline.export_chrome_trace("/no_such_dir_xyz/t.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace protea::accel

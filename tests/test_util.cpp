@@ -1,0 +1,333 @@
+// Unit tests for the utility substrate: logging, RNG, CSV, tables,
+// thread pool, string and math helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/math_util.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace protea::util {
+namespace {
+
+// --- logging ---------------------------------------------------------------
+
+TEST(Logging, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST(Logging, UnknownLevelDefaultsToWarn) {
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kWarn);
+}
+
+TEST(Logging, LevelRoundTripNames) {
+  for (LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+TEST(Logging, SetAndGetLevel) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+// --- RNG ---------------------------------------------------------------------
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMixDistinctSeeds) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDeterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, BoundedStaysInBound) {
+  Xoshiro256 rng(11);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedZeroReturnsZero) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Xoshiro256 rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Xoshiro256 rng(17);
+  const int n = 20000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+// --- Stopwatch ----------------------------------------------------------------
+
+TEST(Stopwatch, MonotonicNonNegative) {
+  Stopwatch watch;
+  const double t1 = watch.seconds();
+  const double t2 = watch.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(Stopwatch, UnitsConsistent) {
+  Stopwatch watch;
+  const double s = watch.seconds();
+  const double ms = watch.milliseconds();
+  EXPECT_GE(ms, s * 1e3 * 0.5);  // ms read slightly later but same order
+}
+
+// --- math_util ------------------------------------------------------------------
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div<uint64_t>(768, 64), 12u);
+  EXPECT_EQ(ceil_div<uint64_t>(768, 128), 6u);
+}
+
+TEST(MathUtil, RoundUp) {
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(12, 4), 12);
+  EXPECT_EQ(round_up(0, 4), 0);
+}
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(MathUtil, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(768), 9u);
+  EXPECT_EQ(ilog2(1024), 10u);
+}
+
+// --- string_util ------------------------------------------------------------------
+
+TEST(StringUtil, SplitBasic) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, SplitNoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(StringUtil, ToLowerAndStartsWith) {
+  EXPECT_EQ(to_lower("AlVeO U55C"), "alveo u55c");
+  EXPECT_TRUE(starts_with("protea_accel", "protea"));
+  EXPECT_FALSE(starts_with("pro", "protea"));
+}
+
+TEST(StringUtil, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(1.5, 2), "1.5");
+  EXPECT_EQ(format_double(2.0, 2), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(279.06, 1), "279.1");
+}
+
+TEST(StringUtil, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(3u * 1024 * 1024), "3 MiB");
+}
+
+// --- CSV ---------------------------------------------------------------------------
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/protea_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row({"1", "2"});
+    csv.row({"x,y", "with \"quote\""});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",\"with \"\"quote\"\"\"");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  const std::string path = testing::TempDir() + "/protea_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({"only one"}), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, EscapePlainCellUnchanged) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape("a b"), "a b");
+}
+
+TEST(Csv, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+// --- Table --------------------------------------------------------------------------
+
+TEST(Table, RendersAllCells) {
+  Table t({"name", "value"});
+  t.row({"latency", "279"});
+  t.row({"gops", "53"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("latency"), std::string::npos);
+  EXPECT_NE(s.find("279"), std::string::npos);
+  EXPECT_NE(s.find("gops"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.row({"1"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, TitleAppears) {
+  Table t({"col"});
+  t.set_title("TABLE I");
+  EXPECT_NE(t.to_string().find("TABLE I"), std::string::npos);
+}
+
+// --- ThreadPool -----------------------------------------------------------------------
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(0, 10, [&](size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPool, DefaultSizePositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace protea::util
