@@ -40,6 +40,36 @@ inline std::string results_dir() {
   return dir;
 }
 
+/// Writes the machine-readable bench artifact
+///   {"bench": <name>, <scalar_fields...>, "results": [<result_objects>]}
+/// to results_dir()/<filename>. `scalar_fields` entries are preformatted
+/// `"key": value` strings, `result_objects` are preformatted JSON objects
+/// (one per measurement row). Returns false when the file can't be opened.
+inline bool write_bench_json(const std::string& filename,
+                             const std::string& bench,
+                             const std::vector<std::string>& scalar_fields,
+                             const std::vector<std::string>& result_objects) {
+  const std::string path = results_dir() + "/" + filename;
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench.c_str());
+  for (const auto& field : scalar_fields) {
+    std::fprintf(f, "  %s,\n", field.c_str());
+  }
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < result_objects.size(); ++i) {
+    std::fprintf(f, "    %s%s\n", result_objects[i].c_str(),
+                 i + 1 < result_objects.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 inline std::string fmt(double value, int digits = 2) {
   return util::format_double(value, digits);
 }

@@ -1,16 +1,27 @@
 // Google-benchmark microbenchmarks of the functional engine kernels —
 // the simulator's own hot paths (useful when scaling the simulator to
 // bigger sweeps, and a regression guard on the int8 datapath).
+//
+// main() additionally emits bench_results/BENCH_engines.json (engine,
+// shape, threads, GMAC/s) so engine throughput is tracked across PRs
+// alongside BENCH_gemm.json.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "accel/attention_module.hpp"
 #include "accel/engines.hpp"
 #include "accel/ffn_module.hpp"
 #include "accel/quantized_model.hpp"
 #include "accel/softmax_unit.hpp"
+#include "bench_common.hpp"
 #include "numeric/quantizer.hpp"
 #include "ref/encoder.hpp"
 #include "ref/weights.hpp"
+#include "tensor/qgemm.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -112,6 +123,80 @@ void BM_FfnModule(benchmark::State& state) {
 }
 BENCHMARK(BM_FfnModule);
 
+// --- BENCH_engines.json ------------------------------------------------------
+
+struct EngineResult {
+  std::string engine;
+  uint32_t sl, d;
+  size_t threads;
+  double ms, gmacs;
+};
+
+template <typename Fn>
+EngineResult time_engine(const std::string& name, uint32_t sl, uint32_t d,
+                         size_t threads, int reps, const Fn& fn) {
+  accel::EngineStats warm;
+  fn(&warm);  // warm-up; also captures the engine's own MAC count
+  util::Stopwatch watch;
+  for (int i = 0; i < reps; ++i) {
+    accel::EngineStats stats;
+    fn(&stats);
+  }
+  const double ms = watch.milliseconds() / reps;
+  const double gmacs =
+      static_cast<double>(warm.macs) / (ms * 1e-3) / 1e9;
+  return {name, sl, d, threads, ms, gmacs};
+}
+
+void emit_bench_engines_json() {
+  std::vector<EngineResult> results;
+  const auto& layer = env().qmodel.layers[0];
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    tensor::qgemm_set_threads(threads == 1 ? 0 : threads);
+    results.push_back(time_engine(
+        "qkv", 32, 128, threads, 50, [&](accel::EngineStats* stats) {
+          tensor::MatrixI8 q, k, v;
+          accel::run_qkv_engine(env().x, layer.heads[0], 64, layer.rq_q,
+                                layer.rq_k, layer.rq_v, q, k, v, stats);
+        }));
+    results.push_back(time_engine(
+        "ffn", 32, 128, threads, 50, [&](accel::EngineStats* stats) {
+          tensor::MatrixI8 out;
+          accel::run_ffn_engine(env().x, layer.wo, layer.bo, 128,
+                                layer.rq_proj, accel::FfnActivation::kNone,
+                                0.0, out, stats);
+        }));
+    results.push_back(time_engine(
+        "attention_module", 32, 128, threads, 20,
+        [&](accel::EngineStats* stats) {
+          auto concat = accel::AttentionModule::run(layer, env().x, 64,
+                                                    stats);
+          benchmark::DoNotOptimize(concat.data());
+        }));
+  }
+  tensor::qgemm_set_threads(0);
+
+  char buf[256];
+  std::vector<std::string> rows;
+  for (const auto& r : results) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"engine\": \"%s\", \"sl\": %u, \"d_model\": %u, "
+                  "\"threads\": %zu, \"ms\": %.4f, \"gmacs\": %.3f}",
+                  r.engine.c_str(), r.sl, r.d, r.threads, r.ms, r.gmacs);
+    rows.push_back(buf);
+  }
+  protea::bench::write_bench_json("BENCH_engines.json",
+                                  "bench_engines_micro", {}, rows);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_bench_engines_json();
+  return 0;
+}

@@ -4,10 +4,9 @@
 #include <array>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
 
 #include "numeric/dsp48.hpp"
-#include "util/math_util.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace protea::accel {
 namespace {
@@ -58,35 +57,14 @@ void run_qkv_engine(const tensor::MatrixI8& x, const QHeadWeights& head,
     throw std::invalid_argument("run_qkv_engine: zero tile size");
   }
 
-  // Accumulators persist across tiles (Fig. 5: the final output is the
-  // cumulative sum over all column tiles).
-  tensor::MatrixI32 acc_q(sl, dk, 0), acc_k(sl, dk, 0), acc_v(sl, dk, 0);
-
-  const size_t tiles = util::ceil_div<size_t>(d, ts_mha);
-  for (size_t t = 0; t < tiles; ++t) {
-    const size_t j0 = t * ts_mha;
-    const size_t j1 = std::min(d, j0 + ts_mha);
-    // Algorithm 1 loop nest: i over rows, kk over the head dimension,
-    // j across the tile (the unrolled PE dimension).
-    for (size_t i = 0; i < sl; ++i) {
-      const auto xrow = x.row(i);
-      for (size_t kk = 0; kk < dk; ++kk) {
-        const auto wq_row = head.wqt.row(kk);
-        const auto wk_row = head.wkt.row(kk);
-        const auto wv_row = head.wvt.row(kk);
-        int32_t sq = 0, sk = 0, sv = 0;
-        for (size_t j = j0; j < j1; ++j) {
-          const int32_t xij = xrow[j];
-          sq += xij * wq_row[j];
-          sk += xij * wk_row[j];
-          sv += xij * wv_row[j];
-        }
-        acc_q(i, kk) += sq;
-        acc_k(i, kk) += sk;
-        acc_v(i, kk) += sv;
-      }
-    }
-  }
+  // Fig. 5's accumulate-across-column-tiles is exact int32 arithmetic, so
+  // the packed kernel reproduces it bit-for-bit at any blocking; the tile
+  // size ts_mha remains a perf_model (cycle accounting) parameter only.
+  util::ThreadPool* pool = tensor::qgemm_default_pool();
+  tensor::MatrixI32 acc_q, acc_k, acc_v;
+  tensor::qgemm_bt(x, head.wqt, acc_q, pool);
+  tensor::qgemm_bt(x, head.wkt, acc_k, pool);
+  tensor::qgemm_bt(x, head.wvt, acc_v, pool);
   if (stats != nullptr) stats->macs += 3 * sl * d * dk;
 
   // Bias add in the accumulator domain, then write-back requantization.
@@ -120,21 +98,8 @@ void run_projection_engine(const tensor::MatrixI8& x,
     throw std::invalid_argument("run_projection_engine: zero tile size");
   }
 
-  tensor::MatrixI32 acc(rows, out_dim, 0);
-  const size_t tiles = util::ceil_div<size_t>(d, ts_mha);
-  for (size_t t = 0; t < tiles; ++t) {
-    const size_t j0 = t * ts_mha;
-    const size_t j1 = std::min(d, j0 + ts_mha);
-    for (size_t i = 0; i < rows; ++i) {
-      const auto xrow = x.row(i);
-      for (size_t kk = 0; kk < out_dim; ++kk) {
-        const auto wrow = wt.row(kk);
-        int32_t sum = 0;
-        for (size_t j = j0; j < j1; ++j) sum += int32_t{xrow[j]} * wrow[j];
-        acc(i, kk) += sum;
-      }
-    }
-  }
+  tensor::MatrixI32 acc;
+  tensor::qgemm_bt(x, wt, acc, tensor::qgemm_default_pool());
   out = tensor::MatrixI8(rows, out_dim);
   for (size_t i = 0; i < rows; ++i) {
     for (size_t kk = 0; kk < out_dim; ++kk) {
@@ -153,16 +118,12 @@ void run_qk_engine(const tensor::MatrixI8& q, const tensor::MatrixI8& k,
   const size_t sl_q = q.rows();
   const size_t sl_k = k.rows();
   const size_t dk = q.cols();
+  tensor::MatrixI32 acc;
+  tensor::qgemm_bt(q, k, acc, tensor::qgemm_default_pool());
   logits = tensor::MatrixI8(sl_q, sl_k);
   for (size_t i = 0; i < sl_q; ++i) {
-    const auto qrow = q.row(i);
     for (size_t j = 0; j < sl_k; ++j) {
-      const auto krow = k.row(j);
-      int32_t acc = 0;
-      for (size_t kk = 0; kk < dk; ++kk) {
-        acc += int32_t{qrow[kk]} * krow[kk];
-      }
-      logits(i, j) = requant8(acc, rq_logit);
+      logits(i, j) = requant8(acc(i, j), rq_logit);
     }
   }
   if (stats != nullptr) stats->macs += sl_q * sl_k * dk;
@@ -178,15 +139,12 @@ void run_sv_engine(const tensor::MatrixI8& attn_weights,
   const size_t sl = attn_weights.rows();
   const size_t dk = v.cols();
   const size_t inner = v.rows();
+  tensor::MatrixI32 acc;
+  tensor::qgemm(attn_weights, v, acc, tensor::qgemm_default_pool());
   scores = tensor::MatrixI8(sl, dk);
   for (size_t i = 0; i < sl; ++i) {
-    const auto wrow = attn_weights.row(i);
     for (size_t j = 0; j < dk; ++j) {
-      int32_t acc = 0;
-      for (size_t kk = 0; kk < inner; ++kk) {
-        acc += int32_t{wrow[kk]} * v(kk, j);
-      }
-      scores(i, j) = requant8(acc, rq_sv);
+      scores(i, j) = requant8(acc(i, j), rq_sv);
     }
   }
   if (stats != nullptr) stats->macs += sl * dk * inner;
@@ -215,53 +173,28 @@ void run_ffn_engine(const tensor::MatrixI8& in, const tensor::MatrixI8& w,
     gelu_table = build_gelu_table(act_scale);
   }
 
+  // Fig. 6's 2-D tiling (accumulate partial products across row tiles per
+  // column tile) is exact int32 arithmetic — the packed kernel computes the
+  // same sums bit-for-bit; ts_ffn stays a cycle-accounting parameter.
+  tensor::MatrixI32 acc;
+  tensor::qgemm(in, w, acc, tensor::qgemm_default_pool());
+
   out = tensor::MatrixI8(sl, out_dim);
-  const size_t col_tiles = util::ceil_div<size_t>(out_dim, ts_ffn);
-  const size_t row_tiles = util::ceil_div<size_t>(in_dim, ts_ffn);
-  std::vector<int32_t> acc(sl * ts_ffn);
-
-  // Fig. 6 traversal: for each column tile, accumulate partial products
-  // across all row tiles, then requantize + activate that column strip.
-  for (size_t ct = 0; ct < col_tiles; ++ct) {
-    const size_t c0 = ct * ts_ffn;
-    const size_t c1 = std::min(out_dim, c0 + ts_ffn);
-    const size_t width = c1 - c0;
-    std::fill(acc.begin(), acc.end(), 0);
-
-    for (size_t rt = 0; rt < row_tiles; ++rt) {
-      const size_t r0 = rt * ts_ffn;
-      const size_t r1 = std::min(in_dim, r0 + ts_ffn);
-      for (size_t i = 0; i < sl; ++i) {
-        const auto in_row = in.row(i);
-        int32_t* acc_row = acc.data() + i * ts_ffn;
-        for (size_t kk = r0; kk < r1; ++kk) {
-          const int32_t a = in_row[kk];
-          if (a == 0) continue;
-          const auto wrow = w.row(kk);
-          for (size_t j = 0; j < width; ++j) {
-            acc_row[j] += a * wrow[c0 + j];
-          }
-        }
+  for (size_t i = 0; i < sl; ++i) {
+    const int32_t* acc_row = acc.data() + i * out_dim;
+    for (size_t j = 0; j < out_dim; ++j) {
+      int8_t value = requant8(int64_t{acc_row[j]} + bias[j], rq);
+      switch (act) {
+        case FfnActivation::kNone:
+          break;
+        case FfnActivation::kRelu:
+          value = std::max<int8_t>(value, 0);
+          break;
+        case FfnActivation::kGeluLut:
+          value = gelu_table[static_cast<size_t>(int32_t{value} - kQMin)];
+          break;
       }
-    }
-
-    for (size_t i = 0; i < sl; ++i) {
-      const int32_t* acc_row = acc.data() + i * ts_ffn;
-      for (size_t j = 0; j < width; ++j) {
-        int8_t value =
-            requant8(int64_t{acc_row[j]} + bias[c0 + j], rq);
-        switch (act) {
-          case FfnActivation::kNone:
-            break;
-          case FfnActivation::kRelu:
-            value = std::max<int8_t>(value, 0);
-            break;
-          case FfnActivation::kGeluLut:
-            value = gelu_table[static_cast<size_t>(int32_t{value} - kQMin)];
-            break;
-        }
-        out(i, c0 + j) = value;
-      }
+      out(i, j) = value;
     }
   }
   if (stats != nullptr) stats->macs += sl * in_dim * out_dim;

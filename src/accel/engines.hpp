@@ -15,6 +15,11 @@
 // checked statically in engines.cpp) and requantizes on write-back.
 // Cycle accounting lives in perf_model.{hpp,cpp}; these functions compute
 // values and MAC counts only, so tests can verify the datapath exactly.
+//
+// The int8 GEMMs run on the packed kernel layer (tensor/qgemm.hpp), which
+// is bit-identical to the paper's tile loops because int32 accumulation is
+// exact; the ts_mha/ts_ffn tile sizes remain cycle-accounting parameters
+// (validated here, consumed by perf_model).
 #pragma once
 
 #include <cstdint>

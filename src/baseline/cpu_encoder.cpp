@@ -17,24 +17,11 @@ CpuEncoder::CpuEncoder(ref::EncoderWeights weights, size_t num_threads)
 tensor::MatrixF CpuEncoder::par_matmul(const tensor::MatrixF& a,
                                        const tensor::MatrixF& b,
                                        std::span<const float> bias) {
-  const size_t m = a.rows();
-  const size_t k = a.cols();
-  const size_t n = b.cols();
-  tensor::MatrixF c(m, n);
-  pool_.parallel_for(0, m, [&](size_t i) {
-    auto crow = c.row(i);
-    if (!bias.empty()) {
-      std::copy(bias.begin(), bias.end(), crow.begin());
-    }
-    const auto arow = a.row(i);
-    for (size_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0f) continue;
-      const auto brow = b.row(kk);
-      for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  });
-  return c;
+  // The packed kernel partitions row panels over the pool; per-element
+  // accumulation order is fixed, so results match the serial reference
+  // encoder exactly at any thread count.
+  if (bias.empty()) return tensor::matmul(a, b, &pool_);
+  return tensor::matmul_bias(a, b, bias, &pool_);
 }
 
 tensor::MatrixF CpuEncoder::forward_layer(

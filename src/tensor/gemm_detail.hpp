@@ -1,0 +1,149 @@
+// Shared packing / register-blocking / K-blocking machinery behind the
+// int8 GEMM kernels (qgemm.cpp) and their float twin (ops.cpp).
+//
+// One template on (element, widened-multiply, accumulator) types keeps the
+// packing layout and blocking parameters in a single place: int8 kernels
+// instantiate <int8_t, int16_t, int32_t> (widening so the inner loop
+// auto-vectorizes to widening multiply-adds), float kernels
+// <float, float, float>.
+//
+// Accumulation discipline: each output element is produced by exactly one
+// row-panel task and accumulated through a single ascending-k chain (K
+// blocks in order, one scalar accumulator per element inside the micro
+// kernel). For integer types that makes any blocking bit-identical to the
+// naive loop; for float it makes per-element rounding independent of row
+// partitioning, so results match the serial kernel at any thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/math_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace protea::tensor::detail {
+
+inline constexpr size_t kGemmMr = 4;    // micro-kernel rows (A panel width)
+inline constexpr size_t kGemmNr = 8;    // micro-kernel cols (B panel width)
+inline constexpr size_t kGemmKc = 256;  // K cache block
+
+/// A panel: kGemmMr rows interleaved column-major, zero-padded to kGemmMr
+/// so the micro-kernel never branches on the ragged edge.
+template <typename T>
+void pack_a_panel(const Matrix<T>& a, size_t i0, size_t h, size_t k0,
+                  size_t kc, T* dst) {
+  const size_t lda = a.cols();
+  const T* base = a.data() + i0 * lda + k0;
+  for (size_t p = 0; p < kc; ++p) {
+    for (size_t i = 0; i < kGemmMr; ++i) {
+      dst[p * kGemmMr + i] = i < h ? base[i * lda + p] : T{};
+    }
+  }
+}
+
+/// B panels for a K block, normal (k x n) layout: panel cp holds columns
+/// [cp*kGemmNr, ...) interleaved as [p][j], zero-padded to kGemmNr.
+template <typename T>
+void pack_b_block(const Matrix<T>& b, size_t k0, size_t kc, size_t n,
+                  T* dst) {
+  const size_t ldb = b.cols();
+  const size_t col_panels = util::ceil_div(n, kGemmNr);
+  for (size_t cp = 0; cp < col_panels; ++cp) {
+    const size_t j0 = cp * kGemmNr;
+    const size_t w = std::min(kGemmNr, n - j0);
+    T* panel = dst + cp * kc * kGemmNr;
+    const T* src = b.data() + k0 * ldb + j0;
+    for (size_t p = 0; p < kc; ++p) {
+      for (size_t j = 0; j < w; ++j) panel[p * kGemmNr + j] = src[j];
+      for (size_t j = w; j < kGemmNr; ++j) panel[p * kGemmNr + j] = T{};
+      src += ldb;
+    }
+  }
+}
+
+/// Same packed layout from a transposed (n x k) operand — the transpose
+/// happens here, during packing, so the micro-kernel is shared.
+template <typename T>
+void pack_bt_block(const Matrix<T>& bt, size_t k0, size_t kc, size_t n,
+                   T* dst) {
+  const size_t ldb = bt.cols();
+  const size_t col_panels = util::ceil_div(n, kGemmNr);
+  for (size_t cp = 0; cp < col_panels; ++cp) {
+    const size_t j0 = cp * kGemmNr;
+    const size_t w = std::min(kGemmNr, n - j0);
+    T* panel = dst + cp * kc * kGemmNr;
+    for (size_t j = 0; j < w; ++j) {
+      const T* src = bt.data() + (j0 + j) * ldb + k0;
+      for (size_t p = 0; p < kc; ++p) panel[p * kGemmNr + j] = src[p];
+    }
+    for (size_t j = w; j < kGemmNr; ++j) {
+      for (size_t p = 0; p < kc; ++p) panel[p * kGemmNr + j] = T{};
+    }
+  }
+}
+
+/// kGemmMr x kGemmNr register block; operands are widened to Mul before
+/// multiplying.
+template <typename T, typename Mul, typename Acc>
+void micro_kernel(size_t kc, const T* __restrict ap, const T* __restrict bp,
+                  Acc* __restrict acc) {
+  for (size_t p = 0; p < kc; ++p) {
+    const T* arow = ap + p * kGemmMr;
+    const T* brow = bp + p * kGemmNr;
+    for (size_t i = 0; i < kGemmMr; ++i) {
+      const Mul ai = static_cast<Mul>(arow[i]);
+      Acc* accrow = acc + i * kGemmNr;
+      for (size_t j = 0; j < kGemmNr; ++j) {
+        accrow[j] += static_cast<Acc>(ai * static_cast<Mul>(brow[j]));
+      }
+    }
+  }
+}
+
+template <typename T, typename Mul, typename Acc, typename PackB>
+void gemm_driver(const Matrix<T>& a, size_t n, Matrix<Acc>& c,
+                 util::ThreadPool* pool, const PackB& pack_b) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  c = Matrix<Acc>(m, n, Acc{});
+  if (m == 0 || n == 0 || k == 0) return;
+
+  const size_t row_panels = util::ceil_div(m, kGemmMr);
+  const size_t col_panels = util::ceil_div(n, kGemmNr);
+  std::vector<T> bbuf(col_panels * kGemmKc * kGemmNr);
+
+  for (size_t k0 = 0; k0 < k; k0 += kGemmKc) {
+    const size_t kc = std::min(kGemmKc, k - k0);
+    pack_b(k0, kc, bbuf.data());
+
+    auto row_panel_task = [&](size_t rp) {
+      alignas(64) T apanel[kGemmMr * kGemmKc];
+      alignas(64) Acc acc[kGemmMr * kGemmNr];
+      const size_t i0 = rp * kGemmMr;
+      const size_t h = std::min(kGemmMr, m - i0);
+      pack_a_panel(a, i0, h, k0, kc, apanel);
+      for (size_t cp = 0; cp < col_panels; ++cp) {
+        std::fill(acc, acc + kGemmMr * kGemmNr, Acc{});
+        micro_kernel<T, Mul, Acc>(kc, apanel,
+                                  bbuf.data() + cp * kc * kGemmNr, acc);
+        const size_t j0 = cp * kGemmNr;
+        const size_t w = std::min(kGemmNr, n - j0);
+        for (size_t i = 0; i < h; ++i) {
+          Acc* crow = c.data() + (i0 + i) * n + j0;
+          const Acc* accrow = acc + i * kGemmNr;
+          for (size_t j = 0; j < w; ++j) crow[j] += accrow[j];
+        }
+      }
+    };
+
+    if (pool != nullptr && pool->size() > 1 && row_panels > 1) {
+      pool->parallel_for(0, row_panels, row_panel_task);
+    } else {
+      for (size_t rp = 0; rp < row_panels; ++rp) row_panel_task(rp);
+    }
+  }
+}
+
+}  // namespace protea::tensor::detail

@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "tensor/gemm_detail.hpp"
+
 namespace protea::tensor {
 namespace {
 
@@ -16,58 +18,53 @@ void check_same_shape(const MatrixF& a, const MatrixF& b, const char* what) {
 
 }  // namespace
 
-MatrixF matmul(const MatrixF& a, const MatrixF& b) {
+// The float GEMMs instantiate the shared packed-kernel machinery in
+// tensor/gemm_detail.hpp (the int8 twin lives in qgemm.cpp). Per-element
+// accumulation runs in a single ascending-k chain, so rounding is
+// independent of row partitioning — threaded results match serial ones.
+
+MatrixF matmul(const MatrixF& a, const MatrixF& b, util::ThreadPool* pool) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("matmul: inner dimension mismatch");
   }
-  const size_t m = a.rows();
-  const size_t k = a.cols();
-  const size_t n = b.cols();
-  MatrixF c(m, n, 0.0f);
-  // ikj order: streams B rows, keeps C row hot.
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t kk = 0; kk < k; ++kk) {
-      const float aik = a(i, kk);
-      if (aik == 0.0f) continue;
-      const auto brow = b.row(kk);
-      auto crow = c.row(i);
-      for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  MatrixF c;
+  detail::gemm_driver<float, float, float>(
+      a, b.cols(), c, pool, [&](size_t k0, size_t kc, float* dst) {
+        detail::pack_b_block(b, k0, kc, b.cols(), dst);
+      });
   return c;
 }
 
-MatrixF matmul_bt(const MatrixF& a, const MatrixF& b) {
+MatrixF matmul_bt(const MatrixF& a, const MatrixF& b, util::ThreadPool* pool) {
   if (a.cols() != b.cols()) {
     throw std::invalid_argument("matmul_bt: inner dimension mismatch");
   }
-  const size_t m = a.rows();
-  const size_t k = a.cols();
-  const size_t n = b.rows();
-  MatrixF c(m, n, 0.0f);
-  for (size_t i = 0; i < m; ++i) {
-    const auto arow = a.row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const auto brow = b.row(j);
-      float sum = 0.0f;
-      for (size_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
-      c(i, j) = sum;
-    }
-  }
+  MatrixF c;
+  detail::gemm_driver<float, float, float>(
+      a, b.rows(), c, pool, [&](size_t k0, size_t kc, float* dst) {
+        detail::pack_bt_block(b, k0, kc, b.rows(), dst);
+      });
   return c;
 }
 
 MatrixF matmul_bias(const MatrixF& a, const MatrixF& b,
-                    std::span<const float> bias) {
-  MatrixF c = matmul(a, b);
+                    std::span<const float> bias, util::ThreadPool* pool) {
+  MatrixF c = matmul(a, b, pool);
   add_bias_inplace(c, bias);
   return c;
 }
 
 MatrixF transpose(const MatrixF& a) {
+  constexpr size_t kBlock = 32;
   MatrixF t(a.cols(), a.rows());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    for (size_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+  for (size_t r0 = 0; r0 < a.rows(); r0 += kBlock) {
+    const size_t r1 = std::min(a.rows(), r0 + kBlock);
+    for (size_t c0 = 0; c0 < a.cols(); c0 += kBlock) {
+      const size_t c1 = std::min(a.cols(), c0 + kBlock);
+      for (size_t r = r0; r < r1; ++r) {
+        for (size_t c = c0; c < c1; ++c) t(c, r) = a(r, c);
+      }
+    }
   }
   return t;
 }

@@ -8,18 +8,33 @@
 
 #include "tensor/matrix.hpp"
 
+namespace protea::util {
+class ThreadPool;
+}
+
 namespace protea::tensor {
 
 /// C = A * B. A is (m x k), B is (k x n), C is (m x n).
-MatrixF matmul(const MatrixF& a, const MatrixF& b);
+/// The float twin of the packed int8 kernel in qgemm.hpp: panel packing,
+/// a register-blocked micro-kernel and K cache blocking, with optional
+/// row-partitioned parallelism over `pool` (results are identical for any
+/// thread count — each output row is produced by exactly one task).
+MatrixF matmul(const MatrixF& a, const MatrixF& b,
+               util::ThreadPool* pool = nullptr);
 
-/// C = A * B^T. A is (m x k), B is (n x k), C is (m x n).
-MatrixF matmul_bt(const MatrixF& a, const MatrixF& b);
+/// C = A * B^T. A is (m x k), B is (n x k), C is (m x n). B is transposed
+/// during panel packing, so the inner product runs the same packed
+/// micro-kernel as matmul.
+MatrixF matmul_bt(const MatrixF& a, const MatrixF& b,
+                  util::ThreadPool* pool = nullptr);
 
 /// C = A * B + broadcast(bias). bias has length n.
 MatrixF matmul_bias(const MatrixF& a, const MatrixF& b,
-                    std::span<const float> bias);
+                    std::span<const float> bias,
+                    util::ThreadPool* pool = nullptr);
 
+/// Cache-blocked transpose (32x32 blocks keep both the read and the
+/// strided write side resident).
 MatrixF transpose(const MatrixF& a);
 
 /// Elementwise sum; shapes must match.

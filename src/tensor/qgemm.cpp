@@ -1,0 +1,93 @@
+#include "tensor/qgemm.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "tensor/gemm_detail.hpp"
+#include "util/thread_pool.hpp"
+
+namespace protea::tensor {
+namespace {
+
+std::unique_ptr<util::ThreadPool>& default_pool_storage() {
+  static std::unique_ptr<util::ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+void qgemm(const MatrixI8& a, const MatrixI8& b, MatrixI32& c,
+           util::ThreadPool* pool) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("qgemm: inner dimension mismatch");
+  }
+  detail::gemm_driver<int8_t, int16_t, int32_t>(
+      a, b.cols(), c, pool, [&](size_t k0, size_t kc, int8_t* dst) {
+        detail::pack_b_block(b, k0, kc, b.cols(), dst);
+      });
+}
+
+void qgemm_bt(const MatrixI8& a, const MatrixI8& bt, MatrixI32& c,
+              util::ThreadPool* pool) {
+  if (a.cols() != bt.cols()) {
+    throw std::invalid_argument("qgemm_bt: inner dimension mismatch");
+  }
+  detail::gemm_driver<int8_t, int16_t, int32_t>(
+      a, bt.rows(), c, pool, [&](size_t k0, size_t kc, int8_t* dst) {
+        detail::pack_bt_block(bt, k0, kc, bt.rows(), dst);
+      });
+}
+
+void qgemm_naive(const MatrixI8& a, const MatrixI8& b, MatrixI32& c) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("qgemm_naive: inner dimension mismatch");
+  }
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  c = MatrixI32(m, n, 0);
+  for (size_t i = 0; i < m; ++i) {
+    const auto arow = a.row(i);
+    for (size_t j = 0; j < n; ++j) {
+      int32_t sum = 0;
+      for (size_t kk = 0; kk < k; ++kk) {
+        sum += int32_t{arow[kk]} * b(kk, j);
+      }
+      c(i, j) = sum;
+    }
+  }
+}
+
+void qgemm_bt_naive(const MatrixI8& a, const MatrixI8& bt, MatrixI32& c) {
+  if (a.cols() != bt.cols()) {
+    throw std::invalid_argument("qgemm_bt_naive: inner dimension mismatch");
+  }
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = bt.rows();
+  c = MatrixI32(m, n, 0);
+  for (size_t i = 0; i < m; ++i) {
+    const auto arow = a.row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const auto brow = bt.row(j);
+      int32_t sum = 0;
+      for (size_t kk = 0; kk < k; ++kk) {
+        sum += int32_t{arow[kk]} * brow[kk];
+      }
+      c(i, j) = sum;
+    }
+  }
+}
+
+util::ThreadPool* qgemm_default_pool() { return default_pool_storage().get(); }
+
+void qgemm_set_threads(size_t n) {
+  auto& pool = default_pool_storage();
+  if (n <= 1) {
+    pool.reset();
+  } else {
+    pool = std::make_unique<util::ThreadPool>(n);
+  }
+}
+
+}  // namespace protea::tensor

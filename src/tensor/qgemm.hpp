@@ -1,0 +1,60 @@
+// Packed, register-blocked int8 GEMM — the kernel layer every compute
+// engine in the simulator bottoms out in.
+//
+// The paper's datapath (§IV, Figs. 5-6) is tiled int8 x int8 -> int32
+// accumulation; this layer practices the same idiom on the host CPU:
+//
+//   * operand panels are packed into contiguous tile buffers so the
+//     micro-kernel streams both inputs with unit stride (the B^T variant
+//     transposes during packing, which is what makes the engines'
+//     transposed-weight layout free);
+//   * a kMr x kNr block of int32 accumulators is held in registers while
+//     the packed panels stream through, with operands widened to int16 so
+//     the inner loop auto-vectorizes to widening multiply-adds;
+//   * K is blocked at kKc so one A panel + one B panel stay cache-resident.
+//
+// Integer accumulation is exact, so any packing/blocking/threading order
+// produces bit-identical int32 sums — the naive references below are
+// retained to verify exactly that (and as the bench speedup baseline).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace protea::util {
+class ThreadPool;
+}
+
+namespace protea::tensor {
+
+// Block sizes (register block kGemmMr x kGemmNr, K block kGemmKc) live in
+// tensor/gemm_detail.hpp, shared with the float twin in ops.cpp.
+
+/// c(i,j) = sum_k a(i,k) * b(k,j). a is (m x k) int8, b is (k x n) int8,
+/// c is resized to (m x n) int32. Row panels are distributed over `pool`
+/// when given; the result is identical for any thread count.
+void qgemm(const MatrixI8& a, const MatrixI8& b, MatrixI32& c,
+           util::ThreadPool* pool = nullptr);
+
+/// c = a * bt^T where bt is (n x k) — the transposed-weight layout the
+/// engines store (QHeadWeights::wqt, projection weights, K in Q.K^T).
+void qgemm_bt(const MatrixI8& a, const MatrixI8& bt, MatrixI32& c,
+              util::ThreadPool* pool = nullptr);
+
+/// Naive triple-loop references (the seed's original loop nests), retained
+/// as the test oracle and the bench speedup baseline.
+void qgemm_naive(const MatrixI8& a, const MatrixI8& b, MatrixI32& c);
+void qgemm_bt_naive(const MatrixI8& a, const MatrixI8& bt, MatrixI32& c);
+
+/// Shared kernel pool the engines route their GEMMs through. Returns
+/// nullptr (serial execution) until qgemm_set_threads(n >= 2) is called.
+util::ThreadPool* qgemm_default_pool();
+
+/// Configures the shared kernel pool: 0 or 1 disables threading. Not
+/// thread-safe against concurrent qgemm calls; intended for bench/example
+/// setup code.
+void qgemm_set_threads(size_t n);
+
+}  // namespace protea::tensor

@@ -1,0 +1,270 @@
+// Tests for the packed int8 GEMM kernel layer: exact equivalence with the
+// retained naive references on ragged and degenerate shapes, thread-count
+// invariance, and bit-identity of the engines that ride on it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/engines.hpp"
+#include "accel/quantized_model.hpp"
+#include "numeric/requantize.hpp"
+#include "tensor/qgemm.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace protea::tensor {
+namespace {
+
+MatrixI8 random_i8(size_t r, size_t c, uint64_t seed) {
+  MatrixI8 m(r, c);
+  util::Xoshiro256 rng(seed);
+  for (auto& x : m.flat()) {
+    x = static_cast<int8_t>(static_cast<int32_t>(rng.bounded(256)) - 128);
+  }
+  return m;
+}
+
+struct Shape {
+  size_t m, k, n;
+};
+
+// Ragged (non-multiples of the 4x8 register block and the 256 K block),
+// degenerate, and decode-step shapes.
+const Shape kShapes[] = {
+    {1, 1, 1},      {4, 8, 8},    {5, 7, 9},     {13, 31, 17},
+    {3, 300, 11},   {64, 64, 64}, {1, 128, 96},  // SL=1 decode step
+    {0, 8, 8},      {8, 0, 8},    {8, 8, 0},     {65, 257, 33},
+};
+
+TEST(QGemm, MatchesNaiveOnRaggedShapes) {
+  uint64_t seed = 1;
+  for (const auto& s : kShapes) {
+    const auto a = random_i8(s.m, s.k, seed++);
+    const auto b = random_i8(s.k, s.n, seed++);
+    MatrixI32 packed, naive;
+    qgemm(a, b, packed);
+    qgemm_naive(a, b, naive);
+    EXPECT_EQ(packed, naive) << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST(QGemmBt, MatchesNaiveOnRaggedShapes) {
+  uint64_t seed = 100;
+  for (const auto& s : kShapes) {
+    const auto a = random_i8(s.m, s.k, seed++);
+    const auto bt = random_i8(s.n, s.k, seed++);
+    MatrixI32 packed, naive;
+    qgemm_bt(a, bt, packed);
+    qgemm_bt_naive(a, bt, naive);
+    EXPECT_EQ(packed, naive) << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST(QGemm, AgreesWithBtOnTransposedOperand) {
+  const auto a = random_i8(9, 33, 7);
+  const auto b = random_i8(33, 21, 8);
+  MatrixI8 bt(b.cols(), b.rows());
+  for (size_t r = 0; r < b.rows(); ++r) {
+    for (size_t c = 0; c < b.cols(); ++c) bt(c, r) = b(r, c);
+  }
+  MatrixI32 c1, c2;
+  qgemm(a, b, c1);
+  qgemm_bt(a, bt, c2);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(QGemm, ThreadCountDoesNotChangeResult) {
+  util::ThreadPool pool(4);
+  uint64_t seed = 200;
+  for (const auto& s : kShapes) {
+    const auto a = random_i8(s.m, s.k, seed++);
+    const auto b = random_i8(s.k, s.n, seed++);
+    MatrixI32 serial, threaded;
+    qgemm(a, b, serial);
+    qgemm(a, b, threaded, &pool);
+    EXPECT_EQ(serial, threaded) << "m=" << s.m << " k=" << s.k
+                                << " n=" << s.n;
+  }
+}
+
+TEST(QGemm, InnerDimensionMismatchThrows) {
+  const auto a = random_i8(4, 5, 300);
+  const auto b = random_i8(6, 4, 301);
+  MatrixI32 c;
+  EXPECT_THROW(qgemm(a, b, c), std::invalid_argument);
+  EXPECT_THROW(qgemm_bt(a, random_i8(4, 6, 302), c), std::invalid_argument);
+}
+
+TEST(QGemm, DefaultPoolConfigurable) {
+  EXPECT_EQ(qgemm_default_pool(), nullptr);
+  qgemm_set_threads(3);
+  ASSERT_NE(qgemm_default_pool(), nullptr);
+  EXPECT_EQ(qgemm_default_pool()->size(), 3u);
+
+  const auto a = random_i8(17, 40, 400);
+  const auto b = random_i8(40, 23, 401);
+  MatrixI32 serial, pooled;
+  qgemm_naive(a, b, serial);
+  qgemm(a, b, pooled, qgemm_default_pool());
+  EXPECT_EQ(serial, pooled);
+
+  qgemm_set_threads(0);
+  EXPECT_EQ(qgemm_default_pool(), nullptr);
+}
+
+}  // namespace
+}  // namespace protea::tensor
+
+// --- engine bit-identity against naive loop nests ---------------------------
+//
+// The engines must produce the same int8 outputs as the seed's naive tile
+// loops; with exact int32 accumulation this reduces to: naive GEMM + the
+// same bias/requant write-back.
+namespace protea::accel {
+namespace {
+
+using numeric::RequantParams;
+using tensor::MatrixI32;
+using tensor::MatrixI8;
+
+MatrixI8 random_i8(size_t r, size_t c, uint64_t seed) {
+  MatrixI8 m(r, c);
+  util::Xoshiro256 rng(seed);
+  for (auto& x : m.flat()) {
+    x = static_cast<int8_t>(static_cast<int32_t>(rng.bounded(256)) - 128);
+  }
+  return m;
+}
+
+std::vector<int32_t> random_bias(size_t n, uint64_t seed) {
+  std::vector<int32_t> b(n);
+  util::Xoshiro256 rng(seed);
+  for (auto& x : b) x = static_cast<int32_t>(rng.bounded(20000)) - 10000;
+  return b;
+}
+
+int8_t requant8(int64_t acc, const RequantParams& rq) {
+  return static_cast<int8_t>(numeric::requantize(acc, rq, -128, 127));
+}
+
+TEST(EngineBitIdentity, QkvEngineMatchesNaive) {
+  const size_t sl = 9, d = 40, dk = 12;
+  const auto x = random_i8(sl, d, 1);
+  QHeadWeights head;
+  head.wqt = random_i8(dk, d, 2);
+  head.wkt = random_i8(dk, d, 3);
+  head.wvt = random_i8(dk, d, 4);
+  head.bq = random_bias(dk, 5);
+  head.bk = random_bias(dk, 6);
+  head.bv = random_bias(dk, 7);
+  const auto rq_q = numeric::make_requant_params(0.003);
+  const auto rq_k = numeric::make_requant_params(0.005);
+  const auto rq_v = numeric::make_requant_params(0.002);
+
+  MatrixI8 q, k, v;
+  EngineStats stats;
+  run_qkv_engine(x, head, 16, rq_q, rq_k, rq_v, q, k, v, &stats);
+  EXPECT_EQ(stats.macs, 3 * sl * d * dk);
+
+  MatrixI32 aq, ak, av;
+  tensor::qgemm_bt_naive(x, head.wqt, aq);
+  tensor::qgemm_bt_naive(x, head.wkt, ak);
+  tensor::qgemm_bt_naive(x, head.wvt, av);
+  for (size_t i = 0; i < sl; ++i) {
+    for (size_t j = 0; j < dk; ++j) {
+      EXPECT_EQ(q(i, j), requant8(int64_t{aq(i, j)} + head.bq[j], rq_q));
+      EXPECT_EQ(k(i, j), requant8(int64_t{ak(i, j)} + head.bk[j], rq_k));
+      EXPECT_EQ(v(i, j), requant8(int64_t{av(i, j)} + head.bv[j], rq_v));
+    }
+  }
+}
+
+TEST(EngineBitIdentity, ProjectionEngineMatchesNaive) {
+  const size_t rows = 7, d = 33, out_dim = 19;
+  const auto x = random_i8(rows, d, 10);
+  const auto wt = random_i8(out_dim, d, 11);
+  const auto bias = random_bias(out_dim, 12);
+  const auto rq = numeric::make_requant_params(0.004);
+
+  MatrixI8 out;
+  run_projection_engine(x, wt, bias, 8, rq, out);
+
+  MatrixI32 acc;
+  tensor::qgemm_bt_naive(x, wt, acc);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < out_dim; ++j) {
+      EXPECT_EQ(out(i, j), requant8(int64_t{acc(i, j)} + bias[j], rq));
+    }
+  }
+}
+
+TEST(EngineBitIdentity, QkAndSvEnginesMatchNaive) {
+  const size_t sl = 11, dk = 13;
+  const auto q = random_i8(sl, dk, 20);
+  const auto k = random_i8(sl, dk, 21);
+  const auto rq_logit = numeric::make_requant_params(0.01);
+  MatrixI8 logits;
+  run_qk_engine(q, k, rq_logit, logits);
+
+  MatrixI32 acc;
+  tensor::qgemm_bt_naive(q, k, acc);
+  for (size_t i = 0; i < sl; ++i) {
+    for (size_t j = 0; j < sl; ++j) {
+      EXPECT_EQ(logits(i, j), requant8(acc(i, j), rq_logit));
+    }
+  }
+
+  const auto weights = random_i8(sl, sl, 22);
+  const auto v = random_i8(sl, dk, 23);
+  const auto rq_sv = numeric::make_requant_params(0.008);
+  MatrixI8 scores;
+  run_sv_engine(weights, v, rq_sv, scores);
+
+  tensor::qgemm_naive(weights, v, acc);
+  for (size_t i = 0; i < sl; ++i) {
+    for (size_t j = 0; j < dk; ++j) {
+      EXPECT_EQ(scores(i, j), requant8(acc(i, j), rq_sv));
+    }
+  }
+}
+
+TEST(EngineBitIdentity, FfnEngineMatchesNaiveWithRelu) {
+  const size_t sl = 6, in_dim = 29, out_dim = 23;
+  const auto in = random_i8(sl, in_dim, 30);
+  const auto w = random_i8(in_dim, out_dim, 31);
+  const auto bias = random_bias(out_dim, 32);
+  const auto rq = numeric::make_requant_params(0.006);
+
+  MatrixI8 out;
+  run_ffn_engine(in, w, bias, 16, rq, FfnActivation::kRelu, 0.0, out);
+
+  MatrixI32 acc;
+  tensor::qgemm_naive(in, w, acc);
+  for (size_t i = 0; i < sl; ++i) {
+    for (size_t j = 0; j < out_dim; ++j) {
+      const int8_t rq8 = requant8(int64_t{acc(i, j)} + bias[j], rq);
+      EXPECT_EQ(out(i, j), std::max<int8_t>(rq8, 0));
+    }
+  }
+}
+
+TEST(EngineBitIdentity, EnginesUnchangedByKernelThreading) {
+  const size_t sl = 16, d = 64;
+  const auto in = random_i8(sl, d, 40);
+  const auto w = random_i8(d, d, 41);
+  const auto bias = random_bias(d, 42);
+  const auto rq = numeric::make_requant_params(0.004);
+
+  MatrixI8 serial_out, threaded_out;
+  run_ffn_engine(in, w, bias, 32, rq, FfnActivation::kGeluLut, 0.05,
+                 serial_out);
+  tensor::qgemm_set_threads(4);
+  run_ffn_engine(in, w, bias, 32, rq, FfnActivation::kGeluLut, 0.05,
+                 threaded_out);
+  tensor::qgemm_set_threads(0);
+  EXPECT_EQ(serial_out, threaded_out);
+}
+
+}  // namespace
+}  // namespace protea::accel

@@ -313,6 +313,30 @@ TEST(ThreadPool, PropagatesTaskException) {
   EXPECT_THROW(pool.wait_idle(), std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 1000,
+                                 [](size_t i) {
+                                   if (i == 637) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after a failed parallel_for.
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 50, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForInlineRangePropagatesException) {
+  // Small ranges run inline on the calling thread; exceptions must still
+  // surface identically.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1, [](size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+}
+
 TEST(ThreadPool, SingleThreadRunsInline) {
   ThreadPool pool(1);
   EXPECT_EQ(pool.size(), 1u);
