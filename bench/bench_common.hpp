@@ -40,15 +40,26 @@ inline std::string results_dir() {
   return dir;
 }
 
-/// Writes the machine-readable bench artifact
-///   {"bench": <name>, <scalar_fields...>, "results": [<result_objects>]}
-/// to results_dir()/<filename>. `scalar_fields` entries are preformatted
-/// `"key": value` strings, `result_objects` are preformatted JSON objects
-/// (one per measurement row). Returns false when the file can't be opened.
-inline bool write_bench_json(const std::string& filename,
-                             const std::string& bench,
-                             const std::vector<std::string>& scalar_fields,
-                             const std::vector<std::string>& result_objects) {
+/// One measurement in the shared BENCH_*.json schema. Every bench binary
+/// emits through write_bench_records so all artifacts have the same
+/// machine-readable shape:
+///   {"bench": <binary>,
+///    "schema": ["name", "metric", "value", "unit"],
+///    "results": [{"name": ..., "metric": ..., "value": ..., "unit": ...}]}
+/// `name` identifies the measured configuration (kernel + shape +
+/// threads), `metric` what was measured, `unit` the value's unit.
+struct BenchRecord {
+  std::string name;
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+};
+
+/// Writes the unified bench artifact to results_dir()/<filename>.
+/// Returns false when the file can't be opened.
+inline bool write_bench_records(const std::string& filename,
+                                const std::string& bench,
+                                const std::vector<BenchRecord>& records) {
   const std::string path = results_dir() + "/" + filename;
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -56,13 +67,15 @@ inline bool write_bench_json(const std::string& filename,
     return false;
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench.c_str());
-  for (const auto& field : scalar_fields) {
-    std::fprintf(f, "  %s,\n", field.c_str());
-  }
+  std::fprintf(f, "  \"schema\": [\"name\", \"metric\", \"value\", \"unit\"],\n");
   std::fprintf(f, "  \"results\": [\n");
-  for (size_t i = 0; i < result_objects.size(); ++i) {
-    std::fprintf(f, "    %s%s\n", result_objects[i].c_str(),
-                 i + 1 < result_objects.size() ? "," : "");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"metric\": \"%s\", "
+                 "\"value\": %.6g, \"unit\": \"%s\"}%s\n",
+                 r.name.c_str(), r.metric.c_str(), r.value, r.unit.c_str(),
+                 i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

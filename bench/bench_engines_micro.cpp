@@ -177,17 +177,16 @@ void emit_bench_engines_json() {
   }
   tensor::qgemm_set_threads(0);
 
-  char buf[256];
-  std::vector<std::string> rows;
+  char buf[128];
+  std::vector<protea::bench::BenchRecord> records;
   for (const auto& r : results) {
-    std::snprintf(buf, sizeof(buf),
-                  "{\"engine\": \"%s\", \"sl\": %u, \"d_model\": %u, "
-                  "\"threads\": %zu, \"ms\": %.4f, \"gmacs\": %.3f}",
-                  r.engine.c_str(), r.sl, r.d, r.threads, r.ms, r.gmacs);
-    rows.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%s_sl%u_d%u_t%zu", r.engine.c_str(),
+                  r.sl, r.d, r.threads);
+    records.push_back({buf, "latency", r.ms, "ms"});
+    records.push_back({buf, "throughput", r.gmacs, "GMAC/s"});
   }
-  protea::bench::write_bench_json("BENCH_engines.json",
-                                  "bench_engines_micro", {}, rows);
+  protea::bench::write_bench_records("BENCH_engines.json",
+                                     "bench_engines_micro", records);
 }
 
 }  // namespace

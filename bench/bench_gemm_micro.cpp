@@ -224,20 +224,18 @@ void emit_bench_gemm_json() {
   }
   const double speedup = packed_256 > 0.0 ? naive_256 / packed_256 : 0.0;
 
-  char buf[256];
-  std::vector<std::string> rows;
+  char buf[128];
+  std::vector<protea::bench::BenchRecord> records;
   for (const auto& r : results) {
-    std::snprintf(buf, sizeof(buf),
-                  "{\"kernel\": \"%s\", \"m\": %zu, \"k\": %zu, "
-                  "\"n\": %zu, \"threads\": %zu, \"ms\": %.4f, "
-                  "\"gmacs\": %.3f}",
-                  r.kernel.c_str(), r.m, r.k, r.n, r.threads, r.ms, r.gmacs);
-    rows.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%s_%zux%zux%zu_t%zu",
+                  r.kernel.c_str(), r.m, r.k, r.n, r.threads);
+    records.push_back({buf, "latency", r.ms, "ms"});
+    records.push_back({buf, "throughput", r.gmacs, "GMAC/s"});
   }
-  std::snprintf(buf, sizeof(buf), "\"speedup_qgemm_256_vs_naive\": %.2f",
-                speedup);
-  protea::bench::write_bench_json("BENCH_gemm.json", "bench_gemm_micro",
-                                  {buf}, rows);
+  records.push_back(
+      {"qgemm_256x256x256_t1_vs_naive", "speedup", speedup, "x"});
+  protea::bench::write_bench_records("BENCH_gemm.json", "bench_gemm_micro",
+                                     records);
   std::printf("qgemm 256^3 speedup vs naive: %.2fx\n", speedup);
 }
 

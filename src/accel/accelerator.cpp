@@ -1,10 +1,8 @@
 #include "accel/accelerator.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
-#include "numeric/quantizer.hpp"
+#include "runtime/inference_session.hpp"
 
 namespace protea::accel {
 
@@ -50,58 +48,12 @@ const ref::ModelConfig& ProteaAccelerator::programmed_config() const {
 tensor::MatrixF ProteaAccelerator::forward(
     const tensor::MatrixF& input, std::vector<AccelLayerTrace>* traces) {
   if (!model_) throw std::logic_error("ProteaAccelerator: no model loaded");
-  const QuantizedModel& qm = *model_;
-  if (input.rows() != program_.seq_len ||
-      input.cols() != program_.d_model) {
-    throw std::invalid_argument("forward: input shape mismatch");
-  }
-  if (traces != nullptr) {
-    traces->clear();
-    traces->resize(program_.num_layers);
-  }
-
-  // Quantize the input embedding at the first layer's input scale.
-  numeric::Quantizer quant(8, /*pow2_scale=*/true);
-  quant.set_scale(qm.layers.front().scales.x);
-  tensor::MatrixI8 x(input.rows(), input.cols());
-  quant.quantize(input.flat(), x.flat());
-
-  double out_scale = qm.layers.front().scales.x;
-  for (uint32_t li = 0; li < program_.num_layers; ++li) {
-    const QLayer& layer = qm.layers[li];
-    // Between layers the calibrated scales line up (ln2 of layer l is the
-    // input of layer l+1); realign with an exact shift when they differ.
-    if (li > 0 && layer.scales.x != out_scale) {
-      const double ratio = out_scale / layer.scales.x;
-      for (int8_t& q : x.flat()) {
-        const auto rescaled = static_cast<int32_t>(
-            std::llround(static_cast<double>(q) * ratio));
-        q = static_cast<int8_t>(std::clamp(rescaled, -128, 127));
-      }
-    }
-
-    std::vector<AttentionModule::HeadTrace>* head_traces =
-        traces != nullptr ? &(*traces)[li].heads : nullptr;
-    tensor::MatrixI8 concat = AttentionModule::run(
-        layer, x, config_.synth.ts_mha, &stats_, head_traces);
-
-    FfnModule::Trace* ffn_trace =
-        traces != nullptr ? &(*traces)[li].ffn : nullptr;
-    tensor::MatrixI8 out =
-        FfnModule::run(layer, concat, x, config_.synth.ts_ffn,
-                       program_.activation, &stats_, ffn_trace);
-
-    if (traces != nullptr) {
-      (*traces)[li].concat = std::move(concat);
-      (*traces)[li].out = out;
-    }
-    x = std::move(out);
-    out_scale = layer.scales.ln2;
-  }
-
-  tensor::MatrixF result(x.rows(), x.cols());
-  quant.set_scale(out_scale);
-  quant.dequantize(x.flat(), result.flat());
+  // Single forward implementation shared with the serving runtime
+  // (runtime/inference_session.hpp); the member arena makes repeated
+  // forwards of one programmed shape allocation-free after warmup.
+  tensor::MatrixF result;
+  runtime::encoder_forward_into(*model_, program_, config_, input, ws_,
+                                &stats_, result, traces);
   return result;
 }
 

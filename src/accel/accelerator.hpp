@@ -16,17 +16,13 @@
 #include "accel/ffn_module.hpp"
 #include "accel/perf_model.hpp"
 #include "accel/quantized_model.hpp"
+#include "runtime/workspace_arena.hpp"
 #include "tensor/matrix.hpp"
 
 namespace protea::accel {
 
 /// Full per-layer trace of the quantized datapath (testing hook).
-struct AccelLayerTrace {
-  std::vector<AttentionModule::HeadTrace> heads;
-  tensor::MatrixI8 concat;
-  FfnModule::Trace ffn;
-  tensor::MatrixI8 out;
-};
+using AccelLayerTrace = runtime::EncoderLayerTrace;
 
 class ProteaAccelerator {
  public:
@@ -67,6 +63,7 @@ class ProteaAccelerator {
   std::optional<QuantizedModel> model_;
   ref::ModelConfig program_;
   EngineStats stats_;
+  runtime::WorkspaceArena ws_;  // session workspace for forward()
 };
 
 }  // namespace protea::accel

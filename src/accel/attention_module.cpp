@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "accel/softmax_unit.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace protea::accel {
 
@@ -10,42 +10,21 @@ tensor::MatrixI8 AttentionModule::run(const QLayer& layer,
                                       const tensor::MatrixI8& x,
                                       uint32_t ts_mha, EngineStats* stats,
                                       std::vector<HeadTrace>* traces) {
-  const size_t sl = x.rows();
-  const size_t d = x.cols();
-  const size_t h = layer.heads.size();
-  if (h == 0) throw std::invalid_argument("AttentionModule: no heads");
-  const size_t dk = layer.heads[0].wqt.rows();
-  if (dk * h != d) {
+  if (layer.heads.empty()) {
+    throw std::invalid_argument("AttentionModule: no heads");
+  }
+  if (layer.heads[0].wqt.rows() * layer.heads.size() != x.cols()) {
     throw std::invalid_argument("AttentionModule: head dims inconsistent");
   }
-
-  const SoftmaxUnit softmax(layer.scales.logit);
-  tensor::MatrixI8 concat(sl, d);
-  if (traces != nullptr) traces->resize(h);
-
-  for (size_t head = 0; head < h; ++head) {
-    tensor::MatrixI8 q, k, v, logits, scores;
-    run_qkv_engine(x, layer.heads[head], ts_mha, layer.rq_q, layer.rq_k,
-                   layer.rq_v, q, k, v, stats);
-    run_qk_engine(q, k, layer.rq_logit, logits, stats);
-    tensor::MatrixI8 weights = softmax.run(logits);
-    run_sv_engine(weights, v, layer.rq_sv, scores, stats);
-
-    for (size_t i = 0; i < sl; ++i) {
-      for (size_t c = 0; c < dk; ++c) {
-        concat(i, head * dk + c) = scores(i, c);
-      }
-    }
-    if (traces != nullptr) {
-      auto& t = (*traces)[head];
-      t.q = std::move(q);
-      t.k = std::move(k);
-      t.v = std::move(v);
-      t.logits = std::move(logits);
-      t.attn_weights = std::move(weights);
-      t.scores = std::move(scores);
-    }
-  }
+  tensor::MatrixI8 concat(x.rows(), x.cols());
+  runtime::WorkspaceArena& ws = engine_scratch_arena();
+  const runtime::LayerOpContext ctx{.ws = ws,
+                                    .ts_mha = ts_mha,
+                                    .ts_ffn = 0,
+                                    .stats = stats,
+                                    .gemm_pool =
+                                        tensor::qgemm_default_pool()};
+  runtime::run_encoder_mha_stage(ctx, layer, x, concat, traces);
   return concat;
 }
 

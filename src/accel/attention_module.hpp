@@ -1,10 +1,15 @@
 // Multi-head attention module (paper Fig. 3): h parallel head pipelines,
 // each chaining QKV_CE -> QK_CE -> softmax -> SV_CE, concatenated into the
 // (SL x d_model) attention output at the shared `sv` scale.
+//
+// The execution now lives in the runtime layer (runtime/layer_ops.hpp,
+// run_encoder_mha_stage); this wrapper keeps the original owning-Matrix
+// API on top of it.
 #pragma once
 
 #include "accel/engines.hpp"
 #include "accel/quantized_model.hpp"
+#include "runtime/layer_ops.hpp"
 #include "tensor/matrix.hpp"
 
 namespace protea::accel {
@@ -12,12 +17,7 @@ namespace protea::accel {
 class AttentionModule {
  public:
   /// Per-head intermediates captured when a trace sink is provided.
-  struct HeadTrace {
-    tensor::MatrixI8 q, k, v;
-    tensor::MatrixI8 logits;
-    tensor::MatrixI8 attn_weights;
-    tensor::MatrixI8 scores;
-  };
+  using HeadTrace = runtime::HeadTrace;
 
   /// Runs all heads of `layer` on int8 input `x` (scale layer.scales.x)
   /// and returns the concatenated attention output (scale layer.scales.sv).

@@ -5,6 +5,20 @@
 
 namespace protea::accel {
 
+ModuleSplit split_module_cycles(const PerfReport& per_seq) {
+  // Split each layer's stages between the two physical modules.
+  ModuleSplit split;
+  for (const auto& stage : per_seq.stages) {
+    if (stage.name == "qkv" || stage.name == "qk" ||
+        stage.name == "softmax" || stage.name == "sv") {
+      split.mha_layer += stage.total;
+    } else {
+      split.ffn_layer += stage.total;  // ffn1..3 + layernorm units
+    }
+  }
+  return split;
+}
+
 BatchReport estimate_batch_performance(const AccelConfig& config,
                                        const ref::ModelConfig& model,
                                        uint32_t batch) {
@@ -12,17 +26,7 @@ BatchReport estimate_batch_performance(const AccelConfig& config,
     throw std::invalid_argument("estimate_batch_performance: zero batch");
   }
   const PerfReport per_seq = estimate_performance(config, model);
-
-  // Split each layer's stages between the two physical modules.
-  hw::Cycles mha_layer = 0, ffn_layer = 0;
-  for (const auto& stage : per_seq.stages) {
-    if (stage.name == "qkv" || stage.name == "qk" ||
-        stage.name == "softmax" || stage.name == "sv") {
-      mha_layer += stage.total;
-    } else {
-      ffn_layer += stage.total;  // ffn1..3 + layernorm units
-    }
-  }
+  const auto [mha_layer, ffn_layer] = split_module_cycles(per_seq);
 
   BatchReport report;
   report.batch = batch;

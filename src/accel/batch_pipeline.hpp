@@ -26,6 +26,17 @@ struct BatchReport {
   double fmax_mhz = 0.0;
 };
 
+/// Per-layer cycle split between the two physical modules (the MHA
+/// engine group vs the FFN engine group + LN units). Shared by the
+/// analytic pipeline model below and the runtime batch scheduler's
+/// virtual-time replay, so the two are cross-checkable cycle-exactly.
+struct ModuleSplit {
+  hw::Cycles mha_layer = 0;
+  hw::Cycles ffn_layer = 0;
+};
+
+ModuleSplit split_module_cycles(const PerfReport& per_seq);
+
 /// Two-stage pipeline model over `batch` independent sequences.
 /// NOTE: with N layers, a sequence alternates MHA/FFN N times; the
 /// pipeline interleaves at layer granularity, so steady state is

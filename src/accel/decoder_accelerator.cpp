@@ -1,14 +1,10 @@
 #include "accel/decoder_accelerator.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
-#include "accel/layernorm_unit.hpp"
-#include "accel/softmax_unit.hpp"
 #include "hw/frequency_model.hpp"
 #include "hw/resource_model.hpp"
-#include "numeric/quantizer.hpp"
+#include "runtime/inference_session.hpp"
 #include "util/math_util.hpp"
 
 namespace protea::accel {
@@ -34,110 +30,12 @@ const QuantizedDecoder& ProteaDecoderAccelerator::model() const {
 tensor::MatrixF ProteaDecoderAccelerator::forward(
     const tensor::MatrixF& target, const tensor::MatrixF& memory) {
   const QuantizedDecoder& qd = model();
-  const ref::ModelConfig& cfg = qd.config;
-  if (target.cols() != cfg.d_model || memory.cols() != cfg.d_model) {
-    throw std::invalid_argument("decoder forward: width mismatch");
-  }
-  if (target.rows() == 0 || target.rows() > cfg.seq_len) {
-    throw std::invalid_argument("decoder forward: bad target length");
-  }
-  if (memory.rows() > config_.synth.max_seq_len) {
-    throw std::invalid_argument("decoder forward: memory too long");
-  }
-
-  const size_t t_len = target.rows();
-  const size_t dk = cfg.head_dim();
-  numeric::Quantizer quant(8, true);
-
-  // Quantize the target stream and the encoder memory once.
-  quant.set_scale(qd.layers.front().scales.x);
-  tensor::MatrixI8 x(t_len, cfg.d_model);
-  quant.quantize(target.flat(), x.flat());
-  quant.set_scale(qd.memory_scale);
-  tensor::MatrixI8 mem_q(memory.rows(), memory.cols());
-  quant.quantize(memory.flat(), mem_q.flat());
-
-  double out_scale = qd.layers.front().scales.x;
-  for (const QDecoderLayer& layer : qd.layers) {
-    const DecoderLayerScales& s = layer.scales;
-    if (s.x != out_scale) {
-      const double ratio = out_scale / s.x;
-      for (int8_t& q : x.flat()) {
-        const auto rescaled = static_cast<int32_t>(
-            std::llround(static_cast<double>(q) * ratio));
-        q = static_cast<int8_t>(std::clamp(rescaled, -128, 127));
-      }
-    }
-
-    // --- masked self-attention on the QKV/QK/SV engines -------------------
-    const SoftmaxUnit self_softmax(s.logit);
-    tensor::MatrixI8 self_concat(t_len, cfg.d_model);
-    for (size_t head = 0; head < layer.self_heads.size(); ++head) {
-      tensor::MatrixI8 q, k, v, logits, scores;
-      run_qkv_engine(x, layer.self_heads[head], config_.synth.ts_mha,
-                     layer.rq_q, layer.rq_k, layer.rq_v, q, k, v, &stats_);
-      run_qk_engine(q, k, layer.rq_logit, logits, &stats_);
-      const tensor::MatrixI8 weights = self_softmax.run_causal(logits);
-      run_sv_engine(weights, v, layer.rq_sv, scores, &stats_);
-      for (size_t i = 0; i < t_len; ++i) {
-        for (size_t c = 0; c < dk; ++c) {
-          self_concat(i, head * dk + c) = scores(i, c);
-        }
-      }
-    }
-    tensor::MatrixI8 self_proj;
-    run_ffn_engine(self_concat, layer.wo, layer.bo, config_.synth.ts_ffn,
-                   layer.rq_proj, FfnActivation::kNone, 0.0, self_proj,
-                   &stats_);
-    const LayerNormUnit ln1(layer.ln1_gamma, layer.ln1_beta);
-    tensor::MatrixI8 x1 = ln1.run(self_proj, s.proj, x, s.x, s.ln1);
-
-    // --- cross-attention: projections sequenced on the same engines -------
-    const SoftmaxUnit cross_softmax(s.clogit);
-    tensor::MatrixI8 cross_concat(t_len, cfg.d_model);
-    for (size_t head = 0; head < layer.cross_heads.size(); ++head) {
-      const auto& ch = layer.cross_heads[head];
-      tensor::MatrixI8 q, k, v, logits, scores;
-      run_projection_engine(x1, ch.cqt, ch.cbq, config_.synth.ts_mha,
-                            layer.rq_cq, q, &stats_);
-      run_projection_engine(mem_q, ch.ckt, ch.cbk, config_.synth.ts_mha,
-                            layer.rq_ck, k, &stats_);
-      run_projection_engine(mem_q, ch.cvt, ch.cbv, config_.synth.ts_mha,
-                            layer.rq_cv, v, &stats_);
-      run_qk_engine(q, k, layer.rq_clogit, logits, &stats_);
-      const tensor::MatrixI8 weights = cross_softmax.run(logits);
-      run_sv_engine(weights, v, layer.rq_csv, scores, &stats_);
-      for (size_t i = 0; i < t_len; ++i) {
-        for (size_t c = 0; c < dk; ++c) {
-          cross_concat(i, head * dk + c) = scores(i, c);
-        }
-      }
-    }
-    tensor::MatrixI8 cross_proj;
-    run_ffn_engine(cross_concat, layer.co, layer.cbo, config_.synth.ts_ffn,
-                   layer.rq_cproj, FfnActivation::kNone, 0.0, cross_proj,
-                   &stats_);
-    const LayerNormUnit ln2(layer.ln2_gamma, layer.ln2_beta);
-    tensor::MatrixI8 x2 = ln2.run(cross_proj, s.cproj, x1, s.ln1, s.ln2);
-
-    // --- FFN ---------------------------------------------------------------
-    const FfnActivation act = cfg.activation == ref::Activation::kRelu
-                                  ? FfnActivation::kRelu
-                                  : FfnActivation::kGeluLut;
-    tensor::MatrixI8 hidden, ffn_out;
-    run_ffn_engine(x2, layer.w1, layer.b1, config_.synth.ts_ffn,
-                   layer.rq_hidden, act, s.hidden, hidden, &stats_);
-    run_ffn_engine(hidden, layer.w2, layer.b2, config_.synth.ts_ffn,
-                   layer.rq_ffn_out, FfnActivation::kNone, 0.0, ffn_out,
-                   &stats_);
-    const LayerNormUnit ln3(layer.ln3_gamma, layer.ln3_beta);
-    x = ln3.run(ffn_out, s.ffn_out, x2, s.ln2, s.ln3);
-    out_scale = s.ln3;
-  }
-
-  tensor::MatrixF result(x.rows(), x.cols());
-  quant.set_scale(out_scale);
-  quant.dequantize(x.flat(), result.flat());
+  // Single decoder forward implementation shared with the serving runtime
+  // (runtime/inference_session.hpp): masked self-attention,
+  // cross-attention and FFN all sequence the unified layer-op blocks.
+  tensor::MatrixF result;
+  runtime::decoder_forward_into(qd, config_, target, memory, ws_, &stats_,
+                                result);
   return result;
 }
 

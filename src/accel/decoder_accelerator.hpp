@@ -16,6 +16,7 @@
 #include "accel/decoder_model.hpp"
 #include "accel/engines.hpp"
 #include "accel/perf_model.hpp"
+#include "runtime/workspace_arena.hpp"
 #include "tensor/matrix.hpp"
 
 namespace protea::accel {
@@ -46,6 +47,7 @@ class ProteaDecoderAccelerator {
   AccelConfig config_;
   std::optional<QuantizedDecoder> model_;
   EngineStats stats_;
+  runtime::WorkspaceArena ws_;  // session workspace for forward()
 };
 
 /// Analytic decoder-layer cycle model (shares all encoder constants).

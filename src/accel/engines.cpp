@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "numeric/dsp48.hpp"
 #include "tensor/qgemm.hpp"
@@ -39,14 +40,30 @@ std::array<int8_t, 256> build_gelu_table(double scale) {
   return table;
 }
 
+void check_out_shape(tensor::MatrixViewI8 out, size_t rows, size_t cols,
+                     const char* name) {
+  if (out.rows() != rows || out.cols() != cols) {
+    throw std::invalid_argument(std::string(name) +
+                                ": output view shape mismatch");
+  }
+}
+
 }  // namespace
 
-void run_qkv_engine(const tensor::MatrixI8& x, const QHeadWeights& head,
+runtime::WorkspaceArena& engine_scratch_arena() {
+  static thread_local runtime::WorkspaceArena arena;
+  return arena;
+}
+
+// --- QKV engine --------------------------------------------------------------
+
+void run_qkv_engine(tensor::ConstMatrixViewI8 x, const QHeadWeights& head,
                     uint32_t ts_mha, const numeric::RequantParams& rq_q,
                     const numeric::RequantParams& rq_k,
-                    const numeric::RequantParams& rq_v, tensor::MatrixI8& q,
-                    tensor::MatrixI8& k, tensor::MatrixI8& v,
-                    EngineStats* stats) {
+                    const numeric::RequantParams& rq_v,
+                    tensor::MatrixViewI8 q, tensor::MatrixViewI8 k,
+                    tensor::MatrixViewI8 v, runtime::WorkspaceArena& ws,
+                    EngineStats* stats, util::ThreadPool* pool) {
   const size_t sl = x.rows();
   const size_t d = x.cols();
   const size_t dk = head.wqt.rows();
@@ -56,21 +73,24 @@ void run_qkv_engine(const tensor::MatrixI8& x, const QHeadWeights& head,
   if (ts_mha == 0) {
     throw std::invalid_argument("run_qkv_engine: zero tile size");
   }
+  check_out_shape(q, sl, dk, "run_qkv_engine");
+  check_out_shape(k, sl, dk, "run_qkv_engine");
+  check_out_shape(v, sl, dk, "run_qkv_engine");
 
   // Fig. 5's accumulate-across-column-tiles is exact int32 arithmetic, so
   // the packed kernel reproduces it bit-for-bit at any blocking; the tile
   // size ts_mha remains a perf_model (cycle accounting) parameter only.
-  util::ThreadPool* pool = tensor::qgemm_default_pool();
-  tensor::MatrixI32 acc_q, acc_k, acc_v;
-  tensor::qgemm_bt(x, head.wqt, acc_q, pool);
-  tensor::qgemm_bt(x, head.wkt, acc_k, pool);
-  tensor::qgemm_bt(x, head.wvt, acc_v, pool);
+  const auto m = ws.mark();
+  auto acc_q = ws.matrix_i32(sl, dk);
+  auto acc_k = ws.matrix_i32(sl, dk);
+  auto acc_v = ws.matrix_i32(sl, dk);
+  auto pack = ws.span_i8(tensor::qgemm_pack_elems(dk));
+  tensor::qgemm_bt_into(x, head.wqt, acc_q, pack, pool);
+  tensor::qgemm_bt_into(x, head.wkt, acc_k, pack, pool);
+  tensor::qgemm_bt_into(x, head.wvt, acc_v, pack, pool);
   if (stats != nullptr) stats->macs += 3 * sl * d * dk;
 
   // Bias add in the accumulator domain, then write-back requantization.
-  q = tensor::MatrixI8(sl, dk);
-  k = tensor::MatrixI8(sl, dk);
-  v = tensor::MatrixI8(sl, dk);
   for (size_t i = 0; i < sl; ++i) {
     for (size_t kk = 0; kk < dk; ++kk) {
       q(i, kk) = requant8(int64_t{acc_q(i, kk)} + head.bq[kk], rq_q);
@@ -78,13 +98,34 @@ void run_qkv_engine(const tensor::MatrixI8& x, const QHeadWeights& head,
       v(i, kk) = requant8(int64_t{acc_v(i, kk)} + head.bv[kk], rq_v);
     }
   }
+  ws.rewind(m);
 }
 
-void run_projection_engine(const tensor::MatrixI8& x,
-                           const tensor::MatrixI8& wt,
+void run_qkv_engine(const tensor::MatrixI8& x, const QHeadWeights& head,
+                    uint32_t ts_mha, const numeric::RequantParams& rq_q,
+                    const numeric::RequantParams& rq_k,
+                    const numeric::RequantParams& rq_v, tensor::MatrixI8& q,
+                    tensor::MatrixI8& k, tensor::MatrixI8& v,
+                    EngineStats* stats) {
+  const size_t sl = x.rows();
+  const size_t dk = head.wqt.rows();
+  q = tensor::MatrixI8(sl, dk);
+  k = tensor::MatrixI8(sl, dk);
+  v = tensor::MatrixI8(sl, dk);
+  run_qkv_engine(tensor::ConstMatrixViewI8(x), head, ts_mha, rq_q, rq_k,
+                 rq_v, q, k, v, engine_scratch_arena(), stats,
+                 tensor::qgemm_default_pool());
+}
+
+// --- Projection engine -------------------------------------------------------
+
+void run_projection_engine(tensor::ConstMatrixViewI8 x,
+                           tensor::ConstMatrixViewI8 wt,
                            std::span<const int32_t> bias, uint32_t ts_mha,
                            const numeric::RequantParams& rq,
-                           tensor::MatrixI8& out, EngineStats* stats) {
+                           tensor::MatrixViewI8 out,
+                           runtime::WorkspaceArena& ws, EngineStats* stats,
+                           util::ThreadPool* pool) {
   const size_t rows = x.rows();
   const size_t d = x.cols();
   const size_t out_dim = wt.rows();
@@ -97,64 +138,116 @@ void run_projection_engine(const tensor::MatrixI8& x,
   if (ts_mha == 0) {
     throw std::invalid_argument("run_projection_engine: zero tile size");
   }
+  check_out_shape(out, rows, out_dim, "run_projection_engine");
 
-  tensor::MatrixI32 acc;
-  tensor::qgemm_bt(x, wt, acc, tensor::qgemm_default_pool());
-  out = tensor::MatrixI8(rows, out_dim);
+  const auto m = ws.mark();
+  auto acc = ws.matrix_i32(rows, out_dim);
+  auto pack = ws.span_i8(tensor::qgemm_pack_elems(out_dim));
+  tensor::qgemm_bt_into(x, wt, acc, pack, pool);
   for (size_t i = 0; i < rows; ++i) {
     for (size_t kk = 0; kk < out_dim; ++kk) {
       out(i, kk) = requant8(int64_t{acc(i, kk)} + bias[kk], rq);
     }
   }
   if (stats != nullptr) stats->macs += rows * d * out_dim;
+  ws.rewind(m);
 }
 
-void run_qk_engine(const tensor::MatrixI8& q, const tensor::MatrixI8& k,
+void run_projection_engine(const tensor::MatrixI8& x,
+                           const tensor::MatrixI8& wt,
+                           std::span<const int32_t> bias, uint32_t ts_mha,
+                           const numeric::RequantParams& rq,
+                           tensor::MatrixI8& out, EngineStats* stats) {
+  out = tensor::MatrixI8(x.rows(), wt.rows());
+  run_projection_engine(tensor::ConstMatrixViewI8(x),
+                        tensor::ConstMatrixViewI8(wt), bias, ts_mha, rq,
+                        out, engine_scratch_arena(), stats,
+                        tensor::qgemm_default_pool());
+}
+
+// --- QK engine ---------------------------------------------------------------
+
+void run_qk_engine(tensor::ConstMatrixViewI8 q, tensor::ConstMatrixViewI8 k,
                    const numeric::RequantParams& rq_logit,
-                   tensor::MatrixI8& logits, EngineStats* stats) {
+                   tensor::MatrixViewI8 logits, runtime::WorkspaceArena& ws,
+                   EngineStats* stats, util::ThreadPool* pool) {
   if (q.cols() != k.cols()) {
     throw std::invalid_argument("run_qk_engine: head dim mismatch");
   }
   const size_t sl_q = q.rows();
   const size_t sl_k = k.rows();
   const size_t dk = q.cols();
-  tensor::MatrixI32 acc;
-  tensor::qgemm_bt(q, k, acc, tensor::qgemm_default_pool());
-  logits = tensor::MatrixI8(sl_q, sl_k);
+  check_out_shape(logits, sl_q, sl_k, "run_qk_engine");
+
+  const auto m = ws.mark();
+  auto acc = ws.matrix_i32(sl_q, sl_k);
+  auto pack = ws.span_i8(tensor::qgemm_pack_elems(sl_k));
+  tensor::qgemm_bt_into(q, k, acc, pack, pool);
   for (size_t i = 0; i < sl_q; ++i) {
     for (size_t j = 0; j < sl_k; ++j) {
       logits(i, j) = requant8(acc(i, j), rq_logit);
     }
   }
   if (stats != nullptr) stats->macs += sl_q * sl_k * dk;
+  ws.rewind(m);
 }
 
-void run_sv_engine(const tensor::MatrixI8& attn_weights,
-                   const tensor::MatrixI8& v,
+void run_qk_engine(const tensor::MatrixI8& q, const tensor::MatrixI8& k,
+                   const numeric::RequantParams& rq_logit,
+                   tensor::MatrixI8& logits, EngineStats* stats) {
+  logits = tensor::MatrixI8(q.rows(), k.rows());
+  run_qk_engine(tensor::ConstMatrixViewI8(q), tensor::ConstMatrixViewI8(k),
+                rq_logit, logits, engine_scratch_arena(), stats,
+                tensor::qgemm_default_pool());
+}
+
+// --- SV engine ---------------------------------------------------------------
+
+void run_sv_engine(tensor::ConstMatrixViewI8 attn_weights,
+                   tensor::ConstMatrixViewI8 v,
                    const numeric::RequantParams& rq_sv,
-                   tensor::MatrixI8& scores, EngineStats* stats) {
+                   tensor::MatrixViewI8 scores, runtime::WorkspaceArena& ws,
+                   EngineStats* stats, util::ThreadPool* pool) {
   if (attn_weights.cols() != v.rows()) {
     throw std::invalid_argument("run_sv_engine: shape mismatch");
   }
   const size_t sl = attn_weights.rows();
   const size_t dk = v.cols();
   const size_t inner = v.rows();
-  tensor::MatrixI32 acc;
-  tensor::qgemm(attn_weights, v, acc, tensor::qgemm_default_pool());
-  scores = tensor::MatrixI8(sl, dk);
+  check_out_shape(scores, sl, dk, "run_sv_engine");
+
+  const auto m = ws.mark();
+  auto acc = ws.matrix_i32(sl, dk);
+  auto pack = ws.span_i8(tensor::qgemm_pack_elems(dk));
+  tensor::qgemm_into(attn_weights, v, acc, pack, pool);
   for (size_t i = 0; i < sl; ++i) {
     for (size_t j = 0; j < dk; ++j) {
       scores(i, j) = requant8(acc(i, j), rq_sv);
     }
   }
   if (stats != nullptr) stats->macs += sl * dk * inner;
+  ws.rewind(m);
 }
 
-void run_ffn_engine(const tensor::MatrixI8& in, const tensor::MatrixI8& w,
+void run_sv_engine(const tensor::MatrixI8& attn_weights,
+                   const tensor::MatrixI8& v,
+                   const numeric::RequantParams& rq_sv,
+                   tensor::MatrixI8& scores, EngineStats* stats) {
+  scores = tensor::MatrixI8(attn_weights.rows(), v.cols());
+  run_sv_engine(tensor::ConstMatrixViewI8(attn_weights),
+                tensor::ConstMatrixViewI8(v), rq_sv, scores,
+                engine_scratch_arena(), stats,
+                tensor::qgemm_default_pool());
+}
+
+// --- FFN engine --------------------------------------------------------------
+
+void run_ffn_engine(tensor::ConstMatrixViewI8 in, tensor::ConstMatrixViewI8 w,
                     std::span<const int32_t> bias, uint32_t ts_ffn,
                     const numeric::RequantParams& rq, FfnActivation act,
-                    double act_scale, tensor::MatrixI8& out,
-                    EngineStats* stats) {
+                    double act_scale, tensor::MatrixViewI8 out,
+                    runtime::WorkspaceArena& ws, EngineStats* stats,
+                    util::ThreadPool* pool) {
   const size_t sl = in.rows();
   const size_t in_dim = in.cols();
   const size_t out_dim = w.cols();
@@ -167,6 +260,7 @@ void run_ffn_engine(const tensor::MatrixI8& in, const tensor::MatrixI8& w,
   if (ts_ffn == 0) {
     throw std::invalid_argument("run_ffn_engine: zero tile size");
   }
+  check_out_shape(out, sl, out_dim, "run_ffn_engine");
 
   std::array<int8_t, 256> gelu_table{};
   if (act == FfnActivation::kGeluLut) {
@@ -176,10 +270,11 @@ void run_ffn_engine(const tensor::MatrixI8& in, const tensor::MatrixI8& w,
   // Fig. 6's 2-D tiling (accumulate partial products across row tiles per
   // column tile) is exact int32 arithmetic — the packed kernel computes the
   // same sums bit-for-bit; ts_ffn stays a cycle-accounting parameter.
-  tensor::MatrixI32 acc;
-  tensor::qgemm(in, w, acc, tensor::qgemm_default_pool());
+  const auto m = ws.mark();
+  auto acc = ws.matrix_i32(sl, out_dim);
+  auto pack = ws.span_i8(tensor::qgemm_pack_elems(out_dim));
+  tensor::qgemm_into(in, w, acc, pack, pool);
 
-  out = tensor::MatrixI8(sl, out_dim);
   for (size_t i = 0; i < sl; ++i) {
     const int32_t* acc_row = acc.data() + i * out_dim;
     for (size_t j = 0; j < out_dim; ++j) {
@@ -198,6 +293,19 @@ void run_ffn_engine(const tensor::MatrixI8& in, const tensor::MatrixI8& w,
     }
   }
   if (stats != nullptr) stats->macs += sl * in_dim * out_dim;
+  ws.rewind(m);
+}
+
+void run_ffn_engine(const tensor::MatrixI8& in, const tensor::MatrixI8& w,
+                    std::span<const int32_t> bias, uint32_t ts_ffn,
+                    const numeric::RequantParams& rq, FfnActivation act,
+                    double act_scale, tensor::MatrixI8& out,
+                    EngineStats* stats) {
+  out = tensor::MatrixI8(in.rows(), w.cols());
+  run_ffn_engine(tensor::ConstMatrixViewI8(in), tensor::ConstMatrixViewI8(w),
+                 bias, ts_ffn, rq, act, act_scale, out,
+                 engine_scratch_arena(), stats,
+                 tensor::qgemm_default_pool());
 }
 
 }  // namespace protea::accel

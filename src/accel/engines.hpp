@@ -16,6 +16,15 @@
 // Cycle accounting lives in perf_model.{hpp,cpp}; these functions compute
 // values and MAC counts only, so tests can verify the datapath exactly.
 //
+// Two calling conventions per engine:
+//   * the workspace form — inputs/outputs are preallocated MatrixViews
+//     and the int32 accumulators + packed-GEMM scratch come from a
+//     runtime::WorkspaceArena. This is the serving runtime's hot path:
+//     steady state performs zero heap allocations.
+//   * the owning form — the original Matrix in/out signature, now a thin
+//     wrapper that sizes the outputs and borrows a thread-local scratch
+//     arena. Bit-identical to the workspace form.
+//
 // The int8 GEMMs run on the packed kernel layer (tensor/qgemm.hpp), which
 // is bit-identical to the paper's tile loops because int32 accumulation is
 // exact; the ts_mha/ts_ffn tile sizes remain cycle-accounting parameters
@@ -27,7 +36,12 @@
 #include "accel/quantized_model.hpp"
 #include "numeric/requantize.hpp"
 #include "ref/model_config.hpp"
+#include "runtime/workspace_arena.hpp"
 #include "tensor/matrix.hpp"
+
+namespace protea::util {
+class ThreadPool;
+}
 
 namespace protea::accel {
 
@@ -38,6 +52,14 @@ struct EngineStats {
 /// Algorithm 1. `x` is the full (SL x d_model) int8 input; outputs are
 /// the per-head (SL x d_k) projections. `ts_mha` is the column tile
 /// width; the tile loop reproduces Fig. 5's accumulate-across-tiles.
+void run_qkv_engine(tensor::ConstMatrixViewI8 x, const QHeadWeights& head,
+                    uint32_t ts_mha, const numeric::RequantParams& rq_q,
+                    const numeric::RequantParams& rq_k,
+                    const numeric::RequantParams& rq_v,
+                    tensor::MatrixViewI8 q, tensor::MatrixViewI8 k,
+                    tensor::MatrixViewI8 v, runtime::WorkspaceArena& ws,
+                    EngineStats* stats = nullptr,
+                    util::ThreadPool* pool = nullptr);
 void run_qkv_engine(const tensor::MatrixI8& x, const QHeadWeights& head,
                     uint32_t ts_mha, const numeric::RequantParams& rq_q,
                     const numeric::RequantParams& rq_k,
@@ -48,6 +70,14 @@ void run_qkv_engine(const tensor::MatrixI8& x, const QHeadWeights& head,
 /// Single-stream variant of Algorithm 1 used by the decoder extension's
 /// cross-attention: one projection (out = requant(x * w^T + bias)) with
 /// the same column tiling. `wt` is (out_dim x in_dim) transposed layout.
+void run_projection_engine(tensor::ConstMatrixViewI8 x,
+                           tensor::ConstMatrixViewI8 wt,
+                           std::span<const int32_t> bias, uint32_t ts_mha,
+                           const numeric::RequantParams& rq,
+                           tensor::MatrixViewI8 out,
+                           runtime::WorkspaceArena& ws,
+                           EngineStats* stats = nullptr,
+                           util::ThreadPool* pool = nullptr);
 void run_projection_engine(const tensor::MatrixI8& x,
                            const tensor::MatrixI8& wt,
                            std::span<const int32_t> bias, uint32_t ts_mha,
@@ -57,11 +87,22 @@ void run_projection_engine(const tensor::MatrixI8& x,
 
 /// Algorithm 2. Computes logits = requant(Q x K^T); the attention scale
 /// factor (1/sqrt(dk) or 1/d_model) is folded into `rq_logit`.
+void run_qk_engine(tensor::ConstMatrixViewI8 q, tensor::ConstMatrixViewI8 k,
+                   const numeric::RequantParams& rq_logit,
+                   tensor::MatrixViewI8 logits, runtime::WorkspaceArena& ws,
+                   EngineStats* stats = nullptr,
+                   util::ThreadPool* pool = nullptr);
 void run_qk_engine(const tensor::MatrixI8& q, const tensor::MatrixI8& k,
                    const numeric::RequantParams& rq_logit,
                    tensor::MatrixI8& logits, EngineStats* stats = nullptr);
 
 /// Algorithm 3. scores = requant(attn_weights x V).
+void run_sv_engine(tensor::ConstMatrixViewI8 attn_weights,
+                   tensor::ConstMatrixViewI8 v,
+                   const numeric::RequantParams& rq_sv,
+                   tensor::MatrixViewI8 scores, runtime::WorkspaceArena& ws,
+                   EngineStats* stats = nullptr,
+                   util::ThreadPool* pool = nullptr);
 void run_sv_engine(const tensor::MatrixI8& attn_weights,
                    const tensor::MatrixI8& v,
                    const numeric::RequantParams& rq_sv,
@@ -74,10 +115,21 @@ enum class FfnActivation { kNone, kRelu, kGeluLut };
 /// column-tile-major, accumulating partial sums across row tiles.
 /// `act_scale` is the int8 scale of the activation's input/output (used
 /// to build the GELU lookup table).
+void run_ffn_engine(tensor::ConstMatrixViewI8 in, tensor::ConstMatrixViewI8 w,
+                    std::span<const int32_t> bias, uint32_t ts_ffn,
+                    const numeric::RequantParams& rq, FfnActivation act,
+                    double act_scale, tensor::MatrixViewI8 out,
+                    runtime::WorkspaceArena& ws,
+                    EngineStats* stats = nullptr,
+                    util::ThreadPool* pool = nullptr);
 void run_ffn_engine(const tensor::MatrixI8& in, const tensor::MatrixI8& w,
                     std::span<const int32_t> bias, uint32_t ts_ffn,
                     const numeric::RequantParams& rq, FfnActivation act,
                     double act_scale, tensor::MatrixI8& out,
                     EngineStats* stats = nullptr);
+
+/// Thread-local scratch arena backing the owning-form wrappers (exposed
+/// so module-level wrappers can reuse it instead of allocating).
+runtime::WorkspaceArena& engine_scratch_arena();
 
 }  // namespace protea::accel

@@ -1,6 +1,6 @@
 #include "accel/ffn_module.hpp"
 
-#include "accel/layernorm_unit.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace protea::accel {
 
@@ -9,38 +9,16 @@ tensor::MatrixI8 FfnModule::run(const QLayer& layer,
                                 const tensor::MatrixI8& x, uint32_t ts_ffn,
                                 ref::Activation activation,
                                 EngineStats* stats, Trace* trace) {
-  const LayerScales& s = layer.scales;
-
-  // FFN1: attention output projection (no activation; LN follows).
-  tensor::MatrixI8 proj;
-  run_ffn_engine(attn, layer.wo, layer.bo, ts_ffn, layer.rq_proj,
-                 FfnActivation::kNone, 0.0, proj, stats);
-
-  const LayerNormUnit ln1(layer.ln1_gamma, layer.ln1_beta);
-  tensor::MatrixI8 x1 = ln1.run(proj, s.proj, x, s.x, s.ln1);
-
-  // FFN2: expansion with the model's activation (ReLU direct, GELU LUT).
-  const FfnActivation act = activation == ref::Activation::kRelu
-                                ? FfnActivation::kRelu
-                                : FfnActivation::kGeluLut;
-  tensor::MatrixI8 hidden;
-  run_ffn_engine(x1, layer.w1, layer.b1, ts_ffn, layer.rq_hidden, act,
-                 s.hidden, hidden, stats);
-
-  // FFN3: contraction back to d_model (no activation; LN follows).
-  tensor::MatrixI8 ffn_out;
-  run_ffn_engine(hidden, layer.w2, layer.b2, ts_ffn, layer.rq_ffn_out,
-                 FfnActivation::kNone, 0.0, ffn_out, stats);
-
-  const LayerNormUnit ln2(layer.ln2_gamma, layer.ln2_beta);
-  tensor::MatrixI8 out = ln2.run(ffn_out, s.ffn_out, x1, s.ln1, s.ln2);
-
-  if (trace != nullptr) {
-    trace->proj = std::move(proj);
-    trace->ln1 = std::move(x1);
-    trace->hidden = std::move(hidden);
-    trace->ffn_out = std::move(ffn_out);
-  }
+  tensor::MatrixI8 out(x.rows(), x.cols());
+  runtime::WorkspaceArena& ws = engine_scratch_arena();
+  const runtime::LayerOpContext ctx{.ws = ws,
+                                    .ts_mha = 0,
+                                    .ts_ffn = ts_ffn,
+                                    .activation = activation,
+                                    .stats = stats,
+                                    .gemm_pool =
+                                        tensor::qgemm_default_pool()};
+  runtime::run_encoder_ffn_stage(ctx, layer, attn, x, out, trace);
   return out;
 }
 

@@ -1,23 +1,23 @@
 // Feed-forward network module (paper Fig. 4): FFN1_CE (attention output
 // projection) -> LN -> FFN2_CE (expansion + activation) -> FFN3_CE
 // (contraction) -> LN, with both residual connections.
+//
+// The execution now lives in the runtime layer (runtime/layer_ops.hpp,
+// run_encoder_ffn_stage); this wrapper keeps the original owning-Matrix
+// API on top of it.
 #pragma once
 
 #include "accel/engines.hpp"
 #include "accel/quantized_model.hpp"
 #include "ref/model_config.hpp"
+#include "runtime/layer_ops.hpp"
 #include "tensor/matrix.hpp"
 
 namespace protea::accel {
 
 class FfnModule {
  public:
-  struct Trace {
-    tensor::MatrixI8 proj;      // FFN1 output (scale proj)
-    tensor::MatrixI8 ln1;       // post-attention LN (scale ln1)
-    tensor::MatrixI8 hidden;    // FFN2 + activation (scale hidden)
-    tensor::MatrixI8 ffn_out;   // FFN3 output (scale ffn_out)
-  };
+  using Trace = runtime::FfnTrace;
 
   /// `attn` is the concatenated attention output (scale sv); `x` the layer
   /// input (scale x, residual operand). Returns the layer output at scale

@@ -16,6 +16,15 @@
 
 namespace protea::accel {
 
+/// Allocation-free residual-add + LayerNorm core used by the runtime hot
+/// path: gamma/beta are borrowed spans (the quantized model's buffers),
+/// `out` a preallocated view and `scratch` >= x.cols() int32 lanes (the
+/// aligned-residual row buffer, normally arena-backed).
+void run_layernorm(std::span<const float> gamma, std::span<const float> beta,
+                   float eps, tensor::ConstMatrixViewI8 x, double s_x,
+                   tensor::ConstMatrixViewI8 r, double s_r, double s_out,
+                   tensor::MatrixViewI8 out, std::span<int32_t> scratch);
+
 class LayerNormUnit {
  public:
   /// gamma/beta have the normalized width; eps as in the float reference.

@@ -17,8 +17,11 @@ SoftmaxUnit::SoftmaxUnit(double logit_scale) : logit_scale_(logit_scale) {
   }
 }
 
-tensor::MatrixI8 SoftmaxUnit::run(const tensor::MatrixI8& logits) const {
-  tensor::MatrixI8 out(logits.rows(), logits.cols());
+void SoftmaxUnit::run_into(tensor::ConstMatrixViewI8 logits,
+                           tensor::MatrixViewI8 out) const {
+  if (out.rows() != logits.rows() || out.cols() != logits.cols()) {
+    throw std::invalid_argument("SoftmaxUnit: output shape mismatch");
+  }
   for (size_t r = 0; r < logits.rows(); ++r) {
     const auto row = logits.row(r);
     // Pass 1: row maximum.
@@ -40,12 +43,14 @@ tensor::MatrixI8 SoftmaxUnit::run(const tensor::MatrixI8& logits) const {
       out_row[c] = static_cast<int8_t>(std::min<uint64_t>(w, 127));
     }
   }
-  return out;
 }
 
-tensor::MatrixI8 SoftmaxUnit::run_causal(
-    const tensor::MatrixI8& logits) const {
-  tensor::MatrixI8 out(logits.rows(), logits.cols(), 0);
+void SoftmaxUnit::run_causal_into(tensor::ConstMatrixViewI8 logits,
+                                  tensor::MatrixViewI8 out) const {
+  if (out.rows() != logits.rows() || out.cols() != logits.cols()) {
+    throw std::invalid_argument("SoftmaxUnit: output shape mismatch");
+  }
+  out.fill(0);
   for (size_t r = 0; r < logits.rows(); ++r) {
     const auto row = logits.row(r);
     const size_t valid = std::min(r + 1, row.size());
@@ -65,6 +70,18 @@ tensor::MatrixI8 SoftmaxUnit::run_causal(
       out_row[c] = static_cast<int8_t>(std::min<uint64_t>(w, 127));
     }
   }
+}
+
+tensor::MatrixI8 SoftmaxUnit::run(const tensor::MatrixI8& logits) const {
+  tensor::MatrixI8 out(logits.rows(), logits.cols());
+  run_into(logits, out);
+  return out;
+}
+
+tensor::MatrixI8 SoftmaxUnit::run_causal(
+    const tensor::MatrixI8& logits) const {
+  tensor::MatrixI8 out(logits.rows(), logits.cols());
+  run_causal_into(logits, out);
   return out;
 }
 

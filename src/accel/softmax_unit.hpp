@@ -35,6 +35,13 @@ class SoftmaxUnit {
   /// skips masked lanes, so no -inf representation is needed in int8).
   tensor::MatrixI8 run_causal(const tensor::MatrixI8& logits) const;
 
+  /// Allocation-free forms for the runtime hot path: `out` is a
+  /// preallocated view with the logits' shape.
+  void run_into(tensor::ConstMatrixViewI8 logits,
+                tensor::MatrixViewI8 out) const;
+  void run_causal_into(tensor::ConstMatrixViewI8 logits,
+                       tensor::MatrixViewI8 out) const;
+
   /// Table entry for a shift of `delta` = q_max - q (delta in [0, 255]):
   /// round(exp(-delta * scale) * 2^16).
   uint32_t table_entry(uint32_t delta) const { return exp_table_.at(delta); }

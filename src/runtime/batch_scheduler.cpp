@@ -1,0 +1,191 @@
+#include "runtime/batch_scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "accel/perf_model.hpp"
+#include "runtime/inference_session.hpp"
+#include "util/stopwatch.hpp"
+
+namespace protea::runtime {
+namespace {
+
+/// Counting semaphore guarding a module's concurrent stage slots.
+class ModuleSlots {
+ public:
+  explicit ModuleSlots(uint32_t count) : count_(count) {}
+
+  void acquire() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return count_ > 0; });
+    --count_;
+  }
+
+  void release() {
+    {
+      const std::lock_guard lock(mutex_);
+      ++count_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  uint32_t count_;
+};
+
+/// Brackets the forward loop's stages with the module semaphores — this
+/// is where the two-stage overlap physically happens: a worker holding
+/// the FFN slot for sequence i does not block another worker taking the
+/// MHA slot for sequence i+1.
+class ModuleGate final : public StageGate {
+ public:
+  ModuleGate(ModuleSlots& mha, ModuleSlots& ffn) : mha_(mha), ffn_(ffn) {}
+
+  void enter(Stage stage) override {
+    (stage == Stage::kMha ? mha_ : ffn_).acquire();
+  }
+  void exit(Stage stage) override {
+    (stage == Stage::kMha ? mha_ : ffn_).release();
+  }
+
+ private:
+  ModuleSlots& mha_;
+  ModuleSlots& ffn_;
+};
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(accel::AccelConfig config,
+                               accel::QuantizedModel model)
+    : config_(std::move(config)), model_(std::move(model)) {
+  config_.validate();
+  accel::validate_runtime(config_.synth, model_.config);
+}
+
+std::vector<tensor::MatrixF> BatchScheduler::run_serial(
+    const std::vector<tensor::MatrixF>& inputs) {
+  std::vector<tensor::MatrixF> outputs(inputs.size());
+  InferenceSession session(config_, model_);
+  util::Stopwatch watch;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    session.forward_into(inputs[i], outputs[i]);
+  }
+  last_run_ = {static_cast<uint32_t>(inputs.size()), 1,
+               watch.milliseconds()};
+  return outputs;
+}
+
+std::vector<tensor::MatrixF> BatchScheduler::run_batched(
+    const std::vector<tensor::MatrixF>& inputs, const BatchOptions& opts) {
+  if (opts.threads == 0) {
+    throw std::invalid_argument("run_batched: zero threads");
+  }
+  const size_t workers = std::min(opts.threads, inputs.size());
+  std::vector<tensor::MatrixF> outputs(inputs.size());
+  if (inputs.empty()) return outputs;
+
+  const auto slots = [&](uint32_t requested) {
+    return requested > 0 ? requested : static_cast<uint32_t>(workers);
+  };
+  ModuleSlots mha_slots(slots(opts.mha_slots));
+  ModuleSlots ffn_slots(slots(opts.ffn_slots));
+
+  std::atomic<size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  util::Stopwatch watch;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      try {
+        // One session per worker: private arena, shared read-only model.
+        InferenceSession session(config_, model_);
+        ModuleGate gate(mha_slots, ffn_slots);
+        while (true) {
+          const size_t i = next.fetch_add(1);
+          if (i >= inputs.size()) break;
+          session.forward_into(inputs[i], outputs[i], &gate);
+        }
+      } catch (...) {
+        const std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  last_run_ = {static_cast<uint32_t>(inputs.size()), workers,
+               watch.milliseconds()};
+  return outputs;
+}
+
+hw::Cycles BatchScheduler::simulate_pipeline_cycles(uint32_t batch) const {
+  if (batch == 0) {
+    throw std::invalid_argument("simulate_pipeline_cycles: zero batch");
+  }
+  const accel::PerfReport per_seq =
+      accel::estimate_performance(config_, model_.config);
+  const accel::ModuleSplit split = accel::split_module_cycles(per_seq);
+  const uint32_t layers = model_.config.num_layers;
+
+  // Discrete-event replay of the executed dependency graph: sequence s is
+  // the chain MHA(s,0) -> FFN(s,0) -> MHA(s,1) -> ... ; each module runs
+  // one stage at a time, earliest start first with FIFO tie-breaking on
+  // the ready time (the controller's round-robin issue order — breaking
+  // ties by sequence id instead starves late sequences and serializes
+  // the tail).
+  struct SeqState {
+    uint32_t tasks_done = 0;
+    hw::Cycles ready = 0;
+  };
+  std::vector<SeqState> seqs(batch);
+  hw::Cycles mha_free = 0;
+  hw::Cycles ffn_free = 0;
+  hw::Cycles makespan = 0;
+  const uint64_t total_tasks = uint64_t{batch} * layers * 2;
+  for (uint64_t t = 0; t < total_tasks; ++t) {
+    size_t best = std::numeric_limits<size_t>::max();
+    hw::Cycles best_start = 0;
+    hw::Cycles best_ready = 0;
+    bool best_is_mha = false;
+    for (size_t s = 0; s < seqs.size(); ++s) {
+      if (seqs[s].tasks_done == 2ull * layers) continue;
+      const bool is_mha = seqs[s].tasks_done % 2 == 0;
+      const hw::Cycles start =
+          std::max(seqs[s].ready, is_mha ? mha_free : ffn_free);
+      if (best == std::numeric_limits<size_t>::max() ||
+          start < best_start ||
+          (start == best_start && seqs[s].ready < best_ready)) {
+        best = s;
+        best_start = start;
+        best_ready = seqs[s].ready;
+        best_is_mha = is_mha;
+      }
+    }
+    SeqState& st = seqs[best];
+    const hw::Cycles end =
+        best_start + (best_is_mha ? split.mha_layer : split.ffn_layer);
+    (best_is_mha ? mha_free : ffn_free) = end;
+    st.ready = end;
+    ++st.tasks_done;
+    makespan = std::max(makespan, end);
+  }
+  return makespan;
+}
+
+accel::BatchReport BatchScheduler::predicted(uint32_t batch) const {
+  return accel::estimate_batch_performance(config_, model_.config, batch);
+}
+
+}  // namespace protea::runtime

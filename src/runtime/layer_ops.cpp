@@ -1,0 +1,310 @@
+#include "runtime/layer_ops.hpp"
+
+#include <stdexcept>
+
+#include "accel/layernorm_unit.hpp"
+#include "accel/softmax_unit.hpp"
+
+namespace protea::runtime {
+
+void run_attention_block(const LayerOpContext& ctx,
+                         const AttentionBlockDesc& desc,
+                         tensor::ConstMatrixViewI8 x,
+                         tensor::ConstMatrixViewI8 memory,
+                         tensor::MatrixViewI8 concat,
+                         std::vector<HeadTrace>* traces) {
+  const bool self = !desc.self_heads.empty();
+  if (self == !desc.cross_heads.empty()) {
+    throw std::invalid_argument(
+        "run_attention_block: exactly one head set must be given");
+  }
+  const size_t sl = x.rows();
+  const size_t d = x.cols();
+  const size_t h = self ? desc.self_heads.size() : desc.cross_heads.size();
+  const size_t dk =
+      self ? desc.self_heads[0].wqt.rows() : desc.cross_heads[0].cqt.rows();
+  if (dk * h != d) {
+    throw std::invalid_argument(
+        "run_attention_block: head dims inconsistent");
+  }
+  if (concat.rows() != sl || concat.cols() != d) {
+    throw std::invalid_argument(
+        "run_attention_block: concat shape mismatch");
+  }
+  const size_t kv_rows = memory.rows();
+
+  const accel::SoftmaxUnit softmax(desc.logit_scale);
+  if (traces != nullptr) traces->resize(h);
+
+  for (size_t head = 0; head < h; ++head) {
+    const auto m = ctx.ws.mark();
+    auto q = ctx.ws.matrix_i8(sl, dk);
+    auto k = ctx.ws.matrix_i8(kv_rows, dk);
+    auto v = ctx.ws.matrix_i8(kv_rows, dk);
+    auto logits = ctx.ws.matrix_i8(sl, kv_rows);
+    auto weights = ctx.ws.matrix_i8(sl, kv_rows);
+    auto scores = ctx.ws.matrix_i8(sl, dk);
+
+    if (self) {
+      accel::run_qkv_engine(x, desc.self_heads[head], ctx.ts_mha,
+                            *desc.rq_q, *desc.rq_k, *desc.rq_v, q, k, v,
+                            ctx.ws, ctx.stats, ctx.gemm_pool);
+    } else {
+      const accel::QCrossHeadWeights& ch = desc.cross_heads[head];
+      accel::run_projection_engine(x, ch.cqt, ch.cbq, ctx.ts_mha,
+                                   *desc.rq_q, q, ctx.ws, ctx.stats,
+                                   ctx.gemm_pool);
+      accel::run_projection_engine(memory, ch.ckt, ch.cbk, ctx.ts_mha,
+                                   *desc.rq_k, k, ctx.ws, ctx.stats,
+                                   ctx.gemm_pool);
+      accel::run_projection_engine(memory, ch.cvt, ch.cbv, ctx.ts_mha,
+                                   *desc.rq_v, v, ctx.ws, ctx.stats,
+                                   ctx.gemm_pool);
+    }
+    accel::run_qk_engine(q, k, *desc.rq_logit, logits, ctx.ws, ctx.stats,
+                         ctx.gemm_pool);
+    if (desc.causal) {
+      softmax.run_causal_into(logits, weights);
+    } else {
+      softmax.run_into(logits, weights);
+    }
+    accel::run_sv_engine(weights, v, *desc.rq_sv, scores, ctx.ws,
+                         ctx.stats, ctx.gemm_pool);
+
+    for (size_t i = 0; i < sl; ++i) {
+      for (size_t c = 0; c < dk; ++c) {
+        concat(i, head * dk + c) = scores(i, c);
+      }
+    }
+    if (traces != nullptr) {
+      HeadTrace& t = (*traces)[head];
+      t.q = tensor::to_matrix(tensor::ConstMatrixViewI8(q));
+      t.k = tensor::to_matrix(tensor::ConstMatrixViewI8(k));
+      t.v = tensor::to_matrix(tensor::ConstMatrixViewI8(v));
+      t.logits = tensor::to_matrix(tensor::ConstMatrixViewI8(logits));
+      t.attn_weights = tensor::to_matrix(tensor::ConstMatrixViewI8(weights));
+      t.scores = tensor::to_matrix(tensor::ConstMatrixViewI8(scores));
+    }
+    ctx.ws.rewind(m);
+  }
+}
+
+void run_projection_ln_block(const LayerOpContext& ctx,
+                             const ProjectionLnDesc& desc,
+                             tensor::ConstMatrixViewI8 concat,
+                             tensor::ConstMatrixViewI8 residual,
+                             tensor::MatrixViewI8 out,
+                             tensor::MatrixI8* proj_trace) {
+  const size_t sl = concat.rows();
+  const size_t d = desc.w.cols();
+  const auto m = ctx.ws.mark();
+  auto proj = ctx.ws.matrix_i8(sl, d);
+  accel::run_ffn_engine(concat, desc.w, desc.bias, ctx.ts_ffn, *desc.rq,
+                        accel::FfnActivation::kNone, 0.0, proj, ctx.ws,
+                        ctx.stats, ctx.gemm_pool);
+  auto scratch = ctx.ws.span_i32(d);
+  accel::run_layernorm(desc.gamma, desc.beta, desc.ln_eps, proj,
+                       desc.s_proj, residual, desc.s_res, desc.s_out, out,
+                       scratch);
+  if (proj_trace != nullptr) {
+    *proj_trace = tensor::to_matrix(tensor::ConstMatrixViewI8(proj));
+  }
+  ctx.ws.rewind(m);
+}
+
+void run_ffn_block(const LayerOpContext& ctx, const FfnBlockDesc& desc,
+                   tensor::ConstMatrixViewI8 x, tensor::MatrixViewI8 out,
+                   tensor::MatrixI8* hidden_trace,
+                   tensor::MatrixI8* ffn_out_trace) {
+  const size_t sl = x.rows();
+  const size_t d = desc.w2.cols();
+  const size_t f = desc.w1.cols();
+  const accel::FfnActivation act =
+      ctx.activation == ref::Activation::kRelu
+          ? accel::FfnActivation::kRelu
+          : accel::FfnActivation::kGeluLut;
+
+  const auto m = ctx.ws.mark();
+  auto hidden = ctx.ws.matrix_i8(sl, f);
+  accel::run_ffn_engine(x, desc.w1, desc.b1, ctx.ts_ffn, *desc.rq_hidden,
+                        act, desc.s_hidden, hidden, ctx.ws, ctx.stats,
+                        ctx.gemm_pool);
+  auto ffn_out = ctx.ws.matrix_i8(sl, d);
+  accel::run_ffn_engine(hidden, desc.w2, desc.b2, ctx.ts_ffn,
+                        *desc.rq_ffn_out, accel::FfnActivation::kNone, 0.0,
+                        ffn_out, ctx.ws, ctx.stats, ctx.gemm_pool);
+  auto scratch = ctx.ws.span_i32(d);
+  accel::run_layernorm(desc.gamma, desc.beta, desc.ln_eps, ffn_out,
+                       desc.s_ffn_out, x, desc.s_in, desc.s_out, out,
+                       scratch);
+  if (hidden_trace != nullptr) {
+    *hidden_trace = tensor::to_matrix(tensor::ConstMatrixViewI8(hidden));
+  }
+  if (ffn_out_trace != nullptr) {
+    *ffn_out_trace = tensor::to_matrix(tensor::ConstMatrixViewI8(ffn_out));
+  }
+  ctx.ws.rewind(m);
+}
+
+void run_encoder_mha_stage(const LayerOpContext& ctx,
+                           const accel::QLayer& layer,
+                           tensor::ConstMatrixViewI8 x,
+                           tensor::MatrixViewI8 concat,
+                           std::vector<HeadTrace>* traces) {
+  if (layer.heads.empty()) {
+    throw std::invalid_argument("run_encoder_mha_stage: no heads");
+  }
+  AttentionBlockDesc desc;
+  desc.self_heads = layer.heads;
+  desc.rq_q = &layer.rq_q;
+  desc.rq_k = &layer.rq_k;
+  desc.rq_v = &layer.rq_v;
+  desc.rq_logit = &layer.rq_logit;
+  desc.rq_sv = &layer.rq_sv;
+  desc.logit_scale = layer.scales.logit;
+  run_attention_block(ctx, desc, x, x, concat, traces);
+}
+
+void run_encoder_ffn_stage(const LayerOpContext& ctx,
+                           const accel::QLayer& layer,
+                           tensor::ConstMatrixViewI8 concat,
+                           tensor::ConstMatrixViewI8 x,
+                           tensor::MatrixViewI8 out, FfnTrace* trace) {
+  const accel::LayerScales& s = layer.scales;
+  const size_t sl = x.rows();
+  const size_t d = x.cols();
+
+  const auto m = ctx.ws.mark();
+  auto x1 = ctx.ws.matrix_i8(sl, d);
+  ProjectionLnDesc proj;
+  proj.w = layer.wo;
+  proj.bias = layer.bo;
+  proj.rq = &layer.rq_proj;
+  proj.gamma = layer.ln1_gamma;
+  proj.beta = layer.ln1_beta;
+  proj.s_proj = s.proj;
+  proj.s_res = s.x;
+  proj.s_out = s.ln1;
+  run_projection_ln_block(ctx, proj, concat, x, x1,
+                          trace != nullptr ? &trace->proj : nullptr);
+
+  FfnBlockDesc ffn;
+  ffn.w1 = layer.w1;
+  ffn.b1 = layer.b1;
+  ffn.rq_hidden = &layer.rq_hidden;
+  ffn.s_hidden = s.hidden;
+  ffn.w2 = layer.w2;
+  ffn.b2 = layer.b2;
+  ffn.rq_ffn_out = &layer.rq_ffn_out;
+  ffn.s_ffn_out = s.ffn_out;
+  ffn.gamma = layer.ln2_gamma;
+  ffn.beta = layer.ln2_beta;
+  ffn.s_in = s.ln1;
+  ffn.s_out = s.ln2;
+  run_ffn_block(ctx, ffn, x1, out,
+                trace != nullptr ? &trace->hidden : nullptr,
+                trace != nullptr ? &trace->ffn_out : nullptr);
+
+  if (trace != nullptr) {
+    trace->ln1 = tensor::to_matrix(tensor::ConstMatrixViewI8(x1));
+  }
+  ctx.ws.rewind(m);
+}
+
+void run_encoder_layer(const LayerOpContext& ctx, const accel::QLayer& layer,
+                       tensor::ConstMatrixViewI8 x, tensor::MatrixViewI8 out,
+                       std::vector<HeadTrace>* head_traces,
+                       FfnTrace* ffn_trace) {
+  const auto m = ctx.ws.mark();
+  auto concat = ctx.ws.matrix_i8(x.rows(), x.cols());
+  run_encoder_mha_stage(ctx, layer, x, concat, head_traces);
+  run_encoder_ffn_stage(ctx, layer, concat, x, out, ffn_trace);
+  ctx.ws.rewind(m);
+}
+
+void run_decoder_layer(const LayerOpContext& ctx,
+                       const accel::QDecoderLayer& layer,
+                       tensor::ConstMatrixViewI8 x,
+                       tensor::ConstMatrixViewI8 memory,
+                       tensor::MatrixViewI8 out) {
+  const accel::DecoderLayerScales& s = layer.scales;
+  const size_t t_len = x.rows();
+  const size_t d = x.cols();
+  const auto m = ctx.ws.mark();
+
+  // Masked self-attention on the QKV/QK/SV engines + projection LN.
+  auto self_concat = ctx.ws.matrix_i8(t_len, d);
+  {
+    AttentionBlockDesc desc;
+    desc.self_heads = layer.self_heads;
+    desc.rq_q = &layer.rq_q;
+    desc.rq_k = &layer.rq_k;
+    desc.rq_v = &layer.rq_v;
+    desc.rq_logit = &layer.rq_logit;
+    desc.rq_sv = &layer.rq_sv;
+    desc.logit_scale = s.logit;
+    desc.causal = true;
+    run_attention_block(ctx, desc, x, x, self_concat);
+  }
+  auto x1 = ctx.ws.matrix_i8(t_len, d);
+  {
+    ProjectionLnDesc proj;
+    proj.w = layer.wo;
+    proj.bias = layer.bo;
+    proj.rq = &layer.rq_proj;
+    proj.gamma = layer.ln1_gamma;
+    proj.beta = layer.ln1_beta;
+    proj.s_proj = s.proj;
+    proj.s_res = s.x;
+    proj.s_out = s.ln1;
+    run_projection_ln_block(ctx, proj, self_concat, x, x1);
+  }
+
+  // Cross-attention: projections sequenced on the same engines.
+  auto cross_concat = ctx.ws.matrix_i8(t_len, d);
+  {
+    AttentionBlockDesc desc;
+    desc.cross_heads = layer.cross_heads;
+    desc.rq_q = &layer.rq_cq;
+    desc.rq_k = &layer.rq_ck;
+    desc.rq_v = &layer.rq_cv;
+    desc.rq_logit = &layer.rq_clogit;
+    desc.rq_sv = &layer.rq_csv;
+    desc.logit_scale = s.clogit;
+    run_attention_block(ctx, desc, x1, memory, cross_concat);
+  }
+  auto x2 = ctx.ws.matrix_i8(t_len, d);
+  {
+    ProjectionLnDesc proj;
+    proj.w = layer.co;
+    proj.bias = layer.cbo;
+    proj.rq = &layer.rq_cproj;
+    proj.gamma = layer.ln2_gamma;
+    proj.beta = layer.ln2_beta;
+    proj.s_proj = s.cproj;
+    proj.s_res = s.ln1;
+    proj.s_out = s.ln2;
+    run_projection_ln_block(ctx, proj, cross_concat, x1, x2);
+  }
+
+  // FFN with the third residual LN.
+  {
+    FfnBlockDesc ffn;
+    ffn.w1 = layer.w1;
+    ffn.b1 = layer.b1;
+    ffn.rq_hidden = &layer.rq_hidden;
+    ffn.s_hidden = s.hidden;
+    ffn.w2 = layer.w2;
+    ffn.b2 = layer.b2;
+    ffn.rq_ffn_out = &layer.rq_ffn_out;
+    ffn.s_ffn_out = s.ffn_out;
+    ffn.gamma = layer.ln3_gamma;
+    ffn.beta = layer.ln3_beta;
+    ffn.s_in = s.ln2;
+    ffn.s_out = s.ln3;
+    run_ffn_block(ctx, ffn, x2, out);
+  }
+  ctx.ws.rewind(m);
+}
+
+}  // namespace protea::runtime

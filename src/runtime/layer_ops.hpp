@@ -1,0 +1,174 @@
+// Unified per-layer execution for the serving runtime.
+//
+// The encoder forward, the decoder forward and the accel module wrappers
+// used to carry three hand-rolled copies of the same engine call
+// sequences. This layer collapses them into three block primitives that
+// mirror the paper's module split (Fig. 3/4):
+//
+//   * attention block — h head pipelines (QKV_CE or projection engines ->
+//     QK_CE -> softmax -> SV_CE) concatenated into (SL x d_model). One
+//     descriptor covers encoder self-attention, decoder masked
+//     self-attention (causal softmax) and decoder cross-attention (K/V
+//     projected from the encoder memory).
+//   * projection + LN block — FFN1_CE (attention output projection)
+//     fused with the residual LayerNorm.
+//   * FFN block — FFN2_CE (expansion + activation) -> FFN3_CE
+//     (contraction) -> residual LayerNorm.
+//
+// Encoder layer = attention + projection-LN + FFN. Decoder layer =
+// attention(causal) + projection-LN + attention(cross) + projection-LN +
+// FFN — the same primitives, sequenced differently.
+//
+// Everything here is allocation-free: inputs/outputs are preallocated
+// views and temporaries come from the context's WorkspaceArena under
+// mark/rewind. Trace capture (deep copies) is the one exception and only
+// runs when a trace sink is passed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "accel/decoder_model.hpp"
+#include "accel/engines.hpp"
+#include "accel/quantized_model.hpp"
+#include "ref/model_config.hpp"
+#include "runtime/workspace_arena.hpp"
+#include "tensor/matrix.hpp"
+
+namespace protea::runtime {
+
+/// Per-head intermediates captured when a trace sink is provided
+/// (aliased as AttentionModule::HeadTrace for the module wrapper API).
+struct HeadTrace {
+  tensor::MatrixI8 q, k, v;
+  tensor::MatrixI8 logits;
+  tensor::MatrixI8 attn_weights;
+  tensor::MatrixI8 scores;
+};
+
+/// FFN-module intermediates (aliased as FfnModule::Trace).
+struct FfnTrace {
+  tensor::MatrixI8 proj;      // FFN1 output (scale proj)
+  tensor::MatrixI8 ln1;       // post-attention LN (scale ln1)
+  tensor::MatrixI8 hidden;    // FFN2 + activation (scale hidden)
+  tensor::MatrixI8 ffn_out;   // FFN3 output (scale ffn_out)
+};
+
+/// Full per-layer trace of the quantized encoder datapath (testing hook;
+/// aliased as accel::AccelLayerTrace).
+struct EncoderLayerTrace {
+  std::vector<HeadTrace> heads;
+  tensor::MatrixI8 concat;
+  FfnTrace ffn;
+  tensor::MatrixI8 out;
+};
+
+/// Execution context threaded through every block: the workspace, the
+/// synthesized tile sizes, the programmed activation and the MAC counter.
+struct LayerOpContext {
+  WorkspaceArena& ws;
+  uint32_t ts_mha = 0;
+  uint32_t ts_ffn = 0;
+  ref::Activation activation = ref::Activation::kRelu;
+  accel::EngineStats* stats = nullptr;
+  util::ThreadPool* gemm_pool = nullptr;  // optional intra-op threading
+};
+
+/// One descriptor for all three attention shapes. Exactly one of
+/// `self_heads` (fused-QKV path) or `cross_heads` (per-stream projection
+/// path, K/V from `memory`) must be non-empty.
+struct AttentionBlockDesc {
+  std::span<const accel::QHeadWeights> self_heads;
+  std::span<const accel::QCrossHeadWeights> cross_heads;
+  const numeric::RequantParams* rq_q = nullptr;
+  const numeric::RequantParams* rq_k = nullptr;
+  const numeric::RequantParams* rq_v = nullptr;
+  const numeric::RequantParams* rq_logit = nullptr;
+  const numeric::RequantParams* rq_sv = nullptr;
+  double logit_scale = 1.0;
+  bool causal = false;
+};
+
+/// Runs all heads over int8 input `x` (queries) and `memory` (keys and
+/// values; pass `x` again for self-attention) into the preallocated
+/// (x.rows x d_model) `concat`.
+void run_attention_block(const LayerOpContext& ctx,
+                         const AttentionBlockDesc& desc,
+                         tensor::ConstMatrixViewI8 x,
+                         tensor::ConstMatrixViewI8 memory,
+                         tensor::MatrixViewI8 concat,
+                         std::vector<HeadTrace>* traces = nullptr);
+
+/// FFN1/projection + residual LayerNorm:
+/// out = LN(requant(concat x w + bias) @ s_proj + residual @ s_res) @ s_out.
+struct ProjectionLnDesc {
+  tensor::ConstMatrixViewI8 w;  // (d_model x d_model), [in][out]
+  std::span<const int32_t> bias;
+  const numeric::RequantParams* rq = nullptr;
+  std::span<const float> gamma, beta;
+  double s_proj = 1.0, s_res = 1.0, s_out = 1.0;
+  float ln_eps = 1e-5f;
+};
+
+void run_projection_ln_block(const LayerOpContext& ctx,
+                             const ProjectionLnDesc& desc,
+                             tensor::ConstMatrixViewI8 concat,
+                             tensor::ConstMatrixViewI8 residual,
+                             tensor::MatrixViewI8 out,
+                             tensor::MatrixI8* proj_trace = nullptr);
+
+/// FFN2 (expansion + activation) -> FFN3 (contraction) -> residual LN;
+/// the residual operand is the block input `x` at scale s_in.
+struct FfnBlockDesc {
+  tensor::ConstMatrixViewI8 w1;  // (d_model x ffn_hidden)
+  std::span<const int32_t> b1;
+  const numeric::RequantParams* rq_hidden = nullptr;
+  double s_hidden = 1.0;
+  tensor::ConstMatrixViewI8 w2;  // (ffn_hidden x d_model)
+  std::span<const int32_t> b2;
+  const numeric::RequantParams* rq_ffn_out = nullptr;
+  double s_ffn_out = 1.0;
+  std::span<const float> gamma, beta;
+  double s_in = 1.0, s_out = 1.0;
+  float ln_eps = 1e-5f;
+};
+
+void run_ffn_block(const LayerOpContext& ctx, const FfnBlockDesc& desc,
+                   tensor::ConstMatrixViewI8 x, tensor::MatrixViewI8 out,
+                   tensor::MatrixI8* hidden_trace = nullptr,
+                   tensor::MatrixI8* ffn_out_trace = nullptr);
+
+// --- layer stages -----------------------------------------------------------
+// The encoder layer split at the paper's physical module boundary: the
+// MHA module emits the concatenated attention output; the FFN module runs
+// projection + LN + FFN + LN. The batch scheduler pipelines the two
+// stages across sequences; run_encoder_layer chains them back-to-back
+// for the latency (batch = 1) path.
+
+void run_encoder_mha_stage(const LayerOpContext& ctx,
+                           const accel::QLayer& layer,
+                           tensor::ConstMatrixViewI8 x,
+                           tensor::MatrixViewI8 concat,
+                           std::vector<HeadTrace>* traces = nullptr);
+
+void run_encoder_ffn_stage(const LayerOpContext& ctx,
+                           const accel::QLayer& layer,
+                           tensor::ConstMatrixViewI8 concat,
+                           tensor::ConstMatrixViewI8 x,
+                           tensor::MatrixViewI8 out,
+                           FfnTrace* trace = nullptr);
+
+void run_encoder_layer(const LayerOpContext& ctx, const accel::QLayer& layer,
+                       tensor::ConstMatrixViewI8 x, tensor::MatrixViewI8 out,
+                       std::vector<HeadTrace>* head_traces = nullptr,
+                       FfnTrace* ffn_trace = nullptr);
+
+/// One decoder layer: masked self-attention, cross-attention over the
+/// encoder `memory`, FFN — each with its projection + residual LN.
+void run_decoder_layer(const LayerOpContext& ctx,
+                       const accel::QDecoderLayer& layer,
+                       tensor::ConstMatrixViewI8 x,
+                       tensor::ConstMatrixViewI8 memory,
+                       tensor::MatrixViewI8 out);
+
+}  // namespace protea::runtime

@@ -1,0 +1,80 @@
+#include "runtime/workspace_arena.hpp"
+
+#include <algorithm>
+
+namespace protea::runtime {
+
+namespace {
+constexpr size_t kDefaultBlockBytes = size_t{1} << 20;
+}
+
+WorkspaceArena::WorkspaceArena(size_t initial_bytes) {
+  if (initial_bytes > 0) add_block(padded(initial_bytes));
+}
+
+std::byte* WorkspaceArena::raw_alloc(size_t bytes) {
+  const size_t p = padded(bytes);
+  while (true) {
+    if (!blocks_.empty()) {
+      Block& b = blocks_[current_];
+      if (b.used + p <= b.size) {
+        std::byte* ptr = b.base + b.used;
+        b.used += p;
+        live_bytes_ += p;
+        peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+        return ptr;
+      }
+      // Reuse a later block left over from a rewound spill before growing.
+      if (current_ + 1 < blocks_.size()) {
+        ++current_;
+        blocks_[current_].used = 0;
+        continue;
+      }
+    }
+    // Grow generously; reset() consolidates to the exact peak later.
+    add_block(std::max(p, kDefaultBlockBytes));
+  }
+}
+
+void WorkspaceArena::add_block(size_t min_size) {
+  Block b;
+  b.size = std::max(min_size, size_t{kAlign});
+  b.data = std::make_unique<std::byte[]>(b.size + kAlign);
+  const auto raw = reinterpret_cast<uintptr_t>(b.data.get());
+  b.base = b.data.get() + (kAlign - raw % kAlign) % kAlign;
+  blocks_.push_back(std::move(b));
+  current_ = blocks_.size() - 1;
+}
+
+void WorkspaceArena::rewind(Mark m) {
+  if (blocks_.empty()) return;
+  size_t freed = blocks_[m.block].used - m.used;
+  for (size_t i = m.block + 1; i < blocks_.size(); ++i) {
+    freed += blocks_[i].used;
+    blocks_[i].used = 0;
+  }
+  blocks_[m.block].used = m.used;
+  current_ = m.block;
+  live_bytes_ -= freed;
+}
+
+void WorkspaceArena::reset() {
+  if (blocks_.size() > 1) {
+    blocks_.clear();
+    add_block(padded(peak_bytes_));  // exact-fit consolidation
+  }
+  for (Block& b : blocks_) b.used = 0;
+  current_ = 0;
+  live_bytes_ = 0;
+  // Track peak per cycle: a later, smaller workload consolidates down
+  // instead of pinning the all-time high-water block forever.
+  peak_bytes_ = 0;
+}
+
+size_t WorkspaceArena::capacity() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+}  // namespace protea::runtime

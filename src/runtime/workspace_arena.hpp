@@ -1,0 +1,114 @@
+// Session-lifetime workspace arena for the serving runtime.
+//
+// Every intermediate of a steady-state forward pass — per-head Q/K/V,
+// attention logits, int32 GEMM accumulators, packed-B scratch, layernorm
+// row buffers — is a short-lived, shape-stable temporary. The arena hands
+// them out as non-owning MatrixViews from one bump-allocated buffer:
+//
+//   * alloc is a pointer bump (64-byte aligned, zero branching beyond the
+//     capacity check);
+//   * mark()/rewind() reclaim per-head / per-stage temporaries in LIFO
+//     order, so a whole forward pass peaks at a few matrix-sized blocks;
+//   * reset() rewinds everything between forwards and — only when the
+//     previous cycle had to grow — consolidates to one block sized at the
+//     observed peak, so from the second reset on, a session's forward()
+//     performs zero heap allocations.
+//
+// Growth never invalidates live views: new demand lands in freshly chained
+// blocks, and consolidation happens only at reset(), when no views are
+// live by contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace protea::runtime {
+
+class WorkspaceArena {
+ public:
+  /// `initial_bytes` pre-sizes the first block (0 defers to first use).
+  explicit WorkspaceArena(size_t initial_bytes = 0);
+
+  WorkspaceArena(const WorkspaceArena&) = delete;
+  WorkspaceArena& operator=(const WorkspaceArena&) = delete;
+  WorkspaceArena(WorkspaceArena&&) = default;
+  WorkspaceArena& operator=(WorkspaceArena&&) = default;
+
+  /// LIFO checkpoint into the arena; everything allocated after mark()
+  /// is reclaimed by rewind(). Views taken after the mark are dead once
+  /// rewound (the memory will be reused).
+  struct Mark {
+    size_t block = 0;
+    size_t used = 0;
+  };
+
+  Mark mark() const { return {current_, current_used()}; }
+  void rewind(Mark m);
+
+  /// Rewinds the whole arena for the next forward pass. If the previous
+  /// cycle spilled into extra blocks, consolidates into a single block at
+  /// the observed peak (one allocation, after which resets are free).
+  void reset();
+
+  tensor::MatrixViewI8 matrix_i8(size_t rows, size_t cols) {
+    return {alloc<int8_t>(rows * cols), rows, cols};
+  }
+  tensor::MatrixViewI32 matrix_i32(size_t rows, size_t cols) {
+    return {alloc<int32_t>(rows * cols), rows, cols};
+  }
+  tensor::MatrixViewF matrix_f(size_t rows, size_t cols) {
+    return {alloc<float>(rows * cols), rows, cols};
+  }
+  std::span<int8_t> span_i8(size_t count) {
+    return {alloc<int8_t>(count), count};
+  }
+  std::span<int32_t> span_i32(size_t count) {
+    return {alloc<int32_t>(count), count};
+  }
+
+  /// Bytes currently handed out (across all blocks).
+  size_t used() const { return live_bytes_; }
+  /// Peak bytes handed out since the last reset (sizes consolidation).
+  size_t peak() const { return peak_bytes_; }
+  /// Total bytes owned by the arena's blocks.
+  size_t capacity() const;
+  /// Number of backing blocks (1 in steady state).
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;  // raw storage (size + kAlign)
+    std::byte* base = nullptr;          // first kAlign-aligned byte
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  static constexpr size_t kAlign = 64;
+  static size_t padded(size_t bytes) {
+    return (bytes + kAlign - 1) & ~(kAlign - 1);
+  }
+
+  size_t current_used() const {
+    return blocks_.empty() ? 0 : blocks_[current_].used;
+  }
+
+  template <typename T>
+  T* alloc(size_t count) {
+    return reinterpret_cast<T*>(raw_alloc(count * sizeof(T)));
+  }
+
+  std::byte* raw_alloc(size_t bytes);
+  void add_block(size_t min_size);
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  // block currently being bumped
+  size_t live_bytes_ = 0;
+  size_t peak_bytes_ = 0;
+};
+
+}  // namespace protea::runtime

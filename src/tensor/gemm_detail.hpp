@@ -29,13 +29,19 @@ inline constexpr size_t kGemmMr = 4;    // micro-kernel rows (A panel width)
 inline constexpr size_t kGemmNr = 8;    // micro-kernel cols (B panel width)
 inline constexpr size_t kGemmKc = 256;  // K cache block
 
+/// Elements a packed-B scratch buffer must hold for an (n)-column operand:
+/// one K block's worth of column panels, zero-padded to kGemmNr.
+inline size_t pack_b_elems(size_t n) {
+  return util::ceil_div(n, kGemmNr) * kGemmNr * kGemmKc;
+}
+
 /// A panel: kGemmMr rows interleaved column-major, zero-padded to kGemmMr
-/// so the micro-kernel never branches on the ragged edge.
+/// so the micro-kernel never branches on the ragged edge. `a`/`lda` address
+/// the full operand; works for owning matrices and arena views alike.
 template <typename T>
-void pack_a_panel(const Matrix<T>& a, size_t i0, size_t h, size_t k0,
+void pack_a_panel(const T* a, size_t lda, size_t i0, size_t h, size_t k0,
                   size_t kc, T* dst) {
-  const size_t lda = a.cols();
-  const T* base = a.data() + i0 * lda + k0;
+  const T* base = a + i0 * lda + k0;
   for (size_t p = 0; p < kc; ++p) {
     for (size_t i = 0; i < kGemmMr; ++i) {
       dst[p * kGemmMr + i] = i < h ? base[i * lda + p] : T{};
@@ -45,9 +51,9 @@ void pack_a_panel(const Matrix<T>& a, size_t i0, size_t h, size_t k0,
 
 /// B panels for a K block, normal (k x n) layout: panel cp holds columns
 /// [cp*kGemmNr, ...) interleaved as [p][j], zero-padded to kGemmNr.
-template <typename T>
-void pack_b_block(const Matrix<T>& b, size_t k0, size_t kc, size_t n,
-                  T* dst) {
+/// `M` is any row-major matrix-like type (Matrix or MatrixView).
+template <typename M, typename T>
+void pack_b_block(const M& b, size_t k0, size_t kc, size_t n, T* dst) {
   const size_t ldb = b.cols();
   const size_t col_panels = util::ceil_div(n, kGemmNr);
   for (size_t cp = 0; cp < col_panels; ++cp) {
@@ -65,9 +71,8 @@ void pack_b_block(const Matrix<T>& b, size_t k0, size_t kc, size_t n,
 
 /// Same packed layout from a transposed (n x k) operand — the transpose
 /// happens here, during packing, so the micro-kernel is shared.
-template <typename T>
-void pack_bt_block(const Matrix<T>& bt, size_t k0, size_t kc, size_t n,
-                   T* dst) {
+template <typename M, typename T>
+void pack_bt_block(const M& bt, size_t k0, size_t kc, size_t n, T* dst) {
   const size_t ldb = bt.cols();
   const size_t col_panels = util::ceil_div(n, kGemmNr);
   for (size_t cp = 0; cp < col_panels; ++cp) {
@@ -102,36 +107,36 @@ void micro_kernel(size_t kc, const T* __restrict ap, const T* __restrict bp,
   }
 }
 
+/// Allocation-free driver core: `c` is the caller's (m x n) output and
+/// `bbuf` the caller's packed-B scratch (>= pack_b_elems(n) elements —
+/// the workspace arena provides both on the runtime's steady-state path).
 template <typename T, typename Mul, typename Acc, typename PackB>
-void gemm_driver(const Matrix<T>& a, size_t n, Matrix<Acc>& c,
-                 util::ThreadPool* pool, const PackB& pack_b) {
-  const size_t m = a.rows();
-  const size_t k = a.cols();
-  c = Matrix<Acc>(m, n, Acc{});
+void gemm_driver_into(const T* a, size_t m, size_t k, size_t n, Acc* c,
+                      T* bbuf, util::ThreadPool* pool, const PackB& pack_b) {
+  std::fill(c, c + m * n, Acc{});
   if (m == 0 || n == 0 || k == 0) return;
 
   const size_t row_panels = util::ceil_div(m, kGemmMr);
   const size_t col_panels = util::ceil_div(n, kGemmNr);
-  std::vector<T> bbuf(col_panels * kGemmKc * kGemmNr);
 
   for (size_t k0 = 0; k0 < k; k0 += kGemmKc) {
     const size_t kc = std::min(kGemmKc, k - k0);
-    pack_b(k0, kc, bbuf.data());
+    pack_b(k0, kc, bbuf);
 
     auto row_panel_task = [&](size_t rp) {
       alignas(64) T apanel[kGemmMr * kGemmKc];
       alignas(64) Acc acc[kGemmMr * kGemmNr];
       const size_t i0 = rp * kGemmMr;
       const size_t h = std::min(kGemmMr, m - i0);
-      pack_a_panel(a, i0, h, k0, kc, apanel);
+      pack_a_panel(a, k, i0, h, k0, kc, apanel);
       for (size_t cp = 0; cp < col_panels; ++cp) {
         std::fill(acc, acc + kGemmMr * kGemmNr, Acc{});
-        micro_kernel<T, Mul, Acc>(kc, apanel,
-                                  bbuf.data() + cp * kc * kGemmNr, acc);
+        micro_kernel<T, Mul, Acc>(kc, apanel, bbuf + cp * kc * kGemmNr,
+                                  acc);
         const size_t j0 = cp * kGemmNr;
         const size_t w = std::min(kGemmNr, n - j0);
         for (size_t i = 0; i < h; ++i) {
-          Acc* crow = c.data() + (i0 + i) * n + j0;
+          Acc* crow = c + (i0 + i) * n + j0;
           const Acc* accrow = acc + i * kGemmNr;
           for (size_t j = 0; j < w; ++j) crow[j] += accrow[j];
         }
@@ -144,6 +149,19 @@ void gemm_driver(const Matrix<T>& a, size_t n, Matrix<Acc>& c,
       for (size_t rp = 0; rp < row_panels; ++rp) row_panel_task(rp);
     }
   }
+}
+
+/// Owning-output convenience: resizes `c` and allocates the packing
+/// scratch per call (the legacy engine wrappers and the float kernels).
+template <typename T, typename Mul, typename Acc, typename PackB>
+void gemm_driver(const Matrix<T>& a, size_t n, Matrix<Acc>& c,
+                 util::ThreadPool* pool, const PackB& pack_b) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  c = Matrix<Acc>(m, n, Acc{});
+  std::vector<T> bbuf(pack_b_elems(n));
+  gemm_driver_into<T, Mul, Acc>(a.data(), m, k, n, c.data(), bbuf.data(),
+                                pool, pack_b);
 }
 
 }  // namespace protea::tensor::detail

@@ -2,13 +2,17 @@
 // the accelerator simulator and the CPU baseline.
 //
 // Kept deliberately simple (CppCoreGuidelines P.11): owning container +
-// cheap spans; numeric kernels live in tensor/ops.hpp.
+// cheap spans; numeric kernels live in tensor/ops.hpp. MatrixView is the
+// non-owning twin the runtime workspace arena hands out: same accessors,
+// storage owned elsewhere (an arena block or a Matrix).
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 namespace protea::tensor {
@@ -98,5 +102,75 @@ class Matrix {
 using MatrixF = Matrix<float>;
 using MatrixI8 = Matrix<int8_t>;
 using MatrixI32 = Matrix<int32_t>;
+
+/// Non-owning row-major view. `T` may be const-qualified for read-only
+/// views; a mutable view and the owning Matrix convert implicitly.
+template <typename T>
+class MatrixView {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  MatrixView() = default;
+
+  MatrixView(T* data, size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(data) {}
+
+  MatrixView(Matrix<value_type>& m)  // NOLINT(google-explicit-constructor)
+    requires(!std::is_const_v<T>)
+      : MatrixView(m.data(), m.rows(), m.cols()) {}
+
+  MatrixView(const Matrix<value_type>& m)  // NOLINT
+    requires(std::is_const_v<T>)
+      : MatrixView(m.data(), m.rows(), m.cols()) {}
+
+  template <typename U>
+    requires(std::is_const_v<T> && std::is_same_v<U, value_type>)
+  MatrixView(MatrixView<U> other)  // NOLINT(google-explicit-constructor)
+      : MatrixView(other.data(), other.rows(), other.cols()) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  T& operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<T> row(size_t r) const {
+    assert(r < rows_);
+    return {data_ + r * cols_, cols_};
+  }
+
+  std::span<T> flat() const { return {data_, rows_ * cols_}; }
+  T* data() const { return data_; }
+
+  void fill(value_type value) const
+    requires(!std::is_const_v<T>)
+  {
+    std::fill(data_, data_ + rows_ * cols_, value);
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  T* data_ = nullptr;
+};
+
+using MatrixViewF = MatrixView<float>;
+using MatrixViewI8 = MatrixView<int8_t>;
+using MatrixViewI32 = MatrixView<int32_t>;
+using ConstMatrixViewF = MatrixView<const float>;
+using ConstMatrixViewI8 = MatrixView<const int8_t>;
+using ConstMatrixViewI32 = MatrixView<const int32_t>;
+
+/// Deep copy of a view into a fresh owning Matrix (trace capture).
+template <typename T>
+Matrix<std::remove_const_t<T>> to_matrix(MatrixView<T> view) {
+  Matrix<std::remove_const_t<T>> out(view.rows(), view.cols());
+  std::copy(view.data(), view.data() + view.size(), out.data());
+  return out;
+}
 
 }  // namespace protea::tensor

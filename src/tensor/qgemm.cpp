@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "tensor/gemm_detail.hpp"
 #include "util/thread_pool.hpp"
@@ -34,6 +35,49 @@ void qgemm_bt(const MatrixI8& a, const MatrixI8& bt, MatrixI32& c,
   }
   detail::gemm_driver<int8_t, int16_t, int32_t>(
       a, bt.rows(), c, pool, [&](size_t k0, size_t kc, int8_t* dst) {
+        detail::pack_bt_block(bt, k0, kc, bt.rows(), dst);
+      });
+}
+
+size_t qgemm_pack_elems(size_t n) { return detail::pack_b_elems(n); }
+
+namespace {
+
+void check_into_args(ConstMatrixViewI8 a, size_t b_k, size_t b_n,
+                     MatrixViewI32 c, std::span<int8_t> pack_buf,
+                     const char* name) {
+  if (a.cols() != b_k) {
+    throw std::invalid_argument(std::string(name) +
+                                ": inner dimension mismatch");
+  }
+  if (c.rows() != a.rows() || c.cols() != b_n) {
+    throw std::invalid_argument(std::string(name) +
+                                ": output view shape mismatch");
+  }
+  if (pack_buf.size() < qgemm_pack_elems(b_n)) {
+    throw std::invalid_argument(std::string(name) +
+                                ": packing scratch too small");
+  }
+}
+
+}  // namespace
+
+void qgemm_into(ConstMatrixViewI8 a, ConstMatrixViewI8 b, MatrixViewI32 c,
+                std::span<int8_t> pack_buf, util::ThreadPool* pool) {
+  check_into_args(a, b.rows(), b.cols(), c, pack_buf, "qgemm_into");
+  detail::gemm_driver_into<int8_t, int16_t, int32_t>(
+      a.data(), a.rows(), a.cols(), b.cols(), c.data(), pack_buf.data(),
+      pool, [&](size_t k0, size_t kc, int8_t* dst) {
+        detail::pack_b_block(b, k0, kc, b.cols(), dst);
+      });
+}
+
+void qgemm_bt_into(ConstMatrixViewI8 a, ConstMatrixViewI8 bt, MatrixViewI32 c,
+                   std::span<int8_t> pack_buf, util::ThreadPool* pool) {
+  check_into_args(a, bt.cols(), bt.rows(), c, pack_buf, "qgemm_bt_into");
+  detail::gemm_driver_into<int8_t, int16_t, int32_t>(
+      a.data(), a.rows(), a.cols(), bt.rows(), c.data(), pack_buf.data(),
+      pool, [&](size_t k0, size_t kc, int8_t* dst) {
         detail::pack_bt_block(bt, k0, kc, bt.rows(), dst);
       });
 }

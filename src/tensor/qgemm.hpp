@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "tensor/matrix.hpp"
 
@@ -42,6 +43,20 @@ void qgemm(const MatrixI8& a, const MatrixI8& b, MatrixI32& c,
 /// engines store (QHeadWeights::wqt, projection weights, K in Q.K^T).
 void qgemm_bt(const MatrixI8& a, const MatrixI8& bt, MatrixI32& c,
               util::ThreadPool* pool = nullptr);
+
+/// Packed-B scratch elements qgemm_into/qgemm_bt_into need for an
+/// `n`-column product (one K block of zero-padded column panels).
+size_t qgemm_pack_elems(size_t n);
+
+/// Allocation-free twins for the runtime's steady-state forward path:
+/// `c` is a preallocated (a.rows x n) view and `pack_buf` holds at least
+/// qgemm_pack_elems(n) elements — both normally arena-backed. Results are
+/// bit-identical to the owning variants for any pool.
+void qgemm_into(ConstMatrixViewI8 a, ConstMatrixViewI8 b, MatrixViewI32 c,
+                std::span<int8_t> pack_buf, util::ThreadPool* pool = nullptr);
+void qgemm_bt_into(ConstMatrixViewI8 a, ConstMatrixViewI8 bt, MatrixViewI32 c,
+                   std::span<int8_t> pack_buf,
+                   util::ThreadPool* pool = nullptr);
 
 /// Naive triple-loop references (the seed's original loop nests), retained
 /// as the test oracle and the bench speedup baseline.
