@@ -8,6 +8,48 @@
 #include "util/math_util.hpp"
 
 namespace protea::accel {
+namespace {
+
+/// FFN-engine tile geometry shared by the full-forward and incremental
+/// cycle models (one source of truth for the PaddingPolicy handling).
+/// `per_access` is the per-target-row engine access cost; callers
+/// multiply by their row count.
+struct FfnTiling {
+  uint64_t rows_d = 0, rows_f = 0, cols_d = 0, cols_f = 0;
+  hw::Cycles per_access = 0;
+};
+
+FfnTiling ffn_tiling(const AccelConfig& config, uint64_t d, uint64_t f) {
+  const hw::SynthParams& sp = config.synth;
+  const bool fixed_rows = config.padding == PaddingPolicy::kSynthFixedRows;
+  const auto ts_ffn = static_cast<uint64_t>(sp.ts_ffn);
+  using util::ceil_div;
+  FfnTiling t;
+  t.rows_d = fixed_rows ? sp.tiles_ffn_max() : ceil_div(d, ts_ffn);
+  t.rows_f = fixed_rows ? 4ull * sp.tiles_ffn_max() : ceil_div(f, ts_ffn);
+  t.cols_d = ceil_div(d, ts_ffn);
+  t.cols_f = ceil_div(f, ts_ffn);
+  t.per_access = hw::pipelined_loop(ts_ffn, hw::achieved_ii(2 * sp.ts_ffn),
+                                    config.timing.pipeline_depth);
+  return t;
+}
+
+/// Shared tail of every decoder cycle model: derives clocking, latency,
+/// throughput and DSP utilization from total_cycles and macs.
+void finalize_report(const AccelConfig& config, PerfReport& report) {
+  report.fmax_mhz = hw::fmax_mhz(config.synth);
+  report.latency_ms = hw::cycles_to_ms(report.total_cycles, report.fmax_mhz);
+  report.ops = 2 * report.macs;
+  report.gops =
+      static_cast<double>(report.ops) / (report.latency_ms * 1e-3) / 1e9;
+  const auto resources = hw::estimate_resources(config.synth);
+  report.dsp_utilization =
+      static_cast<double>(report.macs) /
+      (static_cast<double>(resources.total_pes) *
+       static_cast<double>(report.total_cycles));
+}
+
+}  // namespace
 
 ProteaDecoderAccelerator::ProteaDecoderAccelerator(AccelConfig config)
     : config_(std::move(config)) {
@@ -16,6 +58,7 @@ ProteaDecoderAccelerator::ProteaDecoderAccelerator(AccelConfig config)
 
 void ProteaDecoderAccelerator::load_model(QuantizedDecoder model) {
   validate_runtime(config_.synth, model.config);
+  gen_.reset();  // bound to the previous model's weights and shapes
   model_ = std::move(model);
   stats_ = EngineStats{};
 }
@@ -39,10 +82,43 @@ tensor::MatrixF ProteaDecoderAccelerator::forward(
   return result;
 }
 
+tensor::MatrixF ProteaDecoderAccelerator::prefill(
+    const tensor::MatrixF& prefix, const tensor::MatrixF& memory) {
+  const QuantizedDecoder& qd = model();
+  if (gen_ == nullptr) {
+    gen_ = std::make_unique<runtime::GenerationSession>(config_, qd,
+                                                        &stats_);
+  }
+  tensor::MatrixF states;
+  gen_->prefill(prefix, memory, states);
+  return states;
+}
+
+tensor::MatrixF ProteaDecoderAccelerator::decode_step(
+    const tensor::MatrixF& token) {
+  if (gen_ == nullptr) {
+    throw std::logic_error(
+        "ProteaDecoderAccelerator: prefill() before decode_step()");
+  }
+  tensor::MatrixF state;
+  gen_->decode_step(token, state);
+  return state;
+}
+
+size_t ProteaDecoderAccelerator::generation_position() const {
+  return gen_ != nullptr ? gen_->position() : 0;
+}
+
 PerfReport ProteaDecoderAccelerator::performance(
     uint32_t target_len, uint32_t memory_len) const {
   return estimate_decoder_performance(config_, model().config, target_len,
                                       memory_len);
+}
+
+PerfReport ProteaDecoderAccelerator::step_performance(
+    uint32_t pos, uint32_t memory_len) const {
+  return estimate_decode_step_performance(config_, model().config, pos,
+                                          memory_len);
 }
 
 PerfReport estimate_decoder_performance(const AccelConfig& config,
@@ -117,21 +193,16 @@ PerfReport estimate_decoder_performance(const AccelConfig& config,
   }
 
   // Projections + FFN on the FFN engines (same tiling rules as encoder).
-  const bool fixed_rows = config.padding == PaddingPolicy::kSynthFixedRows;
-  const uint64_t ts_ffn = sp.ts_ffn;
-  const uint64_t rows_d =
-      fixed_rows ? sp.tiles_ffn_max() : ceil_div(d, ts_ffn);
-  const uint64_t rows_f =
-      fixed_rows ? 4ull * sp.tiles_ffn_max() : ceil_div(f, ts_ffn);
-  const uint64_t cols_d = ceil_div(d, ts_ffn);
-  const uint64_t cols_f = ceil_div(f, ts_ffn);
-  const hw::Cycles per_access =
-      t_len * hw::pipelined_loop(ts_ffn, hw::achieved_ii(2 * sp.ts_ffn),
-                                 depth);
-  add_stage("self_proj", rows_d * cols_d, rows_d * cols_d * per_access);
-  add_stage("cross_proj", rows_d * cols_d, rows_d * cols_d * per_access);
-  add_stage("ffn_expand", rows_d * cols_f, rows_d * cols_f * per_access);
-  add_stage("ffn_contract", rows_f * cols_d, rows_f * cols_d * per_access);
+  const FfnTiling ft = ffn_tiling(config, d, f);
+  const hw::Cycles per_access = t_len * ft.per_access;
+  add_stage("self_proj", ft.rows_d * ft.cols_d,
+            ft.rows_d * ft.cols_d * per_access);
+  add_stage("cross_proj", ft.rows_d * ft.cols_d,
+            ft.rows_d * ft.cols_d * per_access);
+  add_stage("ffn_expand", ft.rows_d * ft.cols_f,
+            ft.rows_d * ft.cols_f * per_access);
+  add_stage("ffn_contract", ft.rows_f * ft.cols_d,
+            ft.rows_f * ft.cols_d * per_access);
 
   const hw::Cycles ln_row =
       3 * ceil_div(d, static_cast<uint64_t>(tc.ln_lanes)) +
@@ -142,8 +213,6 @@ PerfReport estimate_decoder_performance(const AccelConfig& config,
     report.layer_cycles += stage.total;
   }
   report.total_cycles = report.layer_cycles * model.num_layers;
-  report.fmax_mhz = hw::fmax_mhz(sp);
-  report.latency_ms = hw::cycles_to_ms(report.total_cycles, report.fmax_mhz);
 
   // Operation counts for a decoder stack.
   const uint64_t self_macs =
@@ -152,15 +221,145 @@ PerfReport estimate_decoder_performance(const AccelConfig& config,
                               2 * t_len * s_len * d + t_len * d * d;
   const uint64_t ffn_macs = 2 * t_len * d * f;
   report.macs = model.num_layers * (self_macs + cross_macs + ffn_macs);
-  report.ops = 2 * report.macs;
-  report.gops =
-      static_cast<double>(report.ops) / (report.latency_ms * 1e-3) / 1e9;
+  finalize_report(config, report);
+  return report;
+}
 
-  const auto resources = hw::estimate_resources(sp);
-  report.dsp_utilization =
-      static_cast<double>(report.macs) /
-      (static_cast<double>(resources.total_pes) *
-       static_cast<double>(report.total_cycles));
+PerfReport estimate_decode_step_performance(const AccelConfig& config,
+                                            const ref::ModelConfig& model,
+                                            uint32_t pos,
+                                            uint32_t memory_len) {
+  config.validate();
+  validate_runtime(config.synth, model);
+  if (pos >= model.seq_len) {
+    throw std::invalid_argument("decode step perf: bad position");
+  }
+  if (memory_len == 0 || memory_len > config.synth.max_seq_len) {
+    throw std::invalid_argument("decode step perf: bad memory length");
+  }
+
+  const hw::SynthParams& sp = config.synth;
+  const TimingConstants& tc = config.timing;
+  const uint64_t kv_len = uint64_t{pos} + 1;  // cached prefix + this row
+  const uint64_t s_len = memory_len;
+  const uint64_t d = model.d_model;
+  const uint64_t dk = d / model.num_heads;
+  const uint64_t f = model.ffn_hidden();
+  const hw::Cycles depth = tc.pipeline_depth;
+  using util::ceil_div;
+
+  PerfReport report;
+  const uint64_t tiles_d = ceil_div(d, static_cast<uint64_t>(sp.ts_mha));
+  const uint32_t ii_qkv = hw::achieved_ii(4 * sp.ts_mha);
+  const uint32_t ii_proj = hw::achieved_ii(2 * sp.ts_mha);
+
+  auto add_stage = [&report](const char* name, uint64_t invocations,
+                             hw::Cycles cycles) {
+    report.stages.push_back(StageTiming{
+        .name = name, .invocations = invocations, .compute = cycles,
+        .total = cycles, .bytes_loaded = 0});
+  };
+
+  // Self-attention: one query row; K/V of the new row append into the
+  // cache and QK/softmax/SV span the kv_len cached rows.
+  add_stage("self_qkv", tiles_d,
+            tiles_d * hw::pipelined_loop(dk, ii_qkv, depth));
+  {
+    const uint32_t ii = static_cast<uint32_t>(
+        ceil_div(dk, static_cast<uint64_t>(sp.head_dim_max())));
+    add_stage("self_qk", 1, hw::pipelined_loop(kv_len, ii, depth));
+  }
+  add_stage("self_softmax", 1, 2 * kv_len + tc.softmax_row_overhead);
+  {
+    const uint32_t ii = static_cast<uint32_t>(
+        ceil_div(kv_len, static_cast<uint64_t>(sp.sl_unroll)));
+    add_stage("self_sv", 1, hw::pipelined_loop(dk, ii, depth));
+  }
+
+  // Cross-attention: only the Q projection of the new row is computed —
+  // the memory's K/V projections were cached at prefill, so the per-step
+  // cross_kv stage (the full model's dominant memory-length term)
+  // disappears entirely.
+  add_stage("cross_q", tiles_d,
+            tiles_d * hw::pipelined_loop(dk, ii_proj, depth));
+  {
+    const uint32_t ii = static_cast<uint32_t>(
+        ceil_div(dk, static_cast<uint64_t>(sp.head_dim_max())));
+    add_stage("cross_qk", 1, hw::pipelined_loop(s_len, ii, depth));
+  }
+  add_stage("cross_softmax", 1, 2 * s_len + tc.softmax_row_overhead);
+  {
+    const uint32_t ii = static_cast<uint32_t>(
+        ceil_div(s_len, static_cast<uint64_t>(sp.sl_unroll)));
+    add_stage("cross_sv", 1, hw::pipelined_loop(dk, ii, depth));
+  }
+
+  // Single-row projections + FFN on the FFN engines.
+  const FfnTiling ft = ffn_tiling(config, d, f);
+  add_stage("self_proj", ft.rows_d * ft.cols_d,
+            ft.rows_d * ft.cols_d * ft.per_access);
+  add_stage("cross_proj", ft.rows_d * ft.cols_d,
+            ft.rows_d * ft.cols_d * ft.per_access);
+  add_stage("ffn_expand", ft.rows_d * ft.cols_f,
+            ft.rows_d * ft.cols_f * ft.per_access);
+  add_stage("ffn_contract", ft.rows_f * ft.cols_d,
+            ft.rows_f * ft.cols_d * ft.per_access);
+
+  const hw::Cycles ln_row =
+      3 * ceil_div(d, static_cast<uint64_t>(tc.ln_lanes)) +
+      tc.ln_row_overhead;
+  add_stage("layernorm", 3, 3 * ln_row);
+
+  for (const auto& stage : report.stages) {
+    report.layer_cycles += stage.total;
+  }
+  report.total_cycles = report.layer_cycles * model.num_layers;
+
+  // Per-step MAC count, matching the executed incremental schedule (and
+  // the EngineStats deltas a real decode_step records).
+  const uint64_t self_macs = 3 * d * d + 2 * kv_len * d + d * d;
+  const uint64_t cross_macs = d * d + 2 * s_len * d + d * d;
+  const uint64_t ffn_macs = 2 * d * f;
+  report.macs = model.num_layers * (self_macs + cross_macs + ffn_macs);
+  finalize_report(config, report);
+  return report;
+}
+
+PerfReport estimate_generation_performance(const AccelConfig& config,
+                                           const ref::ModelConfig& model,
+                                           uint32_t prefill_len,
+                                           uint32_t total_len,
+                                           uint32_t memory_len) {
+  if (prefill_len == 0 || prefill_len > total_len ||
+      total_len > model.seq_len) {
+    throw std::invalid_argument("generation perf: bad lengths");
+  }
+  const PerfReport prefill =
+      estimate_decoder_performance(config, model, prefill_len, memory_len);
+
+  PerfReport report;
+  hw::Cycles step_cycles = 0;
+  uint64_t step_macs = 0;
+  for (uint32_t pos = prefill_len; pos < total_len; ++pos) {
+    const PerfReport step =
+        estimate_decode_step_performance(config, model, pos, memory_len);
+    step_cycles += step.total_cycles;
+    step_macs += step.macs;
+  }
+  report.stages.push_back(StageTiming{.name = "prefill",
+                                      .invocations = 1,
+                                      .compute = prefill.total_cycles,
+                                      .total = prefill.total_cycles,
+                                      .bytes_loaded = 0});
+  report.stages.push_back(StageTiming{.name = "decode_steps",
+                                      .invocations = total_len - prefill_len,
+                                      .compute = step_cycles,
+                                      .total = step_cycles,
+                                      .bytes_loaded = 0});
+  report.total_cycles = prefill.total_cycles + step_cycles;
+  report.layer_cycles = report.total_cycles / model.num_layers;
+  report.macs = prefill.macs + step_macs;
+  finalize_report(config, report);
   return report;
 }
 

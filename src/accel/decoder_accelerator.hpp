@@ -10,12 +10,14 @@
 // decoding without re-synthesis.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "accel/accel_config.hpp"
 #include "accel/decoder_model.hpp"
 #include "accel/engines.hpp"
 #include "accel/perf_model.hpp"
+#include "runtime/generation.hpp"
 #include "runtime/workspace_arena.hpp"
 #include "tensor/matrix.hpp"
 
@@ -33,13 +35,37 @@ class ProteaDecoderAccelerator {
 
   /// Runs the int8 decoder datapath: float target (T x d) and encoder
   /// memory (S x d) in, dequantized float output (T x d) out. T may be
-  /// any prefix length up to the synthesized maximum (autoregressive
-  /// decoding reprograms the target length each step).
+  /// any prefix length up to the synthesized maximum (full-recompute
+  /// mode — every call reruns the whole prefix).
   tensor::MatrixF forward(const tensor::MatrixF& target,
                           const tensor::MatrixF& memory);
 
+  // --- KV-cached incremental decoding (runtime/generation.hpp) --------------
+  // prefill() begins a sequence: the encoder memory is projected into the
+  // per-layer cross K/V caches once and the prefix runs through the stack
+  // with self K/V appended. decode_step() then costs O(position) attention
+  // work instead of a full-prefix recompute, and is bit-identical to the
+  // corresponding row of forward() — greedy decode emits the exact same
+  // tokens, just without the quadratic bill.
+
+  /// Returns the (prefix rows x d) output states (same rows forward()
+  /// would produce).
+  tensor::MatrixF prefill(const tensor::MatrixF& prefix,
+                          const tensor::MatrixF& memory);
+
+  /// One incremental step; returns the (1 x d) output state for the
+  /// appended token.
+  tensor::MatrixF decode_step(const tensor::MatrixF& token);
+
+  /// Target rows cached so far (0 before the first prefill()).
+  size_t generation_position() const;
+
   /// Cycle-model estimate for a (target_len, memory_len) program.
   PerfReport performance(uint32_t target_len, uint32_t memory_len) const;
+
+  /// Cycle-model estimate for one KV-cached decode step at the given
+  /// 0-based target position.
+  PerfReport step_performance(uint32_t pos, uint32_t memory_len) const;
 
   const EngineStats& stats() const { return stats_; }
 
@@ -48,6 +74,9 @@ class ProteaDecoderAccelerator {
   std::optional<QuantizedDecoder> model_;
   EngineStats stats_;
   runtime::WorkspaceArena ws_;  // session workspace for forward()
+  // Lazily-built KV-cached generation context (reset by load_model; MAC
+  // accounting funnels into stats_ alongside forward()'s).
+  std::unique_ptr<runtime::GenerationSession> gen_;
 };
 
 /// Analytic decoder-layer cycle model (shares all encoder constants).
@@ -55,5 +84,29 @@ PerfReport estimate_decoder_performance(const AccelConfig& config,
                                         const ref::ModelConfig& model,
                                         uint32_t target_len,
                                         uint32_t memory_len);
+
+/// Cycle model of ONE KV-cached incremental decode step computing target
+/// position `pos` (0-based): a single query row whose self-attention
+/// spans the pos+1 cached rows, cross-attention over memory projections
+/// already cached at prefill (no cross_kv stage — the defining saving),
+/// and single-row projections/FFN. Matches the executed schedule of
+/// GenerationSession::decode_step exactly (MAC counts are cross-checked
+/// against EngineStats in tests/test_generation.cpp).
+PerfReport estimate_decode_step_performance(const AccelConfig& config,
+                                            const ref::ModelConfig& model,
+                                            uint32_t pos,
+                                            uint32_t memory_len);
+
+/// Total cycle model for a KV-cached generation: one full prefill of
+/// `prefill_len` rows (which includes the one-time cross K/V projection)
+/// plus incremental steps for positions [prefill_len, total_len). The
+/// report aggregates the two phases as stages "prefill" and
+/// "decode_steps"; compare against summing estimate_decoder_performance
+/// over growing prefixes to quantify the O(T^2) -> O(T) win.
+PerfReport estimate_generation_performance(const AccelConfig& config,
+                                           const ref::ModelConfig& model,
+                                           uint32_t prefill_len,
+                                           uint32_t total_len,
+                                           uint32_t memory_len);
 
 }  // namespace protea::accel

@@ -46,14 +46,15 @@ void SoftmaxUnit::run_into(tensor::ConstMatrixViewI8 logits,
 }
 
 void SoftmaxUnit::run_causal_into(tensor::ConstMatrixViewI8 logits,
-                                  tensor::MatrixViewI8 out) const {
+                                  tensor::MatrixViewI8 out,
+                                  size_t row_offset) const {
   if (out.rows() != logits.rows() || out.cols() != logits.cols()) {
     throw std::invalid_argument("SoftmaxUnit: output shape mismatch");
   }
   out.fill(0);
   for (size_t r = 0; r < logits.rows(); ++r) {
     const auto row = logits.row(r);
-    const size_t valid = std::min(r + 1, row.size());
+    const size_t valid = std::min(row_offset + r + 1, row.size());
     int32_t q_max = -128;
     for (size_t c = 0; c < valid; ++c) {
       q_max = std::max<int32_t>(q_max, row[c]);

@@ -39,8 +39,17 @@ class SoftmaxUnit {
   /// preallocated view with the logits' shape.
   void run_into(tensor::ConstMatrixViewI8 logits,
                 tensor::MatrixViewI8 out) const;
+
+  /// Causal mode with a cached-prefix row offset for KV-cached
+  /// incremental decoding: row r sits at absolute target position
+  /// `row_offset + r` and normalizes over columns
+  /// [0, min(row_offset + r + 1, cols)); later (masked) columns get
+  /// weight 0. `row_offset = 0` is the classic full-square causal mask;
+  /// a decode step passes the cached length so its single row spans the
+  /// whole prefix plus itself.
   void run_causal_into(tensor::ConstMatrixViewI8 logits,
-                       tensor::MatrixViewI8 out) const;
+                       tensor::MatrixViewI8 out,
+                       size_t row_offset = 0) const;
 
   /// Table entry for a shift of `delta` = q_max - q (delta in [0, 255]):
   /// round(exp(-delta * scale) * 2^16).

@@ -7,20 +7,31 @@
 
 namespace protea::ref {
 
+namespace {
+
+/// One PE row, shared by the batch and single-position entry points so
+/// the two are bit-identical.
+void positional_encoding_row(size_t pos, std::span<float> row) {
+  const size_t d_model = row.size();
+  for (size_t i = 0; i < d_model; i += 2) {
+    const double angle =
+        static_cast<double>(pos) /
+        std::pow(10000.0, static_cast<double>(i) /
+                              static_cast<double>(d_model));
+    row[i] = static_cast<float>(std::sin(angle));
+    if (i + 1 < d_model) {
+      row[i + 1] = static_cast<float>(std::cos(angle));
+    }
+  }
+}
+
+}  // namespace
+
 tensor::MatrixF sinusoidal_positional_encoding(size_t seq_len,
                                                size_t d_model) {
   tensor::MatrixF pe(seq_len, d_model);
   for (size_t pos = 0; pos < seq_len; ++pos) {
-    for (size_t i = 0; i < d_model; i += 2) {
-      const double angle =
-          static_cast<double>(pos) /
-          std::pow(10000.0, static_cast<double>(i) /
-                                static_cast<double>(d_model));
-      pe(pos, i) = static_cast<float>(std::sin(angle));
-      if (i + 1 < d_model) {
-        pe(pos, i + 1) = static_cast<float>(std::cos(angle));
-      }
-    }
+    positional_encoding_row(pos, pe.row(pos));
   }
   return pe;
 }
@@ -47,6 +58,19 @@ tensor::MatrixF embed_tokens(std::span<const uint32_t> tokens,
     for (size_t c = 0; c < table.cols(); ++c) {
       out(pos, c) = table(tokens[pos], c) + pe(pos, c);
     }
+  }
+  return out;
+}
+
+tensor::MatrixF embed_token_at(uint32_t token, size_t pos,
+                               const tensor::MatrixF& table) {
+  if (token >= table.rows()) {
+    throw std::out_of_range("embed_token_at: token id out of vocabulary");
+  }
+  tensor::MatrixF out(1, table.cols());
+  positional_encoding_row(pos, out.row(0));
+  for (size_t c = 0; c < table.cols(); ++c) {
+    out(0, c) += table(token, c);
   }
   return out;
 }

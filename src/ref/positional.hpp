@@ -22,4 +22,12 @@ tensor::MatrixF make_embedding_table(size_t vocab_size, size_t d_model,
 tensor::MatrixF embed_tokens(std::span<const uint32_t> tokens,
                              const tensor::MatrixF& table);
 
+/// Embeds one token at absolute position `pos` (a 1 x d_model row) — the
+/// incremental-decoding companion of embed_tokens: bit-identical to row
+/// `pos` of embed_tokens over a sequence containing `token` there, so a
+/// KV-cached decode loop can embed only the newest token in O(1) instead
+/// of re-embedding the whole prefix.
+tensor::MatrixF embed_token_at(uint32_t token, size_t pos,
+                               const tensor::MatrixF& table);
+
 }  // namespace protea::ref

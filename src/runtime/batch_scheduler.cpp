@@ -11,57 +11,10 @@
 
 #include "accel/perf_model.hpp"
 #include "runtime/inference_session.hpp"
+#include "runtime/module_gate.hpp"
 #include "util/stopwatch.hpp"
 
 namespace protea::runtime {
-namespace {
-
-/// Counting semaphore guarding a module's concurrent stage slots.
-class ModuleSlots {
- public:
-  explicit ModuleSlots(uint32_t count) : count_(count) {}
-
-  void acquire() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [this] { return count_ > 0; });
-    --count_;
-  }
-
-  void release() {
-    {
-      const std::lock_guard lock(mutex_);
-      ++count_;
-    }
-    cv_.notify_one();
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  uint32_t count_;
-};
-
-/// Brackets the forward loop's stages with the module semaphores — this
-/// is where the two-stage overlap physically happens: a worker holding
-/// the FFN slot for sequence i does not block another worker taking the
-/// MHA slot for sequence i+1.
-class ModuleGate final : public StageGate {
- public:
-  ModuleGate(ModuleSlots& mha, ModuleSlots& ffn) : mha_(mha), ffn_(ffn) {}
-
-  void enter(Stage stage) override {
-    (stage == Stage::kMha ? mha_ : ffn_).acquire();
-  }
-  void exit(Stage stage) override {
-    (stage == Stage::kMha ? mha_ : ffn_).release();
-  }
-
- private:
-  ModuleSlots& mha_;
-  ModuleSlots& ffn_;
-};
-
-}  // namespace
 
 BatchScheduler::BatchScheduler(accel::AccelConfig config,
                                accel::QuantizedModel model)

@@ -1,0 +1,392 @@
+#include "runtime/generation.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "numeric/quantizer.hpp"
+#include "runtime/module_gate.hpp"
+#include "tensor/qgemm.hpp"
+#include "util/stopwatch.hpp"
+
+namespace protea::runtime {
+
+// --- GenerationSession -------------------------------------------------------
+
+GenerationSession::GenerationSession(const accel::AccelConfig& config,
+                                     const accel::QuantizedDecoder& model,
+                                     accel::EngineStats* stats)
+    : config_(&config),
+      model_(&model),
+      stats_(stats != nullptr ? stats : &own_stats_) {
+  config.validate();
+  accel::validate_runtime(config.synth, model.config);
+  kv_.configure(model.config.num_layers, model.config.num_heads,
+                model.config.head_dim(), model.config.seq_len,
+                config.synth.max_seq_len);
+  warm();
+}
+
+void GenerationSession::run_rows(const tensor::MatrixF& rows,
+                                 tensor::MatrixF& states, StageGate* gate,
+                                 accel::EngineStats* stats) {
+  const ref::ModelConfig& cfg = model_->config;
+  const size_t n = rows.rows();
+  const size_t d = cfg.d_model;
+  const size_t pos = kv_.len();
+
+  const auto m = ws_.mark();
+  auto x = ws_.matrix_i8(n, d);
+  auto y = ws_.matrix_i8(n, d);
+
+  numeric::Quantizer quant(8, /*pow2_scale=*/true);
+  quant.set_scale(model_->layers.front().scales.x);
+  quant.quantize(rows.flat(), x.flat());
+
+  const LayerOpContext ctx{.ws = ws_,
+                           .ts_mha = config_->synth.ts_mha,
+                           .ts_ffn = config_->synth.ts_ffn,
+                           .activation = cfg.activation,
+                           .stats = stats,
+                           .gemm_pool = tensor::qgemm_default_pool()};
+
+  double out_scale = model_->layers.front().scales.x;
+  for (size_t li = 0; li < model_->layers.size(); ++li) {
+    const accel::QDecoderLayer& layer = model_->layers[li];
+    if (layer.scales.x != out_scale) {
+      rescale_rows_inplace(x, out_scale, layer.scales.x);
+    }
+    run_decoder_layer_cached(ctx, layer, x, pos, kv_.layer(li),
+                             kv_.memory_len(), y, gate);
+    std::swap(x, y);
+    out_scale = layer.scales.ln3;
+  }
+  kv_.append(n);
+
+  if (states.rows() != n || states.cols() != d) {
+    states = tensor::MatrixF(n, d);
+  }
+  quant.set_scale(out_scale);
+  quant.dequantize(x.flat(), states.flat());
+  ws_.rewind(m);
+}
+
+void GenerationSession::warm() {
+  // Fake a full cache (configure() zero-filled the views, so the engines
+  // read defined bytes) and run one step at the worst-case shape: the
+  // arena's consolidated block then covers every real decode_step, which
+  // only ever allocates the same sequence of equal-or-smaller views.
+  kv_.begin_sequence(kv_.memory_capacity());
+  if (kv_.capacity() > 1) {
+    kv_.append(kv_.capacity() - 1);
+  }
+  const tensor::MatrixF token(1, model_->config.d_model, 0.0f);
+  tensor::MatrixF state;
+  run_rows(token, state, /*gate=*/nullptr, /*stats=*/nullptr);
+  kv_.begin_sequence(0);
+  ws_.reset();
+}
+
+void GenerationSession::prefill(const tensor::MatrixF& prefix,
+                                const tensor::MatrixF& memory,
+                                tensor::MatrixF& states, StageGate* gate) {
+  const ref::ModelConfig& cfg = model_->config;
+  if (prefix.cols() != cfg.d_model || memory.cols() != cfg.d_model) {
+    throw std::invalid_argument("prefill: width mismatch");
+  }
+  if (prefix.rows() == 0 || prefix.rows() > kv_.capacity()) {
+    throw std::invalid_argument("prefill: bad prefix length");
+  }
+  if (memory.rows() == 0 || memory.rows() > kv_.memory_capacity()) {
+    throw std::invalid_argument("prefill: bad memory length");
+  }
+  kv_.begin_sequence(memory.rows());
+
+  // One-time cross K/V projection of the quantized encoder memory — the
+  // work the full-recompute path redoes on every autoregressive step.
+  const auto m = ws_.mark();
+  auto mem_q = ws_.matrix_i8(memory.rows(), memory.cols());
+  numeric::Quantizer quant(8, true);
+  quant.set_scale(model_->memory_scale);
+  quant.quantize(memory.flat(), mem_q.flat());
+
+  const LayerOpContext ctx{.ws = ws_,
+                           .ts_mha = config_->synth.ts_mha,
+                           .ts_ffn = config_->synth.ts_ffn,
+                           .activation = cfg.activation,
+                           .stats = stats_,
+                           .gemm_pool = tensor::qgemm_default_pool()};
+  {
+    // The projections run on the MHA-module (QKV/projection) engines.
+    const StageScope scope(gate, Stage::kMha);
+    for (size_t li = 0; li < model_->layers.size(); ++li) {
+      fill_cross_kv_cache(ctx,
+                          decoder_cross_attention_desc(model_->layers[li]),
+                          mem_q, kv_.layer(li));
+    }
+  }
+  ws_.rewind(m);
+
+  run_rows(prefix, states, gate, stats_);
+}
+
+void GenerationSession::decode_step(const tensor::MatrixF& token,
+                                    tensor::MatrixF& state,
+                                    StageGate* gate) {
+  if (kv_.memory_len() == 0) {
+    throw std::logic_error("decode_step: prefill() a sequence first");
+  }
+  if (token.rows() != 1 || token.cols() != model_->config.d_model) {
+    throw std::invalid_argument("decode_step: token must be 1 x d_model");
+  }
+  if (kv_.len() >= kv_.capacity()) {
+    throw std::invalid_argument("decode_step: target capacity reached");
+  }
+  run_rows(token, state, gate, stats_);
+}
+
+// --- GenerationScheduler -----------------------------------------------------
+
+namespace {
+
+/// One in-flight sequence bound to a slot's session: prefill at
+/// admission, one decode step per scheduler step, callback-driven stop.
+struct ActiveSeq {
+  const GenerationRequest* req = nullptr;
+  GenerationResult* result = nullptr;
+  tensor::MatrixF next;   // next token embedding (from the callback)
+  tensor::MatrixF state;  // last decode output (1 x d)
+  bool done = false;
+
+  void admit(GenerationSession& session, StageGate* gate) {
+    tensor::MatrixF prefix_states;
+    session.prefill(req->prefix, *req->memory, prefix_states, gate);
+    const size_t p = prefix_states.rows();
+    const size_t d = prefix_states.cols();
+    result->states = tensor::MatrixF(p + req->max_new_tokens, d);
+    std::copy(prefix_states.flat().begin(), prefix_states.flat().end(),
+              result->states.flat().begin());
+    result->steps = 0;
+    done = req->max_new_tokens == 0 ||
+           !req->next_token(prefix_states.row(p - 1), next);
+  }
+
+  void step(GenerationSession& session, StageGate* gate) {
+    session.decode_step(next, state, gate);
+    const size_t row = req->prefix.rows() + result->steps;
+    std::copy(state.row(0).begin(), state.row(0).end(),
+              result->states.row(row).begin());
+    ++result->steps;
+    done = result->steps >= req->max_new_tokens ||
+           !req->next_token(state.row(0), next);
+  }
+
+  void finalize() {
+    const size_t rows = req->prefix.rows() + result->steps;
+    if (result->states.rows() != rows) {
+      result->states = result->states.slice_rows(0, rows);
+    }
+  }
+};
+
+void validate_request(const GenerationRequest& r,
+                      const ref::ModelConfig& cfg,
+                      const hw::SynthParams& synth) {
+  if (r.memory == nullptr) {
+    throw std::invalid_argument("generation request: memory missing");
+  }
+  if (r.prefix.rows() == 0 || r.prefix.cols() != cfg.d_model) {
+    throw std::invalid_argument("generation request: bad prefix shape");
+  }
+  if (r.prefix.rows() + r.max_new_tokens > cfg.seq_len) {
+    throw std::invalid_argument(
+        "generation request: prefix + max_new_tokens exceeds seq_len");
+  }
+  if (r.memory->rows() == 0 || r.memory->rows() > synth.max_seq_len ||
+      r.memory->cols() != cfg.d_model) {
+    throw std::invalid_argument("generation request: bad memory shape");
+  }
+  if (r.max_new_tokens > 0 && !r.next_token) {
+    throw std::invalid_argument("generation request: next_token missing");
+  }
+}
+
+/// Deterministic round-robin step loop: admit pending requests into free
+/// slots, advance every active sequence one token, retire finished ones —
+/// the textbook continuous-batching schedule, with per-step bookkeeping.
+void run_stepped(const accel::AccelConfig& config,
+                 const accel::QuantizedDecoder& model,
+                 const std::vector<GenerationRequest>& requests,
+                 size_t slot_count, std::vector<GenerationResult>& results,
+                 GenerationRunStats& stats) {
+  const size_t slots = std::min(slot_count, requests.size());
+  std::vector<std::unique_ptr<GenerationSession>> sessions;
+  sessions.reserve(slots);
+  for (size_t s = 0; s < slots; ++s) {
+    sessions.push_back(std::make_unique<GenerationSession>(config, model));
+  }
+  // Sessions (and their worst-case arena warm-ups) are up; time only the
+  // serving work itself.
+  util::Stopwatch watch;
+
+  std::vector<ActiveSeq> seats(slots);
+  size_t pending = 0;
+  uint32_t in_flight = 0;
+  uint32_t step = 0;
+  while (pending < requests.size() || in_flight > 0) {
+    // Admit in request order into the lowest free seats. A retiring
+    // sequence freed its seat last step, so short sequences hand their
+    // slot to the queue while long ones keep decoding.
+    for (size_t s = 0; s < slots && pending < requests.size(); ++s) {
+      if (seats[s].req != nullptr) continue;
+      seats[s] = ActiveSeq{};
+      seats[s].req = &requests[pending];
+      seats[s].result = &results[pending];
+      seats[s].result->admitted_at = step;
+      ++pending;
+      ++in_flight;
+      ++stats.prefills;
+      seats[s].admit(*sessions[s], nullptr);
+    }
+    stats.max_active = std::max(stats.max_active, in_flight);
+
+    // One decode step for every active sequence.
+    for (size_t s = 0; s < slots; ++s) {
+      if (seats[s].req != nullptr && !seats[s].done) {
+        seats[s].step(*sessions[s], nullptr);
+        ++stats.decode_steps;
+      }
+    }
+    // Retire finished sequences, freeing their seats for next step.
+    for (size_t s = 0; s < slots; ++s) {
+      if (seats[s].req != nullptr && seats[s].done) {
+        seats[s].result->retired_at = step;
+        seats[s].finalize();
+        seats[s] = ActiveSeq{};
+        --in_flight;
+      }
+    }
+    ++step;
+  }
+  stats.scheduler_steps = step;
+  stats.wall_ms = watch.milliseconds();
+}
+
+/// Worker-thread continuous batching: each worker owns a session (one
+/// slot), drains the request queue sequence-by-sequence, and its
+/// per-layer stages interleave with other workers' through the MHA/FFN
+/// module semaphores. A finishing sequence immediately frees its worker
+/// for the next pending request — no batch barrier.
+void run_threaded(const accel::AccelConfig& config,
+                  const accel::QuantizedDecoder& model,
+                  const std::vector<GenerationRequest>& requests,
+                  const GenerationSchedulerOptions& opts,
+                  std::vector<GenerationResult>& results,
+                  GenerationRunStats& stats) {
+  const size_t workers =
+      std::min({opts.threads, opts.slots, requests.size()});
+  const auto slot_width = [&](uint32_t requested) {
+    return requested > 0 ? requested : static_cast<uint32_t>(workers);
+  };
+  ModuleSlots mha_slots(slot_width(opts.mha_slots));
+  ModuleSlots ffn_slots(slot_width(opts.ffn_slots));
+
+  // One session per worker, constructed (and arena-warmed) before the
+  // clock starts so wall_ms measures serving work only.
+  std::vector<std::unique_ptr<GenerationSession>> sessions;
+  sessions.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    sessions.push_back(std::make_unique<GenerationSession>(config, model));
+  }
+  util::Stopwatch watch;
+
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> prefills{0};
+  std::atomic<uint64_t> decode_steps{0};
+  std::atomic<uint32_t> active{0};
+  std::atomic<uint32_t> max_active{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        GenerationSession& session = *sessions[w];
+        ModuleGate gate(mha_slots, ffn_slots);
+        while (true) {
+          const size_t i = next.fetch_add(1);
+          if (i >= requests.size()) break;
+          const uint32_t now = active.fetch_add(1) + 1;
+          uint32_t seen = max_active.load();
+          while (seen < now &&
+                 !max_active.compare_exchange_weak(seen, now)) {
+          }
+          ActiveSeq seq;
+          seq.req = &requests[i];
+          seq.result = &results[i];
+          seq.admit(session, &gate);
+          ++prefills;
+          while (!seq.done) {
+            seq.step(session, &gate);
+            ++decode_steps;
+          }
+          seq.finalize();
+          active.fetch_sub(1);
+        }
+      } catch (...) {
+        const std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  stats.prefills = prefills.load();
+  stats.decode_steps = decode_steps.load();
+  stats.max_active = max_active.load();
+  stats.scheduler_steps = 0;  // no global step loop in threaded mode
+  stats.wall_ms = watch.milliseconds();
+}
+
+}  // namespace
+
+GenerationScheduler::GenerationScheduler(accel::AccelConfig config,
+                                         accel::QuantizedDecoder model)
+    : config_(std::move(config)), model_(std::move(model)) {
+  config_.validate();
+  accel::validate_runtime(config_.synth, model_.config);
+}
+
+std::vector<GenerationResult> GenerationScheduler::run(
+    const std::vector<GenerationRequest>& requests,
+    const GenerationSchedulerOptions& opts) {
+  if (opts.slots == 0) {
+    throw std::invalid_argument("GenerationScheduler: zero slots");
+  }
+  if (opts.threads == 0) {
+    throw std::invalid_argument("GenerationScheduler: zero threads");
+  }
+  for (const GenerationRequest& r : requests) {
+    validate_request(r, model_.config, config_.synth);
+  }
+
+  std::vector<GenerationResult> results(requests.size());
+  last_run_ = GenerationRunStats{};
+  if (requests.empty()) return results;
+
+  if (opts.threads == 1) {
+    run_stepped(config_, model_, requests, opts.slots, results, last_run_);
+  } else {
+    run_threaded(config_, model_, requests, opts, results, last_run_);
+  }
+  return results;
+}
+
+}  // namespace protea::runtime

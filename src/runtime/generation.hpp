@@ -1,0 +1,166 @@
+// KV-cached incremental decoding + continuous-batching generation engine.
+//
+// The full-recompute decoder path reruns the whole target prefix on every
+// autoregressive step, so emitting T tokens costs O(T^2) total GEMM work.
+// This layer makes decoding incremental:
+//
+//   * GenerationSession — per-stream decoder context: a private
+//     WorkspaceArena + KvCache. prefill() projects the encoder memory
+//     into every layer's cross K/V cache once and runs the prompt prefix
+//     through the stack (appending self K/V); decode_step() then runs ONE
+//     new row per call, attending over the cached prefix — O(len)
+//     attention work and zero heap allocations in steady state (the
+//     constructor warms the arena at the worst-case step shape, pinned by
+//     an allocation-counting test). The cached path is bit-identical to
+//     the full-recompute forward: int32 accumulation is exact and every
+//     op is row-wise.
+//
+//   * GenerationScheduler — step-level continuous batching. Sequences are
+//     admitted into a fixed number of slots and retired the step they
+//     finish, so a short sequence frees its slot for the next pending
+//     request while long ones keep decoding — no batch barrier. threads=1
+//     runs the deterministic round-robin step loop (admit -> step every
+//     active sequence -> retire); threads>1 runs slots on worker threads
+//     whose per-layer stages interleave through the MHA/FFN module-slot
+//     semaphores (runtime/module_gate.hpp), the same overlap the batch
+//     scheduler executes for encoder forwards.
+//
+// Token policy (greedy argmax, sampling, beam bookkeeping) stays with the
+// caller: requests carry a next_token callback mapping the newest output
+// state to the next input embedding, so the engine is vocabulary-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "accel/accel_config.hpp"
+#include "accel/decoder_model.hpp"
+#include "accel/engines.hpp"
+#include "runtime/kv_cache.hpp"
+#include "runtime/layer_ops.hpp"
+#include "runtime/workspace_arena.hpp"
+#include "tensor/matrix.hpp"
+
+namespace protea::runtime {
+
+class GenerationSession {
+ public:
+  /// Binds to caller-owned config + model (both must outlive the
+  /// session). Sizes the KV cache at the synthesized maxima and warms the
+  /// workspace arena with one worst-case decode step, so every real
+  /// decode_step() — at any cached length — runs without heap
+  /// allocations. `stats` optionally redirects MAC accounting to an
+  /// external counter (the accel wrapper's).
+  GenerationSession(const accel::AccelConfig& config,
+                    const accel::QuantizedDecoder& model,
+                    accel::EngineStats* stats = nullptr);
+
+  /// Begins a sequence: projects the quantized encoder memory into every
+  /// layer's cross K/V cache (the one-time cost the full-recompute path
+  /// pays per step) and runs the whole prefix through the stack with self
+  /// K/V appended. `states` receives the (prefix.rows() x d) dequantized
+  /// outputs; bit-identical to forward(prefix, memory).
+  void prefill(const tensor::MatrixF& prefix, const tensor::MatrixF& memory,
+               tensor::MatrixF& states, StageGate* gate = nullptr);
+
+  /// One incremental step: appends `token` (1 x d) at the current
+  /// position and attends over the cached prefix. `state` receives the
+  /// (1 x d) output — bit-identical to the last row of a full-recompute
+  /// forward over the same prefix. Zero heap allocations when `state` is
+  /// already (1 x d).
+  void decode_step(const tensor::MatrixF& token, tensor::MatrixF& state,
+                   StageGate* gate = nullptr);
+
+  /// Target rows cached so far (the next step decodes this position).
+  size_t position() const { return kv_.len(); }
+  /// Maximum target rows (the model's programmed seq_len).
+  size_t capacity() const { return kv_.capacity(); }
+
+  const accel::QuantizedDecoder& model() const { return *model_; }
+  const accel::EngineStats& stats() const { return *stats_; }
+  const KvCache& cache() const { return kv_; }
+  const WorkspaceArena& workspace() const { return ws_; }
+
+ private:
+  /// Shared stack walker: quantizes `rows` at the first layer's input
+  /// scale, runs them through every decoder layer with K/V appended at
+  /// the current position, advances the cache and dequantizes into
+  /// `states`.
+  void run_rows(const tensor::MatrixF& rows, tensor::MatrixF& states,
+                StageGate* gate, accel::EngineStats* stats);
+
+  /// Sizes the arena at the worst-case decode step (full cache, longest
+  /// memory) so later steps never grow it.
+  void warm();
+
+  const accel::AccelConfig* config_;
+  const accel::QuantizedDecoder* model_;
+  KvCache kv_;
+  WorkspaceArena ws_;
+  accel::EngineStats own_stats_;
+  accel::EngineStats* stats_;
+};
+
+/// One generation request. `memory` is the caller-owned encoder output;
+/// `prefix` the prompt embeddings (>= 1 row, BOS included). After the
+/// prefill and after every decode step, `next_token` maps the newest
+/// output state to the next input embedding (written into `next`,
+/// 1 x d_model) — return false to finish early (EOS). Must be
+/// thread-safe when the scheduler runs threaded.
+struct GenerationRequest {
+  tensor::MatrixF prefix;
+  const tensor::MatrixF* memory = nullptr;
+  uint32_t max_new_tokens = 0;
+  std::function<bool(std::span<const float> state, tensor::MatrixF& next)>
+      next_token;
+};
+
+struct GenerationResult {
+  /// (prefix rows + steps) x d output states, in position order.
+  tensor::MatrixF states;
+  uint32_t steps = 0;        // decode steps executed
+  uint32_t admitted_at = 0;  // scheduler step of admission (stepped mode)
+  uint32_t retired_at = 0;   // scheduler step of retirement (stepped mode)
+};
+
+struct GenerationSchedulerOptions {
+  size_t slots = 4;        // concurrent sequences (live sessions)
+  size_t threads = 1;      // 1 = deterministic round-robin step loop
+  uint32_t mha_slots = 0;  // module semaphore widths (0 -> worker count)
+  uint32_t ffn_slots = 0;
+};
+
+struct GenerationRunStats {
+  uint64_t prefills = 0;
+  uint64_t decode_steps = 0;     // across all sequences
+  uint64_t scheduler_steps = 0;  // step-loop iterations (stepped mode)
+  uint32_t max_active = 0;       // peak concurrently-active sequences
+  double wall_ms = 0.0;
+};
+
+class GenerationScheduler {
+ public:
+  /// Takes ownership of the model (shared read-only by all slots).
+  GenerationScheduler(accel::AccelConfig config,
+                      accel::QuantizedDecoder model);
+
+  /// Runs every request to completion with continuous batching across
+  /// `opts.slots` sessions. Outputs are bit-identical for any slot,
+  /// thread or module-slot count (the int8 datapath is exact).
+  std::vector<GenerationResult> run(
+      const std::vector<GenerationRequest>& requests,
+      const GenerationSchedulerOptions& opts = {});
+
+  const GenerationRunStats& last_run() const { return last_run_; }
+  const accel::QuantizedDecoder& model() const { return model_; }
+  const accel::AccelConfig& config() const { return config_; }
+
+ private:
+  accel::AccelConfig config_;
+  accel::QuantizedDecoder model_;
+  GenerationRunStats last_run_;
+};
+
+}  // namespace protea::runtime

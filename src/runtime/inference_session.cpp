@@ -9,40 +9,6 @@
 
 namespace protea::runtime {
 
-namespace {
-
-/// RAII stage bracket: releases the module slot even when the stage
-/// throws (a leaked slot would deadlock every other scheduler worker).
-class StageScope {
- public:
-  StageScope(StageGate* gate, Stage stage) : gate_(gate), stage_(stage) {
-    if (gate_ != nullptr) gate_->enter(stage_);
-  }
-  ~StageScope() {
-    if (gate_ != nullptr) gate_->exit(stage_);
-  }
-  StageScope(const StageScope&) = delete;
-  StageScope& operator=(const StageScope&) = delete;
-
- private:
-  StageGate* gate_;
-  Stage stage_;
-};
-
-/// Exact power-of-two realignment between a layer's calibrated input
-/// scale and the previous layer's output scale (in place, int8 domain).
-void rescale_inplace(tensor::MatrixViewI8 x, double from_scale,
-                     double to_scale) {
-  const double ratio = from_scale / to_scale;
-  for (int8_t& q : x.flat()) {
-    const auto rescaled =
-        static_cast<int32_t>(std::llround(static_cast<double>(q) * ratio));
-    q = static_cast<int8_t>(std::clamp(rescaled, -128, 127));
-  }
-}
-
-}  // namespace
-
 void encoder_forward_into(const accel::QuantizedModel& qm,
                           const ref::ModelConfig& program,
                           const accel::AccelConfig& config,
@@ -86,7 +52,7 @@ void encoder_forward_into(const accel::QuantizedModel& qm,
     // Between layers the calibrated scales line up (ln2 of layer l is the
     // input of layer l+1); realign with an exact shift when they differ.
     if (li > 0 && layer.scales.x != out_scale) {
-      rescale_inplace(x, out_scale, layer.scales.x);
+      rescale_rows_inplace(x, out_scale, layer.scales.x);
     }
 
     std::vector<HeadTrace>* head_traces =
@@ -159,7 +125,7 @@ void decoder_forward_into(const accel::QuantizedDecoder& qd,
   double out_scale = qd.layers.front().scales.x;
   for (const accel::QDecoderLayer& layer : qd.layers) {
     if (layer.scales.x != out_scale) {
-      rescale_inplace(x, out_scale, layer.scales.x);
+      rescale_rows_inplace(x, out_scale, layer.scales.x);
     }
     run_decoder_layer(ctx, layer, x, mem_q, y);
     std::swap(x, y);

@@ -25,20 +25,8 @@
 
 namespace protea::runtime {
 
-/// The paper's two physical engine groups (Fig. 3/4). A layer occupies
-/// the MHA module, then the FFN module; the scheduler overlaps stages of
-/// different sequences across the two.
-enum class Stage { kMha, kFfn };
-
-/// Scheduler hook bracketing each stage of the unified forward loop.
-/// Virtual dispatch (not std::function) so the hot path stays
-/// allocation-free.
-class StageGate {
- public:
-  virtual ~StageGate() = default;
-  virtual void enter(Stage stage) = 0;
-  virtual void exit(Stage stage) = 0;
-};
+// Stage, StageGate and StageScope (the MHA/FFN module-stage hooks) live
+// in runtime/layer_ops.hpp, next to the blocks they bracket.
 
 /// Runs the quantized encoder datapath (float in -> int8 engines -> float
 /// out) for `program` layers/seq_len with all intermediates in `ws`.

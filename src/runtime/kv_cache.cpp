@@ -1,0 +1,67 @@
+#include "runtime/kv_cache.hpp"
+
+#include <stdexcept>
+
+namespace protea::runtime {
+
+void KvCache::configure(size_t num_layers, size_t num_heads,
+                        size_t head_dim, size_t capacity,
+                        size_t memory_capacity) {
+  if (num_layers == 0 || num_heads == 0 || head_dim == 0 || capacity == 0 ||
+      memory_capacity == 0) {
+    throw std::invalid_argument("KvCache::configure: zero dimension");
+  }
+  if (configured() && layers_.size() == num_layers &&
+      num_heads_ == num_heads && head_dim_ == head_dim &&
+      capacity_ == capacity && memory_capacity_ == memory_capacity) {
+    return;  // identical geometry: keep storage and sequence state
+  }
+
+  layers_.clear();
+  arena_.reset();  // no live views by contract once layers_ is cleared
+  num_heads_ = num_heads;
+  head_dim_ = head_dim;
+  capacity_ = capacity;
+  memory_capacity_ = memory_capacity;
+  len_ = 0;
+  memory_len_ = 0;
+
+  layers_.resize(num_layers);
+  for (LayerKv& layer : layers_) {
+    layer.self_k.reserve(num_heads);
+    layer.self_v.reserve(num_heads);
+    layer.cross_k.reserve(num_heads);
+    layer.cross_v.reserve(num_heads);
+    for (size_t h = 0; h < num_heads; ++h) {
+      layer.self_k.push_back(arena_.matrix_i8(capacity, head_dim));
+      layer.self_v.push_back(arena_.matrix_i8(capacity, head_dim));
+      layer.cross_k.push_back(arena_.matrix_i8(memory_capacity, head_dim));
+      layer.cross_v.push_back(arena_.matrix_i8(memory_capacity, head_dim));
+      layer.self_k.back().fill(0);
+      layer.self_v.back().fill(0);
+      layer.cross_k.back().fill(0);
+      layer.cross_v.back().fill(0);
+    }
+  }
+}
+
+void KvCache::begin_sequence(size_t memory_len) {
+  if (!configured()) {
+    throw std::logic_error("KvCache::begin_sequence: not configured");
+  }
+  if (memory_len > memory_capacity_) {
+    throw std::invalid_argument(
+        "KvCache::begin_sequence: memory exceeds capacity");
+  }
+  len_ = 0;
+  memory_len_ = memory_len;
+}
+
+void KvCache::append(size_t n) {
+  if (len_ + n > capacity_) {
+    throw std::invalid_argument("KvCache::append: capacity exceeded");
+  }
+  len_ += n;
+}
+
+}  // namespace protea::runtime

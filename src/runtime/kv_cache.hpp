@@ -1,0 +1,85 @@
+// Arena-backed K/V caches for incremental (KV-cached) decoding.
+//
+// A decoder layer's attention state during autoregressive generation is
+// (a) the self-attention K/V rows of every already-processed target
+// position — append-only, one row per decode step — and (b) the
+// cross-attention K/V projections of the encoder memory, computed once at
+// prefill and read-only afterwards. Recomputing either on every step is
+// what makes naive generation quadratic; caching both makes step t cost
+// O(t) attention work instead of O(t^2).
+//
+// Storage is one private WorkspaceArena sized at configure(): every view
+// is carved out up front at the synthesized capacities, so per-step
+// bookkeeping is two integers (len, memory_len) and steady-state decoding
+// never touches the allocator. begin_sequence() recycles the same storage
+// for the next request — the property the continuous-batching scheduler
+// relies on when a slot retires one sequence and admits another.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/workspace_arena.hpp"
+#include "tensor/matrix.hpp"
+
+namespace protea::runtime {
+
+/// One decoder layer's cached tensors, per attention head.
+struct LayerKv {
+  /// (capacity x head_dim) each; rows [0, len) hold cached self K/V.
+  std::vector<tensor::MatrixViewI8> self_k, self_v;
+  /// (memory_capacity x head_dim) each; rows [0, memory_len) hold the
+  /// encoder memory projected through this layer's cross K/V weights.
+  std::vector<tensor::MatrixViewI8> cross_k, cross_v;
+};
+
+class KvCache {
+ public:
+  KvCache() = default;
+
+  /// Carves all per-layer/per-head views out of the private arena and
+  /// zero-fills them (so a warmup pass over an empty cache reads defined
+  /// bytes). Reconfiguring with identical geometry is a no-op.
+  void configure(size_t num_layers, size_t num_heads, size_t head_dim,
+                 size_t capacity, size_t memory_capacity);
+  bool configured() const { return !layers_.empty(); }
+
+  size_t num_layers() const { return layers_.size(); }
+  size_t num_heads() const { return num_heads_; }
+  size_t head_dim() const { return head_dim_; }
+  /// Maximum target rows / encoder memory rows the views hold.
+  size_t capacity() const { return capacity_; }
+  size_t memory_capacity() const { return memory_capacity_; }
+
+  /// Cached target rows (valid self K/V rows).
+  size_t len() const { return len_; }
+  /// Valid cross-projection rows for the current sequence.
+  size_t memory_len() const { return memory_len_; }
+
+  /// Starts a new sequence in the same storage: drops all cached target
+  /// rows and records the memory length the cross caches will be
+  /// prefilled for. Never allocates.
+  void begin_sequence(size_t memory_len);
+
+  /// Marks `n` more target rows as cached, after a full stack pass has
+  /// appended them to every layer's self K/V views.
+  void append(size_t n);
+
+  LayerKv& layer(size_t i) { return layers_.at(i); }
+  const LayerKv& layer(size_t i) const { return layers_.at(i); }
+
+  /// Arena bytes backing the cache storage.
+  size_t bytes() const { return arena_.used(); }
+
+ private:
+  WorkspaceArena arena_;
+  std::vector<LayerKv> layers_;
+  size_t num_heads_ = 0;
+  size_t head_dim_ = 0;
+  size_t capacity_ = 0;
+  size_t memory_capacity_ = 0;
+  size_t len_ = 0;
+  size_t memory_len_ = 0;
+};
+
+}  // namespace protea::runtime

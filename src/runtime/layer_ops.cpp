@@ -1,11 +1,106 @@
 #include "runtime/layer_ops.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "accel/layernorm_unit.hpp"
 #include "accel/softmax_unit.hpp"
 
 namespace protea::runtime {
+namespace {
+
+/// Non-owning view of the first `rows` rows of a cache matrix (the cached
+/// prefix is contiguous in the row-major (capacity x head_dim) storage).
+tensor::MatrixViewI8 prefix_rows(tensor::MatrixViewI8 m, size_t rows) {
+  return {m.data(), rows, m.cols()};
+}
+
+/// Mutable view of cache rows [pos, pos+n) — where a step's new K/V land.
+tensor::MatrixViewI8 append_rows(tensor::MatrixViewI8 m, size_t pos,
+                                 size_t n) {
+  return {m.data() + pos * m.cols(), n, m.cols()};
+}
+
+/// Decoder-layer descriptor builders for the projection/FFN blocks,
+/// shared by the full-recompute and KV-cached layer paths (the attention
+/// twins are public, see layer_ops.hpp).
+ProjectionLnDesc decoder_self_projection_desc(
+    const accel::QDecoderLayer& layer) {
+  const accel::DecoderLayerScales& s = layer.scales;
+  ProjectionLnDesc proj;
+  proj.w = layer.wo;
+  proj.bias = layer.bo;
+  proj.rq = &layer.rq_proj;
+  proj.gamma = layer.ln1_gamma;
+  proj.beta = layer.ln1_beta;
+  proj.s_proj = s.proj;
+  proj.s_res = s.x;
+  proj.s_out = s.ln1;
+  return proj;
+}
+
+ProjectionLnDesc decoder_cross_projection_desc(
+    const accel::QDecoderLayer& layer) {
+  const accel::DecoderLayerScales& s = layer.scales;
+  ProjectionLnDesc proj;
+  proj.w = layer.co;
+  proj.bias = layer.cbo;
+  proj.rq = &layer.rq_cproj;
+  proj.gamma = layer.ln2_gamma;
+  proj.beta = layer.ln2_beta;
+  proj.s_proj = s.cproj;
+  proj.s_res = s.ln1;
+  proj.s_out = s.ln2;
+  return proj;
+}
+
+FfnBlockDesc decoder_ffn_desc(const accel::QDecoderLayer& layer) {
+  const accel::DecoderLayerScales& s = layer.scales;
+  FfnBlockDesc ffn;
+  ffn.w1 = layer.w1;
+  ffn.b1 = layer.b1;
+  ffn.rq_hidden = &layer.rq_hidden;
+  ffn.s_hidden = s.hidden;
+  ffn.w2 = layer.w2;
+  ffn.b2 = layer.b2;
+  ffn.rq_ffn_out = &layer.rq_ffn_out;
+  ffn.s_ffn_out = s.ffn_out;
+  ffn.gamma = layer.ln3_gamma;
+  ffn.beta = layer.ln3_beta;
+  ffn.s_in = s.ln2;
+  ffn.s_out = s.ln3;
+  return ffn;
+}
+
+}  // namespace
+
+AttentionBlockDesc decoder_self_attention_desc(
+    const accel::QDecoderLayer& layer) {
+  AttentionBlockDesc desc;
+  desc.self_heads = layer.self_heads;
+  desc.rq_q = &layer.rq_q;
+  desc.rq_k = &layer.rq_k;
+  desc.rq_v = &layer.rq_v;
+  desc.rq_logit = &layer.rq_logit;
+  desc.rq_sv = &layer.rq_sv;
+  desc.logit_scale = layer.scales.logit;
+  desc.causal = true;
+  return desc;
+}
+
+AttentionBlockDesc decoder_cross_attention_desc(
+    const accel::QDecoderLayer& layer) {
+  AttentionBlockDesc desc;
+  desc.cross_heads = layer.cross_heads;
+  desc.rq_q = &layer.rq_cq;
+  desc.rq_k = &layer.rq_ck;
+  desc.rq_v = &layer.rq_cv;
+  desc.rq_logit = &layer.rq_clogit;
+  desc.rq_sv = &layer.rq_csv;
+  desc.logit_scale = layer.scales.clogit;
+  return desc;
+}
 
 void run_attention_block(const LayerOpContext& ctx,
                          const AttentionBlockDesc& desc,
@@ -227,84 +322,224 @@ void run_decoder_layer(const LayerOpContext& ctx,
                        tensor::ConstMatrixViewI8 x,
                        tensor::ConstMatrixViewI8 memory,
                        tensor::MatrixViewI8 out) {
-  const accel::DecoderLayerScales& s = layer.scales;
   const size_t t_len = x.rows();
   const size_t d = x.cols();
   const auto m = ctx.ws.mark();
 
   // Masked self-attention on the QKV/QK/SV engines + projection LN.
   auto self_concat = ctx.ws.matrix_i8(t_len, d);
-  {
-    AttentionBlockDesc desc;
-    desc.self_heads = layer.self_heads;
-    desc.rq_q = &layer.rq_q;
-    desc.rq_k = &layer.rq_k;
-    desc.rq_v = &layer.rq_v;
-    desc.rq_logit = &layer.rq_logit;
-    desc.rq_sv = &layer.rq_sv;
-    desc.logit_scale = s.logit;
-    desc.causal = true;
-    run_attention_block(ctx, desc, x, x, self_concat);
-  }
+  run_attention_block(ctx, decoder_self_attention_desc(layer), x, x,
+                      self_concat);
   auto x1 = ctx.ws.matrix_i8(t_len, d);
-  {
-    ProjectionLnDesc proj;
-    proj.w = layer.wo;
-    proj.bias = layer.bo;
-    proj.rq = &layer.rq_proj;
-    proj.gamma = layer.ln1_gamma;
-    proj.beta = layer.ln1_beta;
-    proj.s_proj = s.proj;
-    proj.s_res = s.x;
-    proj.s_out = s.ln1;
-    run_projection_ln_block(ctx, proj, self_concat, x, x1);
-  }
+  run_projection_ln_block(ctx, decoder_self_projection_desc(layer),
+                          self_concat, x, x1);
 
   // Cross-attention: projections sequenced on the same engines.
   auto cross_concat = ctx.ws.matrix_i8(t_len, d);
-  {
-    AttentionBlockDesc desc;
-    desc.cross_heads = layer.cross_heads;
-    desc.rq_q = &layer.rq_cq;
-    desc.rq_k = &layer.rq_ck;
-    desc.rq_v = &layer.rq_cv;
-    desc.rq_logit = &layer.rq_clogit;
-    desc.rq_sv = &layer.rq_csv;
-    desc.logit_scale = s.clogit;
-    run_attention_block(ctx, desc, x1, memory, cross_concat);
-  }
+  run_attention_block(ctx, decoder_cross_attention_desc(layer), x1,
+                      memory, cross_concat);
   auto x2 = ctx.ws.matrix_i8(t_len, d);
-  {
-    ProjectionLnDesc proj;
-    proj.w = layer.co;
-    proj.bias = layer.cbo;
-    proj.rq = &layer.rq_cproj;
-    proj.gamma = layer.ln2_gamma;
-    proj.beta = layer.ln2_beta;
-    proj.s_proj = s.cproj;
-    proj.s_res = s.ln1;
-    proj.s_out = s.ln2;
-    run_projection_ln_block(ctx, proj, cross_concat, x1, x2);
-  }
+  run_projection_ln_block(ctx, decoder_cross_projection_desc(layer),
+                          cross_concat, x1, x2);
 
   // FFN with the third residual LN.
+  run_ffn_block(ctx, decoder_ffn_desc(layer), x2, out);
+  ctx.ws.rewind(m);
+}
+
+// --- KV-cached (incremental) variants ---------------------------------------
+
+void run_self_attention_cached(const LayerOpContext& ctx,
+                               const AttentionBlockDesc& desc,
+                               tensor::ConstMatrixViewI8 x, LayerKv& kv,
+                               size_t pos, tensor::MatrixViewI8 concat) {
+  if (desc.self_heads.empty()) {
+    throw std::invalid_argument(
+        "run_self_attention_cached: self heads required");
+  }
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  const size_t h = desc.self_heads.size();
+  const size_t dk = desc.self_heads[0].wqt.rows();
+  if (dk * h != d) {
+    throw std::invalid_argument(
+        "run_self_attention_cached: head dims inconsistent");
+  }
+  if (kv.self_k.size() != h || kv.self_k[0].cols() != dk) {
+    throw std::invalid_argument(
+        "run_self_attention_cached: cache geometry mismatch");
+  }
+  if (pos + n > kv.self_k[0].rows()) {
+    throw std::invalid_argument(
+        "run_self_attention_cached: cache capacity exceeded");
+  }
+  if (concat.rows() != n || concat.cols() != d) {
+    throw std::invalid_argument(
+        "run_self_attention_cached: concat shape mismatch");
+  }
+  const size_t total = pos + n;
+
+  const accel::SoftmaxUnit softmax(desc.logit_scale);
+  for (size_t head = 0; head < h; ++head) {
+    const auto m = ctx.ws.mark();
+    auto q = ctx.ws.matrix_i8(n, dk);
+    // The QKV engine writes the new K/V rows straight into the cache.
+    auto k_new = append_rows(kv.self_k[head], pos, n);
+    auto v_new = append_rows(kv.self_v[head], pos, n);
+    accel::run_qkv_engine(x, desc.self_heads[head], ctx.ts_mha, *desc.rq_q,
+                          *desc.rq_k, *desc.rq_v, q, k_new, v_new, ctx.ws,
+                          ctx.stats, ctx.gemm_pool);
+
+    const tensor::ConstMatrixViewI8 k_all =
+        prefix_rows(kv.self_k[head], total);
+    const tensor::ConstMatrixViewI8 v_all =
+        prefix_rows(kv.self_v[head], total);
+    auto logits = ctx.ws.matrix_i8(n, total);
+    auto weights = ctx.ws.matrix_i8(n, total);
+    auto scores = ctx.ws.matrix_i8(n, dk);
+    accel::run_qk_engine(q, k_all, *desc.rq_logit, logits, ctx.ws,
+                         ctx.stats, ctx.gemm_pool);
+    softmax.run_causal_into(logits, weights, /*row_offset=*/pos);
+    accel::run_sv_engine(weights, v_all, *desc.rq_sv, scores, ctx.ws,
+                         ctx.stats, ctx.gemm_pool);
+
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < dk; ++c) {
+        concat(i, head * dk + c) = scores(i, c);
+      }
+    }
+    ctx.ws.rewind(m);
+  }
+}
+
+void fill_cross_kv_cache(const LayerOpContext& ctx,
+                         const AttentionBlockDesc& desc,
+                         tensor::ConstMatrixViewI8 memory, LayerKv& kv) {
+  if (desc.cross_heads.empty()) {
+    throw std::invalid_argument("fill_cross_kv_cache: cross heads required");
+  }
+  const size_t h = desc.cross_heads.size();
+  const size_t mem_rows = memory.rows();
+  if (kv.cross_k.size() != h || mem_rows > kv.cross_k[0].rows()) {
+    throw std::invalid_argument(
+        "fill_cross_kv_cache: cache geometry mismatch");
+  }
+  for (size_t head = 0; head < h; ++head) {
+    const accel::QCrossHeadWeights& ch = desc.cross_heads[head];
+    accel::run_projection_engine(memory, ch.ckt, ch.cbk, ctx.ts_mha,
+                                 *desc.rq_k,
+                                 append_rows(kv.cross_k[head], 0, mem_rows),
+                                 ctx.ws, ctx.stats, ctx.gemm_pool);
+    accel::run_projection_engine(memory, ch.cvt, ch.cbv, ctx.ts_mha,
+                                 *desc.rq_v,
+                                 append_rows(kv.cross_v[head], 0, mem_rows),
+                                 ctx.ws, ctx.stats, ctx.gemm_pool);
+  }
+}
+
+void run_cross_attention_cached(const LayerOpContext& ctx,
+                                const AttentionBlockDesc& desc,
+                                tensor::ConstMatrixViewI8 x,
+                                const LayerKv& kv, size_t memory_len,
+                                tensor::MatrixViewI8 concat) {
+  if (desc.cross_heads.empty()) {
+    throw std::invalid_argument(
+        "run_cross_attention_cached: cross heads required");
+  }
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  const size_t h = desc.cross_heads.size();
+  const size_t dk = desc.cross_heads[0].cqt.rows();
+  if (dk * h != d || kv.cross_k.size() != h) {
+    throw std::invalid_argument(
+        "run_cross_attention_cached: head dims inconsistent");
+  }
+  if (memory_len == 0 || memory_len > kv.cross_k[0].rows()) {
+    throw std::invalid_argument(
+        "run_cross_attention_cached: bad memory length");
+  }
+  if (concat.rows() != n || concat.cols() != d) {
+    throw std::invalid_argument(
+        "run_cross_attention_cached: concat shape mismatch");
+  }
+
+  const accel::SoftmaxUnit softmax(desc.logit_scale);
+  for (size_t head = 0; head < h; ++head) {
+    const auto m = ctx.ws.mark();
+    auto q = ctx.ws.matrix_i8(n, dk);
+    accel::run_projection_engine(x, desc.cross_heads[head].cqt,
+                                 desc.cross_heads[head].cbq, ctx.ts_mha,
+                                 *desc.rq_q, q, ctx.ws, ctx.stats,
+                                 ctx.gemm_pool);
+    const tensor::ConstMatrixViewI8 k =
+        prefix_rows(kv.cross_k[head], memory_len);
+    const tensor::ConstMatrixViewI8 v =
+        prefix_rows(kv.cross_v[head], memory_len);
+    auto logits = ctx.ws.matrix_i8(n, memory_len);
+    auto weights = ctx.ws.matrix_i8(n, memory_len);
+    auto scores = ctx.ws.matrix_i8(n, dk);
+    accel::run_qk_engine(q, k, *desc.rq_logit, logits, ctx.ws, ctx.stats,
+                         ctx.gemm_pool);
+    softmax.run_into(logits, weights);
+    accel::run_sv_engine(weights, v, *desc.rq_sv, scores, ctx.ws,
+                         ctx.stats, ctx.gemm_pool);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < dk; ++c) {
+        concat(i, head * dk + c) = scores(i, c);
+      }
+    }
+    ctx.ws.rewind(m);
+  }
+}
+
+void run_decoder_layer_cached(const LayerOpContext& ctx,
+                              const accel::QDecoderLayer& layer,
+                              tensor::ConstMatrixViewI8 x, size_t pos,
+                              LayerKv& kv, size_t memory_len,
+                              tensor::MatrixViewI8 out, StageGate* gate) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  const auto m = ctx.ws.mark();
+
+  // Masked self-attention over the cached prefix (MHA-module engines).
+  auto self_concat = ctx.ws.matrix_i8(n, d);
   {
-    FfnBlockDesc ffn;
-    ffn.w1 = layer.w1;
-    ffn.b1 = layer.b1;
-    ffn.rq_hidden = &layer.rq_hidden;
-    ffn.s_hidden = s.hidden;
-    ffn.w2 = layer.w2;
-    ffn.b2 = layer.b2;
-    ffn.rq_ffn_out = &layer.rq_ffn_out;
-    ffn.s_ffn_out = s.ffn_out;
-    ffn.gamma = layer.ln3_gamma;
-    ffn.beta = layer.ln3_beta;
-    ffn.s_in = s.ln2;
-    ffn.s_out = s.ln3;
-    run_ffn_block(ctx, ffn, x2, out);
+    const StageScope scope(gate, Stage::kMha);
+    run_self_attention_cached(ctx, decoder_self_attention_desc(layer), x,
+                              kv, pos, self_concat);
+  }
+  auto x1 = ctx.ws.matrix_i8(n, d);
+  {
+    const StageScope scope(gate, Stage::kFfn);
+    run_projection_ln_block(ctx, decoder_self_projection_desc(layer),
+                            self_concat, x, x1);
+  }
+
+  // Cross-attention over the prefilled memory projections.
+  auto cross_concat = ctx.ws.matrix_i8(n, d);
+  {
+    const StageScope scope(gate, Stage::kMha);
+    run_cross_attention_cached(ctx, decoder_cross_attention_desc(layer),
+                               x1, kv, memory_len, cross_concat);
+  }
+  {
+    const StageScope scope(gate, Stage::kFfn);
+    auto x2 = ctx.ws.matrix_i8(n, d);
+    run_projection_ln_block(ctx, decoder_cross_projection_desc(layer),
+                            cross_concat, x1, x2);
+    run_ffn_block(ctx, decoder_ffn_desc(layer), x2, out);
   }
   ctx.ws.rewind(m);
+}
+
+void rescale_rows_inplace(tensor::MatrixViewI8 x, double from_scale,
+                          double to_scale) {
+  const double ratio = from_scale / to_scale;
+  for (int8_t& q : x.flat()) {
+    const auto rescaled =
+        static_cast<int32_t>(std::llround(static_cast<double>(q) * ratio));
+    q = static_cast<int8_t>(std::clamp(rescaled, -128, 127));
+  }
 }
 
 }  // namespace protea::runtime

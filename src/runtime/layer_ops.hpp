@@ -32,10 +32,44 @@
 #include "accel/engines.hpp"
 #include "accel/quantized_model.hpp"
 #include "ref/model_config.hpp"
+#include "runtime/kv_cache.hpp"
 #include "runtime/workspace_arena.hpp"
 #include "tensor/matrix.hpp"
 
 namespace protea::runtime {
+
+/// The paper's two physical engine groups (Fig. 3/4). A layer occupies
+/// the MHA module, then the FFN module; schedulers overlap stages of
+/// different sequences across the two.
+enum class Stage { kMha, kFfn };
+
+/// Scheduler hook bracketing each stage of the unified forward loop.
+/// Virtual dispatch (not std::function) so the hot path stays
+/// allocation-free.
+class StageGate {
+ public:
+  virtual ~StageGate() = default;
+  virtual void enter(Stage stage) = 0;
+  virtual void exit(Stage stage) = 0;
+};
+
+/// RAII stage bracket: releases the module slot even when the stage
+/// throws (a leaked slot would deadlock every other scheduler worker).
+class StageScope {
+ public:
+  StageScope(StageGate* gate, Stage stage) : gate_(gate), stage_(stage) {
+    if (gate_ != nullptr) gate_->enter(stage_);
+  }
+  ~StageScope() {
+    if (gate_ != nullptr) gate_->exit(stage_);
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  StageGate* gate_;
+  Stage stage_;
+};
 
 /// Per-head intermediates captured when a trace sink is provided
 /// (aliased as AttentionModule::HeadTrace for the module wrapper API).
@@ -170,5 +204,66 @@ void run_decoder_layer(const LayerOpContext& ctx,
                        tensor::ConstMatrixViewI8 x,
                        tensor::ConstMatrixViewI8 memory,
                        tensor::MatrixViewI8 out);
+
+/// Descriptor builders wiring a decoder layer's weights and requant
+/// constants into the attention block shapes. One source of truth shared
+/// by the full-recompute and KV-cached paths (and the prefill's cross
+/// K/V fill), so the scale/requant plumbing cannot drift between them —
+/// drift would silently break the paths' bit-identity guarantee.
+AttentionBlockDesc decoder_self_attention_desc(
+    const accel::QDecoderLayer& layer);
+AttentionBlockDesc decoder_cross_attention_desc(
+    const accel::QDecoderLayer& layer);
+
+// --- KV-cached (incremental) variants ---------------------------------------
+// The same engine sequences, but attention state lives in a KvCache: the
+// self-attention K/V of new rows are appended in place (the QKV engine
+// writes straight into the cache views) and the QK/softmax/SV stages span
+// the cached prefix, so a decode step does O(len) attention work instead
+// of recomputing the whole O(len^2) square. int32 accumulation is exact
+// and every op is row-wise, so the cached path is bit-identical to the
+// full-recompute path — pinned by tests/test_generation.cpp.
+
+/// Masked self-attention over `x` (n new rows at absolute positions
+/// [pos, pos+n)) with K/V appended into `kv` rows [pos, pos+n) and
+/// attention spanning the pos+n cached rows. `desc.self_heads` must be
+/// set; `desc.causal` is implied (row i masks columns > pos+i).
+void run_self_attention_cached(const LayerOpContext& ctx,
+                               const AttentionBlockDesc& desc,
+                               tensor::ConstMatrixViewI8 x, LayerKv& kv,
+                               size_t pos, tensor::MatrixViewI8 concat);
+
+/// One-time prefill: projects the quantized encoder memory through the
+/// layer's cross K/V weights into `kv` rows [0, memory.rows()).
+void fill_cross_kv_cache(const LayerOpContext& ctx,
+                         const AttentionBlockDesc& desc,
+                         tensor::ConstMatrixViewI8 memory, LayerKv& kv);
+
+/// Cross-attention of `x` over the prefilled cross K/V cache (the
+/// per-step work is one Q projection + QK/softmax/SV over memory_len
+/// cached rows; no K/V recomputation). `desc.cross_heads` must be set.
+void run_cross_attention_cached(const LayerOpContext& ctx,
+                                const AttentionBlockDesc& desc,
+                                tensor::ConstMatrixViewI8 x,
+                                const LayerKv& kv, size_t memory_len,
+                                tensor::MatrixViewI8 concat);
+
+/// One decoder layer over cached K/V: appends `x` (n rows at position
+/// `pos`) to the layer's self cache, attends over the cached prefix and
+/// the prefilled cross projections, then projection-LN + FFN. The
+/// optional gate brackets the MHA-module stages (both attentions) and
+/// FFN-module stages (projections + FFN) for the generation scheduler.
+void run_decoder_layer_cached(const LayerOpContext& ctx,
+                              const accel::QDecoderLayer& layer,
+                              tensor::ConstMatrixViewI8 x, size_t pos,
+                              LayerKv& kv, size_t memory_len,
+                              tensor::MatrixViewI8 out,
+                              StageGate* gate = nullptr);
+
+/// Exact power-of-two realignment between a layer's calibrated input
+/// scale and the previous layer's output scale (in place, int8 domain).
+/// Row-wise, so the incremental and full-recompute paths agree bitwise.
+void rescale_rows_inplace(tensor::MatrixViewI8 x, double from_scale,
+                          double to_scale);
 
 }  // namespace protea::runtime

@@ -1,0 +1,67 @@
+// Module-slot semaphores shared by the batched serving scheduler and the
+// continuous-batching generation engine.
+//
+// ProTEA's two processing modules (Fig. 3/4) are physically distinct
+// engine groups, so while the FFN module works on sequence i the MHA
+// module can already process sequence i+1. ModuleSlots is the counting
+// semaphore guarding one module's concurrent stage slots; ModuleGate
+// adapts a pair of them to the StageGate hook the unified forward /
+// decode loops bracket their stages with. slots = 1 per module is the
+// paper's single two-stage accelerator; slots = threads models a
+// deployment replicating the module groups per worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "runtime/layer_ops.hpp"
+
+namespace protea::runtime {
+
+/// Counting semaphore guarding a module's concurrent stage slots.
+class ModuleSlots {
+ public:
+  explicit ModuleSlots(uint32_t count) : count_(count) {}
+
+  void acquire() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return count_ > 0; });
+    --count_;
+  }
+
+  void release() {
+    {
+      const std::lock_guard lock(mutex_);
+      ++count_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  uint32_t count_;
+};
+
+/// Brackets the forward/decode loops' stages with the module semaphores —
+/// this is where the two-stage overlap physically happens: a worker
+/// holding the FFN slot for sequence i does not block another worker
+/// taking the MHA slot for sequence i+1.
+class ModuleGate final : public StageGate {
+ public:
+  ModuleGate(ModuleSlots& mha, ModuleSlots& ffn) : mha_(mha), ffn_(ffn) {}
+
+  void enter(Stage stage) override {
+    (stage == Stage::kMha ? mha_ : ffn_).acquire();
+  }
+  void exit(Stage stage) override {
+    (stage == Stage::kMha ? mha_ : ffn_).release();
+  }
+
+ private:
+  ModuleSlots& mha_;
+  ModuleSlots& ffn_;
+};
+
+}  // namespace protea::runtime

@@ -131,6 +131,62 @@ TEST(EdgeCases, CausalSoftmaxOnSingleToken) {
   EXPECT_EQ(w(0, 0), 127);
 }
 
+TEST(EdgeCases, CausalRowOffsetLengthOneRowIsCertain) {
+  // The cached-prefix mode's degenerate case: a single logit column at
+  // any row offset — the sole visible position takes all the weight.
+  SoftmaxUnit unit(0.05);
+  MatrixI8 logits(1, 1, -33), out(1, 1);
+  for (size_t offset : {0u, 1u, 7u}) {
+    unit.run_causal_into(logits, out, offset);
+    EXPECT_EQ(out(0, 0), 127) << "offset " << offset;
+  }
+}
+
+TEST(EdgeCases, CausalRowOffsetFullPrefixMatchesUnmasked) {
+  // A decode step's single row sits at position row_offset = cols - 1:
+  // every column is visible, so the "mask" is full and the causal mode
+  // must agree with the plain softmax bit for bit.
+  SoftmaxUnit unit(0.05);
+  MatrixI8 logits(1, 9);
+  for (size_t c = 0; c < 9; ++c) {
+    logits(0, c) = static_cast<int8_t>(13 * static_cast<int>(c) - 50);
+  }
+  MatrixI8 causal(1, 9), full(1, 9);
+  unit.run_causal_into(logits, causal, /*row_offset=*/8);
+  unit.run_into(logits, full);
+  EXPECT_EQ(causal, full);
+  // Offsets beyond the width behave identically (valid clamps to cols).
+  unit.run_causal_into(logits, causal, /*row_offset=*/100);
+  EXPECT_EQ(causal, full);
+}
+
+TEST(EdgeCases, CausalRowOffsetMatchesFullSquareRows) {
+  // A multi-row block at offset p must reproduce rows [p, p+n) of the
+  // classic full-square causal softmax — the prefill/decode equivalence
+  // the KV-cached attention path relies on.
+  SoftmaxUnit unit(0.05);
+  const size_t total = 6, n = 2, p = total - n;
+  MatrixI8 square(total, total);
+  for (size_t r = 0; r < total; ++r) {
+    for (size_t c = 0; c < total; ++c) {
+      square(r, c) = static_cast<int8_t>(7 * static_cast<int>(r * total + c) - 60);
+    }
+  }
+  MatrixI8 expected(total, total);
+  unit.run_causal_into(square, expected);
+
+  MatrixI8 tail(n, total), out(n, total);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < total; ++c) tail(r, c) = square(p + r, c);
+  }
+  unit.run_causal_into(tail, out, /*row_offset=*/p);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < total; ++c) {
+      EXPECT_EQ(out(r, c), expected(p + r, c)) << r << "," << c;
+    }
+  }
+}
+
 // --- LayerNorm degenerate rows --------------------------------------------------
 
 TEST(EdgeCases, LayerNormConstantRowIsFinite) {

@@ -12,11 +12,16 @@
 
 #include "accel/accelerator.hpp"
 #include "accel/batch_pipeline.hpp"
+#include "accel/decoder_model.hpp"
 #include "accel/quantized_model.hpp"
+#include "ref/decoder.hpp"
 #include "ref/encoder.hpp"
+#include "ref/weights.hpp"
 #include "runtime/batch_scheduler.hpp"
+#include "runtime/generation.hpp"
 #include "runtime/inference_session.hpp"
 #include "runtime/workspace_arena.hpp"
+#include "util/rng.hpp"
 
 // --- global allocation counter ----------------------------------------------
 // Every operator new in this binary bumps g_alloc_count; the zero-alloc
@@ -131,6 +136,59 @@ TEST(WorkspaceArena, ResetReusesWithoutGrowth) {
   EXPECT_EQ(ws.capacity(), cap);
 }
 
+TEST(WorkspaceArena, NestedMarkRewindRestoresEachLevel) {
+  WorkspaceArena ws(1 << 12);
+  const auto outer = ws.mark();
+  auto a = ws.matrix_i8(4, 4);
+  const size_t after_a = ws.used();
+  const auto inner = ws.mark();
+  auto b = ws.matrix_i8(8, 8);
+  const int8_t* b_ptr = b.data();
+  ws.rewind(inner);
+  EXPECT_EQ(ws.used(), after_a);
+  auto c = ws.matrix_i8(8, 8);  // reuses the inner allocation's bytes
+  EXPECT_EQ(c.data(), b_ptr);
+  ws.rewind(inner);
+  ws.rewind(outer);
+  EXPECT_EQ(ws.used(), 0u);
+  auto d = ws.matrix_i8(4, 4);  // and the outer level's bytes
+  EXPECT_EQ(d.data(), a.data());
+}
+
+TEST(WorkspaceArena, ZeroSizedViewsAreValidAndFree) {
+  WorkspaceArena ws(1 << 10);
+  auto a = ws.matrix_i8(0, 8);
+  auto b = ws.matrix_i8(8, 0);
+  auto s = ws.span_i32(0);
+  EXPECT_EQ(a.rows(), 0u);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(b.cols(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(ws.used(), 0u);  // zero-byte requests consume nothing
+  // The arena keeps functioning (and stays aligned) afterwards.
+  auto c = ws.matrix_i8(4, 4);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c.data()) % 64, 0u);
+  c.fill(3);
+  for (int8_t v : c.flat()) EXPECT_EQ(v, 3);
+}
+
+TEST(WorkspaceArena, Int32AccumulatorViewsStayAligned) {
+  // Odd-sized int8 allocations must not misalign subsequent int32
+  // accumulator views: every raw allocation is padded to the 64-byte
+  // alignment quantum.
+  WorkspaceArena ws(1 << 12);
+  (void)ws.span_i8(3);
+  auto acc1 = ws.matrix_i32(3, 5);
+  (void)ws.span_i8(1);
+  auto acc2 = ws.matrix_i32(2, 2);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(acc1.data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(acc2.data()) % 64, 0u);
+  acc1.fill(-7);
+  acc2.fill(9);
+  for (int32_t v : acc1.flat()) EXPECT_EQ(v, -7);
+  for (int32_t v : acc2.flat()) EXPECT_EQ(v, 9);
+}
+
 TEST(WorkspaceArena, GrowthChainsBlocksThenConsolidates) {
   WorkspaceArena ws(128);  // deliberately tiny first block
   (void)ws.matrix_i8(8, 8);
@@ -209,6 +267,43 @@ TEST(InferenceSession, SteadyStateForwardMakesZeroHeapAllocations) {
   EXPECT_EQ(after - before, 0u)
       << (after - before) << " heap allocations in steady-state forward";
   EXPECT_EQ(session.workspace().block_count(), 1u);
+}
+
+TEST(GenerationSession, SteadyStateDecodeStepMakesZeroHeapAllocations) {
+  // The generation twin of the forward guarantee: after prefill, EVERY
+  // decode_step — at any cached length up to capacity — must run without
+  // heap allocations. The session constructor warms its arena with one
+  // worst-case step, so no per-step warmup is needed.
+  ref::ModelConfig cfg;
+  cfg.seq_len = 12;
+  cfg.d_model = 48;
+  cfg.num_heads = 4;
+  cfg.num_layers = 2;
+  cfg.activation = ref::Activation::kGelu;
+  const auto weights = ref::make_random_decoder_weights(cfg, 140);
+  util::Xoshiro256 rng(141);
+  tensor::MatrixF memory(8, cfg.d_model);
+  tensor::MatrixF calib(cfg.seq_len, cfg.d_model);
+  tensor::MatrixF token(1, cfg.d_model);
+  for (float& x : memory.flat()) x = static_cast<float>(rng.normal());
+  for (float& x : calib.flat()) x = static_cast<float>(rng.normal());
+  for (float& x : token.flat()) x = static_cast<float>(rng.normal());
+  const auto qd = accel::prepare_decoder(weights, calib, memory);
+
+  const accel::AccelConfig acfg;
+  GenerationSession session(acfg, qd);
+  tensor::MatrixF states;
+  tensor::MatrixF state(1, cfg.d_model);  // preallocated output row
+  session.prefill(calib.slice_rows(0, 2), memory, states);
+
+  const uint64_t before = g_alloc_count.load();
+  while (session.position() < session.capacity()) {
+    session.decode_step(token, state);
+  }
+  const uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations across "
+      << (cfg.seq_len - 2) << " steady-state decode steps";
 }
 
 // --- batch scheduler ---------------------------------------------------------
