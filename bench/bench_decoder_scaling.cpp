@@ -217,6 +217,130 @@ int main() {
                        identical ? 1.0 : 0.0, "bool"});
   }
 
+  // --- paged KV: footprint model + executed max concurrency ----------------
+  // Dense self-K/V reserves the full programmed capacity per slot; the
+  // paged layout holds ceil(rows / block_rows) blocks per sequence. For
+  // short-sequence mixes the ratio is the extra concurrency a shared
+  // block pool admits at equal arena footprint.
+  {
+    util::Table kv({"Cached rows", "Dense self-KV (KiB)",
+                    "Paged self-KV (KiB)", "Footprint ratio"});
+    kv.set_title(
+        "Self-KV footprint per sequence (d=768, N=6, capacity 128, "
+        "16-row blocks): dense slot reservation vs paged blocks");
+    const uint32_t kv_block_rows = 16;
+    for (uint32_t rows : {8u, 16u, 32u, 64u, 128u}) {
+      const auto fp =
+          accel::estimate_kv_footprint(model, rows, kv_block_rows);
+      const double ratio = static_cast<double>(fp.dense_bytes) /
+                           static_cast<double>(fp.paged_bytes);
+      kv.row({std::to_string(rows),
+              bench::fmt(static_cast<double>(fp.dense_bytes) / 1024.0, 1),
+              bench::fmt(static_cast<double>(fp.paged_bytes) / 1024.0, 1),
+              bench::fmt(ratio, 2)});
+      const std::string name = "kv_footprint_rows" + std::to_string(rows);
+      records.push_back({name, "dense_self_bytes",
+                         static_cast<double>(fp.dense_bytes), "B"});
+      records.push_back({name, "paged_self_bytes",
+                         static_cast<double>(fp.paged_bytes), "B"});
+      records.push_back({name, "footprint_ratio", ratio, "x"});
+    }
+    std::printf("%s\n", kv.to_string().c_str());
+  }
+
+  // Executed: a short-sequence mix served dense (4 full-capacity slots)
+  // and paged (one shared pool of the SAME self-KV byte budget). The
+  // scheduler's peak concurrency is the record; outputs must stay bit
+  // identical between the two layouts.
+  {
+    ref::ModelConfig small;
+    small.name = "decoder-paged";
+    small.seq_len = 32;
+    small.d_model = 128;
+    small.num_heads = 4;
+    small.num_layers = 2;
+    small.activation = ref::Activation::kRelu;
+    const auto weights = ref::make_random_decoder_weights(small, 21);
+    tensor::MatrixF memory(8, small.d_model);
+    tensor::MatrixF calib(small.seq_len, small.d_model);
+    util::Xoshiro256 rng(22);
+    for (float& x : memory.flat()) x = static_cast<float>(rng.normal());
+    for (float& x : calib.flat()) x = static_cast<float>(rng.normal());
+
+    runtime::GenerationScheduler scheduler(
+        accel::AccelConfig{}, accel::prepare_decoder(weights, calib, memory));
+    std::vector<runtime::GenerationRequest> requests;
+    for (size_t i = 0; i < 48; ++i) {  // short mix: 4 rows per sequence
+      runtime::GenerationRequest req;
+      req.prefix = tensor::MatrixF(2, small.d_model);
+      for (float& x : req.prefix.flat()) {
+        x = static_cast<float>(rng.normal());
+      }
+      req.memory = &memory;
+      req.max_new_tokens = 2;
+      const uint32_t d = small.d_model;
+      req.next_token = [d](std::span<const float> state,
+                           tensor::MatrixF& next) {
+        if (next.rows() != 1 || next.cols() != d) {
+          next = tensor::MatrixF(1, d);
+        }
+        for (size_t c = 0; c < d; ++c) next(0, c) = 0.5f * state[c];
+        return true;
+      };
+      requests.push_back(std::move(req));
+    }
+
+    runtime::GenerationSchedulerOptions dense;
+    dense.slots = 4;
+    dense.kv_block_rows = 0;  // full-capacity reservation per slot
+    const auto dense_results = scheduler.run(requests, dense);
+    const auto dense_stats = scheduler.last_run();
+    const uint64_t dense_bytes =
+        accel::estimate_kv_footprint(small, small.seq_len, 4).dense_bytes *
+        dense.slots;
+
+    runtime::GenerationSchedulerOptions paged;
+    paged.kv_block_rows = 4;
+    // Equal self-KV budget: (4 slots x 32 rows) / 4-row blocks.
+    paged.kv_pool_blocks = dense.slots * small.seq_len / paged.kv_block_rows;
+    paged.slots = paged.kv_pool_blocks;  // let the pool be the limiter
+    const auto paged_results = scheduler.run(requests, paged);
+    const auto paged_stats = scheduler.last_run();
+    const uint64_t paged_bytes =
+        uint64_t{paged.kv_pool_blocks} * paged.kv_block_rows *
+        accel::estimate_kv_footprint(small, 1, 1).row_bytes;
+
+    bool paged_identical = paged_results.size() == dense_results.size();
+    for (size_t i = 0; paged_identical && i < paged_results.size(); ++i) {
+      paged_identical = paged_results[i].states == dense_results[i].states;
+    }
+    identical = identical && paged_identical;
+    const double ratio = static_cast<double>(paged_stats.max_active) /
+                         static_cast<double>(dense_stats.max_active);
+    std::printf(
+        "executed short-sequence mix (48 x 4 rows, capacity %u): dense %u "
+        "concurrent @ %llu KiB, paged %u concurrent @ %llu KiB (%.1fx), "
+        "outputs %s\n\n",
+        small.seq_len, dense_stats.max_active,
+        static_cast<unsigned long long>(dense_bytes / 1024),
+        paged_stats.max_active,
+        static_cast<unsigned long long>(paged_bytes / 1024), ratio,
+        paged_identical ? "IDENTICAL" : "DIVERGED");
+    records.push_back({"paged_concurrency", "dense_max_concurrent",
+                       static_cast<double>(dense_stats.max_active), "seqs"});
+    records.push_back({"paged_concurrency", "paged_max_concurrent",
+                       static_cast<double>(paged_stats.max_active), "seqs"});
+    records.push_back({"paged_concurrency", "concurrency_ratio", ratio,
+                       "x"});
+    records.push_back({"paged_concurrency", "self_kv_budget_bytes",
+                       static_cast<double>(paged_bytes), "B"});
+    records.push_back({"paged_concurrency", "kv_blocks_peak",
+                       static_cast<double>(paged_stats.kv_blocks_peak),
+                       "blocks"});
+    records.push_back({"paged_concurrency", "outputs_bit_identical",
+                       paged_identical ? 1.0 : 0.0, "bool"});
+  }
+
   bench::write_bench_records("BENCH_generation.json",
                              "bench_decoder_scaling", records);
   std::printf("CSV written to bench_results/decoder_scaling.csv\n");

@@ -325,6 +325,20 @@ PerfReport estimate_decode_step_performance(const AccelConfig& config,
   return report;
 }
 
+KvFootprint estimate_kv_footprint(const ref::ModelConfig& model,
+                                  uint32_t rows, uint32_t block_rows) {
+  if (rows == 0 || rows > model.seq_len || block_rows == 0) {
+    throw std::invalid_argument("kv footprint: bad rows/block_rows");
+  }
+  KvFootprint fp;
+  fp.row_bytes = uint64_t{model.num_layers} * model.num_heads * 2 *
+                 model.head_dim();
+  fp.dense_bytes = fp.row_bytes * model.seq_len;
+  fp.blocks = util::ceil_div(rows, block_rows);
+  fp.paged_bytes = uint64_t{fp.blocks} * block_rows * fp.row_bytes;
+  return fp;
+}
+
 PerfReport estimate_generation_performance(const AccelConfig& config,
                                            const ref::ModelConfig& model,
                                            uint32_t prefill_len,

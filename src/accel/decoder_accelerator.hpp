@@ -97,6 +97,23 @@ PerfReport estimate_decode_step_performance(const AccelConfig& config,
                                             uint32_t pos,
                                             uint32_t memory_len);
 
+/// Self-K/V memory model for a sequence of `rows` cached target rows:
+/// the dense layout reserves the full programmed capacity
+/// (model.seq_len) per slot regardless of the sequence, while the paged
+/// layout holds ceil(rows / block_rows) blocks. The ratio
+/// dense_bytes / paged_bytes is the concurrency multiplier a shared
+/// block pool buys at equal arena footprint — what
+/// bench_decoder_scaling's paged-vs-dense records measure executed.
+struct KvFootprint {
+  uint64_t row_bytes = 0;    // K+V bytes per token row across the stack
+  uint64_t dense_bytes = 0;  // per-slot dense reservation (capacity rows)
+  uint64_t paged_bytes = 0;  // blocks needed for `rows` rows
+  uint32_t blocks = 0;       // ceil(rows / block_rows)
+};
+
+KvFootprint estimate_kv_footprint(const ref::ModelConfig& model,
+                                  uint32_t rows, uint32_t block_rows);
+
 /// Total cycle model for a KV-cached generation: one full prefill of
 /// `prefill_len` rows (which includes the one-time cross K/V projection)
 /// plus incremental steps for positions [prefill_len, total_len). The

@@ -47,6 +47,11 @@ namespace protea::accel {
 
 struct EngineStats {
   uint64_t macs = 0;
+  /// Paged-KV pool occupancy, mirrored by the generation runtime after
+  /// every block reserve/release (pool-wide when the pool is shared;
+  /// 0 for dense caches).
+  uint64_t kv_blocks_in_use = 0;
+  uint64_t kv_blocks_peak = 0;
 };
 
 /// Algorithm 1. `x` is the full (SL x d_model) int8 input; outputs are

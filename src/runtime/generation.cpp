@@ -11,6 +11,7 @@
 #include "numeric/quantizer.hpp"
 #include "runtime/module_gate.hpp"
 #include "tensor/qgemm.hpp"
+#include "util/math_util.hpp"
 #include "util/stopwatch.hpp"
 
 namespace protea::runtime {
@@ -19,16 +20,30 @@ namespace protea::runtime {
 
 GenerationSession::GenerationSession(const accel::AccelConfig& config,
                                      const accel::QuantizedDecoder& model,
-                                     accel::EngineStats* stats)
+                                     accel::EngineStats* stats,
+                                     const GenerationOptions& options)
     : config_(&config),
       model_(&model),
+      options_(options),
       stats_(stats != nullptr ? stats : &own_stats_) {
   config.validate();
   accel::validate_runtime(config.synth, model.config);
   kv_.configure(model.config.num_layers, model.config.num_heads,
                 model.config.head_dim(), model.config.seq_len,
-                config.synth.max_seq_len);
+                config.synth.max_seq_len,
+                KvCacheOptions{.block_rows = options_.kv_block_rows,
+                               .pool = options_.kv_pool});
   warm();
+}
+
+void GenerationSession::refresh_kv_stats() {
+  if (!kv_.paged() || kv_.pool() == nullptr) return;
+  // Pool-wide occupancy: with a shared pool this aggregates every
+  // sequence currently holding blocks, which is the serving-relevant
+  // number (how full is the KV memory, how close is backpressure).
+  stats_->kv_blocks_in_use = kv_.pool()->used_blocks();
+  stats_->kv_blocks_peak = std::max<uint64_t>(
+      stats_->kv_blocks_peak, kv_.pool()->peak_used_blocks());
 }
 
 void GenerationSession::run_rows(const tensor::MatrixF& rows,
@@ -38,6 +53,14 @@ void GenerationSession::run_rows(const tensor::MatrixF& rows,
   const size_t n = rows.rows();
   const size_t d = cfg.d_model;
   const size_t pos = kv_.len();
+
+  // Paged caches grow their block table here, on demand — a standalone
+  // session with a private pool can always cover its capacity, while a
+  // scheduler sharing a pool reserves at admission so this never throws
+  // mid-flight.
+  const size_t reserved_before = kv_.reserved_rows();
+  kv_.reserve_rows(pos + n);
+  if (kv_.reserved_rows() != reserved_before) refresh_kv_stats();
 
   const auto m = ws_.mark();
   auto x = ws_.matrix_i8(n, d);
@@ -60,8 +83,7 @@ void GenerationSession::run_rows(const tensor::MatrixF& rows,
     if (layer.scales.x != out_scale) {
       rescale_rows_inplace(x, out_scale, layer.scales.x);
     }
-    run_decoder_layer_cached(ctx, layer, x, pos, kv_.layer(li),
-                             kv_.memory_len(), y, gate);
+    run_decoder_layer_cached(ctx, layer, x, pos, kv_, li, y, gate);
     std::swap(x, y);
     out_scale = layer.scales.ln3;
   }
@@ -76,30 +98,41 @@ void GenerationSession::run_rows(const tensor::MatrixF& rows,
 }
 
 void GenerationSession::warm() {
-  // Fake a full cache (configure() zero-filled the views, so the engines
-  // read defined bytes) and run one step at the worst-case shape: the
-  // arena's consolidated block then covers every real decode_step, which
-  // only ever allocates the same sequence of equal-or-smaller views.
+  // Fake a full cache (configure() zero-filled the dense views, and the
+  // pool zero-fills its blocks, so the engines read defined bytes) and
+  // run one step at the worst-case shape: the arena's consolidated block
+  // then covers every real decode_step, which only ever allocates the
+  // same sequence of equal-or-smaller views. A shared pool clamps the
+  // warm shape to the rows it can back right now (sessions are
+  // constructed before serving starts, so this is normally everything).
   kv_.begin_sequence(kv_.memory_capacity());
-  if (kv_.capacity() > 1) {
-    kv_.append(kv_.capacity() - 1);
+  size_t warm_rows = kv_.capacity();
+  if (kv_.paged()) {
+    const size_t backable =
+        kv_.reserved_rows() + kv_.pool()->free_blocks() * kv_.block_rows();
+    warm_rows = std::min(warm_rows, backable);
+  }
+  if (warm_rows == 0) {  // pool fully held elsewhere: warm lazily later
+    kv_.begin_sequence(0);
+    return;
+  }
+  kv_.reserve_rows(warm_rows);
+  if (warm_rows > 1) {
+    kv_.append(warm_rows - 1);
   }
   const tensor::MatrixF token(1, model_->config.d_model, 0.0f);
   tensor::MatrixF state;
   run_rows(token, state, /*gate=*/nullptr, /*stats=*/nullptr);
   kv_.begin_sequence(0);
+  kv_.release_blocks();
   ws_.reset();
 }
 
-void GenerationSession::prefill(const tensor::MatrixF& prefix,
-                                const tensor::MatrixF& memory,
-                                tensor::MatrixF& states, StageGate* gate) {
+void GenerationSession::prefill_begin(const tensor::MatrixF& memory,
+                                      StageGate* gate) {
   const ref::ModelConfig& cfg = model_->config;
-  if (prefix.cols() != cfg.d_model || memory.cols() != cfg.d_model) {
+  if (memory.cols() != cfg.d_model) {
     throw std::invalid_argument("prefill: width mismatch");
-  }
-  if (prefix.rows() == 0 || prefix.rows() > kv_.capacity()) {
-    throw std::invalid_argument("prefill: bad prefix length");
   }
   if (memory.rows() == 0 || memory.rows() > kv_.memory_capacity()) {
     throw std::invalid_argument("prefill: bad memory length");
@@ -130,8 +163,56 @@ void GenerationSession::prefill(const tensor::MatrixF& prefix,
     }
   }
   ws_.rewind(m);
+}
 
-  run_rows(prefix, states, gate, stats_);
+void GenerationSession::prefill_rows(const tensor::MatrixF& rows,
+                                     tensor::MatrixF& states,
+                                     StageGate* gate) {
+  if (kv_.memory_len() == 0) {
+    throw std::logic_error("prefill_rows: prefill_begin() first");
+  }
+  if (rows.cols() != model_->config.d_model) {
+    throw std::invalid_argument("prefill_rows: width mismatch");
+  }
+  if (rows.rows() == 0 || kv_.len() + rows.rows() > kv_.capacity()) {
+    throw std::invalid_argument("prefill_rows: bad row count");
+  }
+  run_rows(rows, states, gate, stats_);
+}
+
+void GenerationSession::prefill(const tensor::MatrixF& prefix,
+                                const tensor::MatrixF& memory,
+                                tensor::MatrixF& states, StageGate* gate) {
+  const ref::ModelConfig& cfg = model_->config;
+  if (prefix.cols() != cfg.d_model) {
+    throw std::invalid_argument("prefill: width mismatch");
+  }
+  if (prefix.rows() == 0 || prefix.rows() > kv_.capacity()) {
+    throw std::invalid_argument("prefill: bad prefix length");
+  }
+  prefill_begin(memory, gate);
+
+  const size_t t_rows = prefix.rows();
+  const size_t chunk = options_.prefill_chunk;
+  if (chunk == 0 || chunk >= t_rows) {
+    run_rows(prefix, states, gate, stats_);
+    return;
+  }
+  // Bounded-chunk passes: every op is row-wise and the causal mask only
+  // looks backwards, so the chunked walk is bit-identical to one pass.
+  if (states.rows() != t_rows || states.cols() != cfg.d_model) {
+    states = tensor::MatrixF(t_rows, cfg.d_model);
+  }
+  tensor::MatrixF chunk_states;
+  for (size_t pos = 0; pos < t_rows; pos += chunk) {
+    const size_t n = std::min(chunk, t_rows - pos);
+    const auto rows = prefix.slice_rows(pos, n);
+    run_rows(rows, chunk_states, gate, stats_);
+    for (size_t r = 0; r < n; ++r) {
+      std::copy(chunk_states.row(r).begin(), chunk_states.row(r).end(),
+                states.row(pos + r).begin());
+    }
+  }
 }
 
 void GenerationSession::decode_step(const tensor::MatrixF& token,
@@ -149,30 +230,78 @@ void GenerationSession::decode_step(const tensor::MatrixF& token,
   run_rows(token, state, gate, stats_);
 }
 
+bool GenerationSession::try_reserve_rows(size_t rows) {
+  const size_t reserved_before = kv_.reserved_rows();
+  const bool ok = kv_.try_reserve_rows(rows);
+  if (kv_.reserved_rows() != reserved_before) refresh_kv_stats();
+  return ok;
+}
+
+void GenerationSession::reserve_rows_wait(size_t rows) {
+  kv_.reserve_rows_wait(rows);
+  refresh_kv_stats();
+}
+
+void GenerationSession::end_sequence() {
+  kv_.release_blocks();
+  refresh_kv_stats();
+}
+
 // --- GenerationScheduler -----------------------------------------------------
 
 namespace {
 
-/// One in-flight sequence bound to a slot's session: prefill at
-/// admission, one decode step per scheduler step, callback-driven stop.
+/// One in-flight sequence bound to a slot's session: chunked prefill at
+/// and after admission, one decode step per scheduler step,
+/// callback-driven stop.
 struct ActiveSeq {
   const GenerationRequest* req = nullptr;
   GenerationResult* result = nullptr;
-  tensor::MatrixF next;   // next token embedding (from the callback)
-  tensor::MatrixF state;  // last decode output (1 x d)
+  tensor::MatrixF next;          // next token embedding (from the callback)
+  tensor::MatrixF state;         // last decode output (1 x d)
+  tensor::MatrixF chunk_states;  // per-chunk prefill outputs
+  size_t prefill_pos = 0;        // prompt rows already through the stack
+  bool prefilling = false;
   bool done = false;
 
-  void admit(GenerationSession& session, StageGate* gate) {
-    tensor::MatrixF prefix_states;
-    session.prefill(req->prefix, *req->memory, prefix_states, gate);
-    const size_t p = prefix_states.rows();
-    const size_t d = prefix_states.cols();
-    result->states = tensor::MatrixF(p + req->max_new_tokens, d);
-    std::copy(prefix_states.flat().begin(), prefix_states.flat().end(),
-              result->states.flat().begin());
+  /// Cache rows the sequence can ever hold — the admission reservation.
+  /// The final token is emitted from the last cached row's state and its
+  /// embedding is never fed back, so prefix + max_new may exceed the
+  /// capacity by one without needing a row for it.
+  static size_t rows_needed(const GenerationRequest& r, size_t capacity) {
+    return std::min<size_t>(r.prefix.rows() + r.max_new_tokens, capacity);
+  }
+
+  void begin(GenerationSession& session, StageGate* gate) {
+    session.prefill_begin(*req->memory, gate);
+    result->states = tensor::MatrixF(
+        req->prefix.rows() + req->max_new_tokens, req->prefix.cols());
     result->steps = 0;
+    prefill_pos = 0;
+    prefilling = true;
+  }
+
+  /// One prompt pass of at most `chunk` rows (0 = all remaining rows).
+  /// The pass completing the prompt produces the first token; a token
+  /// whose state row cannot be cached (position == capacity) finishes
+  /// the sequence right after the callback emitted it.
+  void prefill_step(GenerationSession& session, StageGate* gate,
+                    size_t chunk) {
+    const size_t t_rows = req->prefix.rows();
+    const size_t n = chunk == 0 ? t_rows - prefill_pos
+                                : std::min(chunk, t_rows - prefill_pos);
+    const auto rows = req->prefix.slice_rows(prefill_pos, n);
+    session.prefill_rows(rows, chunk_states, gate);
+    for (size_t r = 0; r < n; ++r) {
+      std::copy(chunk_states.row(r).begin(), chunk_states.row(r).end(),
+                result->states.row(prefill_pos + r).begin());
+    }
+    prefill_pos += n;
+    if (prefill_pos < t_rows) return;
+    prefilling = false;
     done = req->max_new_tokens == 0 ||
-           !req->next_token(prefix_states.row(p - 1), next);
+           !req->next_token(result->states.row(t_rows - 1), next);
+    if (!done && session.position() >= session.capacity()) done = true;
   }
 
   void step(GenerationSession& session, StageGate* gate) {
@@ -183,6 +312,7 @@ struct ActiveSeq {
     ++result->steps;
     done = result->steps >= req->max_new_tokens ||
            !req->next_token(state.row(0), next);
+    if (!done && session.position() >= session.capacity()) done = true;
   }
 
   void finalize() {
@@ -202,9 +332,13 @@ void validate_request(const GenerationRequest& r,
   if (r.prefix.rows() == 0 || r.prefix.cols() != cfg.d_model) {
     throw std::invalid_argument("generation request: bad prefix shape");
   }
-  if (r.prefix.rows() + r.max_new_tokens > cfg.seq_len) {
+  // The last generated token never has its embedding appended, so a
+  // request may ask for one token more than the cache holds rows — in
+  // particular a prompt that exactly fills seq_len can still decode its
+  // first token (emitted from the last prefill state).
+  if (r.prefix.rows() + r.max_new_tokens > cfg.seq_len + 1) {
     throw std::invalid_argument(
-        "generation request: prefix + max_new_tokens exceeds seq_len");
+        "generation request: prefix + max_new_tokens exceeds seq_len + 1");
   }
   if (r.memory->rows() == 0 || r.memory->rows() > synth.max_seq_len ||
       r.memory->cols() != cfg.d_model) {
@@ -215,19 +349,31 @@ void validate_request(const GenerationRequest& r,
   }
 }
 
+GenerationOptions session_options(const GenerationSchedulerOptions& opts,
+                                  KvBlockPool* pool) {
+  return GenerationOptions{.kv_block_rows = opts.kv_block_rows,
+                           .kv_pool = pool,
+                           .prefill_chunk = opts.prefill_chunk};
+}
+
 /// Deterministic round-robin step loop: admit pending requests into free
-/// slots, advance every active sequence one token, retire finished ones —
-/// the textbook continuous-batching schedule, with per-step bookkeeping.
+/// slots (FCFS, deferred while the shared block pool cannot cover the
+/// head-of-line request's worst case), advance every active sequence one
+/// unit — a prefill chunk or a decode token — and retire finished ones,
+/// releasing their blocks. The textbook continuous-batching schedule,
+/// with per-step bookkeeping.
 void run_stepped(const accel::AccelConfig& config,
                  const accel::QuantizedDecoder& model,
                  const std::vector<GenerationRequest>& requests,
-                 size_t slot_count, std::vector<GenerationResult>& results,
+                 const GenerationSchedulerOptions& opts, KvBlockPool* pool,
+                 std::vector<GenerationResult>& results,
                  GenerationRunStats& stats) {
-  const size_t slots = std::min(slot_count, requests.size());
+  const size_t slots = std::min(opts.slots, requests.size());
   std::vector<std::unique_ptr<GenerationSession>> sessions;
   sessions.reserve(slots);
   for (size_t s = 0; s < slots; ++s) {
-    sessions.push_back(std::make_unique<GenerationSession>(config, model));
+    sessions.push_back(std::make_unique<GenerationSession>(
+        config, model, nullptr, session_options(opts, pool)));
   }
   // Sessions (and their worst-case arena warm-ups) are up; time only the
   // serving work itself.
@@ -235,42 +381,78 @@ void run_stepped(const accel::AccelConfig& config,
 
   std::vector<ActiveSeq> seats(slots);
   size_t pending = 0;
+  size_t wait_counted = SIZE_MAX;  // request whose deferral was recorded
   uint32_t in_flight = 0;
   uint32_t step = 0;
   while (pending < requests.size() || in_flight > 0) {
+    bool progressed = false;
     // Admit in request order into the lowest free seats. A retiring
-    // sequence freed its seat last step, so short sequences hand their
-    // slot to the queue while long ones keep decoding.
+    // sequence freed its seat (and blocks) last step, so short sequences
+    // hand their slot to the queue while long ones keep decoding. When
+    // the pool cannot cover the head-of-line request, admission stops —
+    // the request waits instead of overcommitting blocks.
     for (size_t s = 0; s < slots && pending < requests.size(); ++s) {
       if (seats[s].req != nullptr) continue;
+      const GenerationRequest& req = requests[pending];
+      const size_t need =
+          ActiveSeq::rows_needed(req, sessions[s]->capacity());
+      if (!sessions[s]->try_reserve_rows(need)) {
+        // One wait per deferred request (not per deferred step), so the
+        // stat is comparable with the threaded mode's park count.
+        if (wait_counted != pending) {
+          ++stats.kv_block_waits;
+          wait_counted = pending;
+        }
+        break;
+      }
       seats[s] = ActiveSeq{};
-      seats[s].req = &requests[pending];
+      seats[s].req = &req;
       seats[s].result = &results[pending];
       seats[s].result->admitted_at = step;
       ++pending;
       ++in_flight;
       ++stats.prefills;
-      seats[s].admit(*sessions[s], nullptr);
+      seats[s].begin(*sessions[s], nullptr);
+      seats[s].prefill_step(*sessions[s], nullptr, opts.prefill_chunk);
+      ++stats.prefill_chunks;
+      progressed = true;
     }
     stats.max_active = std::max(stats.max_active, in_flight);
 
-    // One decode step for every active sequence.
+    // One unit of progress for every active sequence: the next prefill
+    // chunk while the prompt is still streaming in, a decode step after.
     for (size_t s = 0; s < slots; ++s) {
-      if (seats[s].req != nullptr && !seats[s].done) {
+      if (seats[s].req == nullptr || seats[s].done) continue;
+      if (seats[s].prefilling) {
+        seats[s].prefill_step(*sessions[s], nullptr, opts.prefill_chunk);
+        ++stats.prefill_chunks;
+      } else {
         seats[s].step(*sessions[s], nullptr);
         ++stats.decode_steps;
       }
+      progressed = true;
     }
-    // Retire finished sequences, freeing their seats for next step.
+    // Retire finished sequences, freeing their seats and blocks for the
+    // next step's admissions.
     for (size_t s = 0; s < slots; ++s) {
       if (seats[s].req != nullptr && seats[s].done) {
         seats[s].result->retired_at = step;
         seats[s].finalize();
+        sessions[s]->end_sequence();
         seats[s] = ActiveSeq{};
         --in_flight;
+        progressed = true;
       }
     }
     ++step;
+    if (!progressed) {
+      // Unreachable when requests were validated against the pool size:
+      // reserve-at-admission means active sequences never stall, and a
+      // fully-free pool covers any single validated request.
+      throw std::runtime_error(
+          "GenerationScheduler: stalled — KV block pool cannot serve the "
+          "pending request");
+    }
   }
   stats.scheduler_steps = step;
   stats.wall_ms = watch.milliseconds();
@@ -280,11 +462,14 @@ void run_stepped(const accel::AccelConfig& config,
 /// slot), drains the request queue sequence-by-sequence, and its
 /// per-layer stages interleave with other workers' through the MHA/FFN
 /// module semaphores. A finishing sequence immediately frees its worker
-/// for the next pending request — no batch barrier.
+/// (and its blocks) for the next pending request — no batch barrier.
+/// Block-exhaustion backpressure parks a worker on the pool's condition
+/// variable BEFORE its sequence begins, holding nothing — so waiters
+/// cannot deadlock holders, and every reservation is eventually served.
 void run_threaded(const accel::AccelConfig& config,
                   const accel::QuantizedDecoder& model,
                   const std::vector<GenerationRequest>& requests,
-                  const GenerationSchedulerOptions& opts,
+                  const GenerationSchedulerOptions& opts, KvBlockPool* pool,
                   std::vector<GenerationResult>& results,
                   GenerationRunStats& stats) {
   const size_t workers =
@@ -300,28 +485,39 @@ void run_threaded(const accel::AccelConfig& config,
   std::vector<std::unique_ptr<GenerationSession>> sessions;
   sessions.reserve(workers);
   for (size_t w = 0; w < workers; ++w) {
-    sessions.push_back(std::make_unique<GenerationSession>(config, model));
+    sessions.push_back(std::make_unique<GenerationSession>(
+        config, model, nullptr, session_options(opts, pool)));
   }
   util::Stopwatch watch;
 
   std::atomic<size_t> next{0};
   std::atomic<uint64_t> prefills{0};
+  std::atomic<uint64_t> prefill_chunks{0};
   std::atomic<uint64_t> decode_steps{0};
+  std::atomic<uint64_t> block_waits{0};
   std::atomic<uint32_t> active{0};
   std::atomic<uint32_t> max_active{0};
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
+  std::vector<std::thread> pool_threads;
+  pool_threads.reserve(workers);
   for (size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
+    pool_threads.emplace_back([&, w] {
       try {
         GenerationSession& session = *sessions[w];
         ModuleGate gate(mha_slots, ffn_slots);
         while (true) {
           const size_t i = next.fetch_add(1);
           if (i >= requests.size()) break;
+          // Reserve the sequence's worst-case blocks up front — all or
+          // nothing — parking until a retiring sequence frees enough.
+          const size_t need =
+              ActiveSeq::rows_needed(requests[i], session.capacity());
+          if (!session.try_reserve_rows(need)) {
+            ++block_waits;
+            session.reserve_rows_wait(need);
+          }
           const uint32_t now = active.fetch_add(1) + 1;
           uint32_t seen = max_active.load();
           while (seen < now &&
@@ -330,13 +526,18 @@ void run_threaded(const accel::AccelConfig& config,
           ActiveSeq seq;
           seq.req = &requests[i];
           seq.result = &results[i];
-          seq.admit(session, &gate);
+          seq.begin(session, &gate);
+          while (seq.prefilling) {
+            seq.prefill_step(session, &gate, opts.prefill_chunk);
+            ++prefill_chunks;
+          }
           ++prefills;
           while (!seq.done) {
             seq.step(session, &gate);
             ++decode_steps;
           }
           seq.finalize();
+          session.end_sequence();
           active.fetch_sub(1);
         }
       } catch (...) {
@@ -345,11 +546,13 @@ void run_threaded(const accel::AccelConfig& config,
       }
     });
   }
-  for (std::thread& t : pool) t.join();
+  for (std::thread& t : pool_threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
 
   stats.prefills = prefills.load();
+  stats.prefill_chunks = prefill_chunks.load();
   stats.decode_steps = decode_steps.load();
+  stats.kv_block_waits = block_waits.load();
   stats.max_active = max_active.load();
   stats.scheduler_steps = 0;  // no global step loop in threaded mode
   stats.wall_ms = watch.milliseconds();
@@ -377,14 +580,41 @@ std::vector<GenerationResult> GenerationScheduler::run(
     validate_request(r, model_.config, config_.synth);
   }
 
+  // A shared pool serves every slot; each request must fit it alone
+  // (otherwise no amount of waiting could ever admit it).
+  KvBlockPool shared_pool;
+  KvBlockPool* pool = nullptr;
+  if (opts.kv_pool_blocks > 0) {
+    if (opts.kv_block_rows == 0) {
+      throw std::invalid_argument(
+          "GenerationScheduler: kv_pool_blocks requires paged "
+          "kv_block_rows");
+    }
+    const ref::ModelConfig& mc = model_.config;
+    shared_pool.configure(opts.kv_pool_blocks, opts.kv_block_rows,
+                          mc.num_layers * mc.num_heads * 2 * mc.head_dim());
+    pool = &shared_pool;
+    for (const GenerationRequest& r : requests) {
+      const size_t need =
+          ActiveSeq::rows_needed(r, static_cast<size_t>(mc.seq_len));
+      if (util::ceil_div(need, opts.kv_block_rows) > opts.kv_pool_blocks) {
+        throw std::invalid_argument(
+            "GenerationScheduler: request exceeds the shared KV pool");
+      }
+    }
+  }
+
   std::vector<GenerationResult> results(requests.size());
   last_run_ = GenerationRunStats{};
   if (requests.empty()) return results;
 
   if (opts.threads == 1) {
-    run_stepped(config_, model_, requests, opts.slots, results, last_run_);
+    run_stepped(config_, model_, requests, opts, pool, results, last_run_);
   } else {
-    run_threaded(config_, model_, requests, opts, results, last_run_);
+    run_threaded(config_, model_, requests, opts, pool, results, last_run_);
+  }
+  if (pool != nullptr) {
+    last_run_.kv_blocks_peak = pool->peak_used_blocks();
   }
   return results;
 }

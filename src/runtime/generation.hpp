@@ -7,13 +7,19 @@
 //   * GenerationSession — per-stream decoder context: a private
 //     WorkspaceArena + KvCache. prefill() projects the encoder memory
 //     into every layer's cross K/V cache once and runs the prompt prefix
-//     through the stack (appending self K/V); decode_step() then runs ONE
-//     new row per call, attending over the cached prefix — O(len)
-//     attention work and zero heap allocations in steady state (the
-//     constructor warms the arena at the worst-case step shape, pinned by
-//     an allocation-counting test). The cached path is bit-identical to
-//     the full-recompute forward: int32 accumulation is exact and every
-//     op is row-wise.
+//     through the stack (appending self K/V) — optionally in bounded
+//     chunks (prefill_begin()/prefill_rows()), which is bit-identical to
+//     the one-shot pass because every op is row-wise; decode_step() then
+//     runs ONE new row per call, attending over the cached prefix —
+//     O(len) attention work and zero heap allocations in steady state
+//     (the constructor warms the arena at the worst-case step shape,
+//     pinned by an allocation-counting test). Self K/V defaults to the
+//     paged layout (runtime/kv_cache.hpp): blocks are reserved on demand
+//     from a private or shared KvBlockPool, so short sequences no longer
+//     strand a full-capacity reservation. The cached path — dense or
+//     paged, chunked or one-shot — is bit-identical to the
+//     full-recompute forward: int32 accumulation is exact and every op
+//     is row-wise.
 //
 //   * GenerationScheduler — step-level continuous batching. Sequences are
 //     admitted into a fixed number of slots and retired the step they
@@ -22,8 +28,18 @@
 //     runs the deterministic round-robin step loop (admit -> step every
 //     active sequence -> retire); threads>1 runs slots on worker threads
 //     whose per-layer stages interleave through the MHA/FFN module-slot
-//     semaphores (runtime/module_gate.hpp), the same overlap the batch
-//     scheduler executes for encoder forwards.
+//     semaphores (runtime/module_gate.hpp). With a shared KvBlockPool
+//     (kv_pool_blocks > 0) the scheduler reserves a sequence's worst-case
+//     blocks at admission — all or nothing — so a request that cannot
+//     get its blocks WAITS (deterministic FCFS deferral in stepped mode,
+//     a condition-variable park in threaded mode) instead of corrupting
+//     a neighbor's rows; retirement releases the blocks and wakes the
+//     queue. Reserve-at-admission means no sequence ever stalls
+//     mid-decode holding blocks others need, so exhaustion can delay but
+//     never deadlock a run. Chunked prefill (prefill_chunk > 0) splits
+//     prompt processing into chunk-sized stack passes so one long prompt
+//     cannot stall the step loop; outputs are bit-identical for every
+//     chunk size, slot, thread or module-slot count.
 //
 // Token policy (greedy argmax, sampling, beam bookkeeping) stays with the
 // caller: requests carry a next_token callback mapping the newest output
@@ -32,6 +48,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -45,25 +62,48 @@
 
 namespace protea::runtime {
 
+struct GenerationOptions {
+  /// Self-K/V tokens per block. 0 selects the dense (PR-3) layout.
+  size_t kv_block_rows = 16;
+  /// Shared block pool (paged only); nullptr gives the session a private
+  /// pool sized at one full-capacity sequence. A shared pool must
+  /// outlive the session.
+  KvBlockPool* kv_pool = nullptr;
+  /// prefill() runs the prompt in passes of at most this many rows
+  /// (0 = one pass). Outputs are bit-identical for any chunk size.
+  size_t prefill_chunk = 0;
+};
+
 class GenerationSession {
  public:
   /// Binds to caller-owned config + model (both must outlive the
   /// session). Sizes the KV cache at the synthesized maxima and warms the
   /// workspace arena with one worst-case decode step, so every real
   /// decode_step() — at any cached length — runs without heap
-  /// allocations. `stats` optionally redirects MAC accounting to an
-  /// external counter (the accel wrapper's).
+  /// allocations. `stats` optionally redirects MAC accounting (and KV
+  /// pool occupancy) to an external counter (the accel wrapper's).
   GenerationSession(const accel::AccelConfig& config,
                     const accel::QuantizedDecoder& model,
-                    accel::EngineStats* stats = nullptr);
+                    accel::EngineStats* stats = nullptr,
+                    const GenerationOptions& options = {});
 
   /// Begins a sequence: projects the quantized encoder memory into every
   /// layer's cross K/V cache (the one-time cost the full-recompute path
   /// pays per step) and runs the whole prefix through the stack with self
-  /// K/V appended. `states` receives the (prefix.rows() x d) dequantized
-  /// outputs; bit-identical to forward(prefix, memory).
+  /// K/V appended — in options.prefill_chunk-row passes when set.
+  /// `states` receives the (prefix.rows() x d) dequantized outputs;
+  /// bit-identical to forward(prefix, memory) for any chunk size.
   void prefill(const tensor::MatrixF& prefix, const tensor::MatrixF& memory,
                tensor::MatrixF& states, StageGate* gate = nullptr);
+
+  /// Chunked-prefill split of prefill(), for schedulers that interleave
+  /// prompt chunks of different sequences: prefill_begin() starts the
+  /// sequence and fills the cross K/V caches; each prefill_rows() call
+  /// appends the next consecutive prompt rows and emits their states.
+  void prefill_begin(const tensor::MatrixF& memory,
+                     StageGate* gate = nullptr);
+  void prefill_rows(const tensor::MatrixF& rows, tensor::MatrixF& states,
+                    StageGate* gate = nullptr);
 
   /// One incremental step: appends `token` (1 x d) at the current
   /// position and attends over the cached prefix. `state` receives the
@@ -72,6 +112,15 @@ class GenerationSession {
   /// already (1 x d).
   void decode_step(const tensor::MatrixF& token, tensor::MatrixF& state,
                    StageGate* gate = nullptr);
+
+  /// Paged-cache admission control (no-ops returning success in dense
+  /// mode). try_reserve_rows() grows the sequence's block table to cover
+  /// `rows` total rows, all or nothing; reserve_rows_wait() parks until
+  /// the shared pool can satisfy it; end_sequence() releases every held
+  /// block so waiting admissions can proceed.
+  bool try_reserve_rows(size_t rows);
+  void reserve_rows_wait(size_t rows);
+  void end_sequence();
 
   /// Target rows cached so far (the next step decodes this position).
   size_t position() const { return kv_.len(); }
@@ -82,12 +131,14 @@ class GenerationSession {
   const accel::EngineStats& stats() const { return *stats_; }
   const KvCache& cache() const { return kv_; }
   const WorkspaceArena& workspace() const { return ws_; }
+  const GenerationOptions& options() const { return options_; }
 
  private:
   /// Shared stack walker: quantizes `rows` at the first layer's input
   /// scale, runs them through every decoder layer with K/V appended at
   /// the current position, advances the cache and dequantizes into
-  /// `states`.
+  /// `states`. Reserves paged blocks on demand (KvBlockExhausted when
+  /// the pool cannot cover the new rows).
   void run_rows(const tensor::MatrixF& rows, tensor::MatrixF& states,
                 StageGate* gate, accel::EngineStats* stats);
 
@@ -95,8 +146,12 @@ class GenerationSession {
   /// memory) so later steps never grow it.
   void warm();
 
+  /// Mirrors pool occupancy into the stats sink after reserve/release.
+  void refresh_kv_stats();
+
   const accel::AccelConfig* config_;
   const accel::QuantizedDecoder* model_;
+  GenerationOptions options_;
   KvCache kv_;
   WorkspaceArena ws_;
   accel::EngineStats own_stats_;
@@ -130,13 +185,29 @@ struct GenerationSchedulerOptions {
   size_t threads = 1;      // 1 = deterministic round-robin step loop
   uint32_t mha_slots = 0;  // module semaphore widths (0 -> worker count)
   uint32_t ffn_slots = 0;
+  /// Prompt rows per prefill pass (0 = whole prompt at admission). In
+  /// stepped mode a long prompt then advances one chunk per scheduler
+  /// step instead of stalling the loop.
+  size_t prefill_chunk = 0;
+  /// Self-K/V tokens per block (0 = dense per-slot caches, PR-3 layout).
+  size_t kv_block_rows = 16;
+  /// > 0: ONE shared KvBlockPool of this many blocks serves every slot,
+  /// with worst-case blocks reserved at admission (block-exhaustion
+  /// backpressure). 0: each slot gets a private full-capacity pool.
+  size_t kv_pool_blocks = 0;
 };
 
 struct GenerationRunStats {
   uint64_t prefills = 0;
+  uint64_t prefill_chunks = 0;   // prefill stack passes (>= prefills)
   uint64_t decode_steps = 0;     // across all sequences
   uint64_t scheduler_steps = 0;  // step-loop iterations (stepped mode)
   uint32_t max_active = 0;       // peak concurrently-active sequences
+  /// Admissions deferred because the shared pool was short (stepped) or
+  /// parked waiting for blocks (threaded). 0 without a shared pool.
+  uint64_t kv_block_waits = 0;
+  /// Peak concurrently-held blocks of the shared pool (0 without one).
+  uint64_t kv_blocks_peak = 0;
   double wall_ms = 0.0;
 };
 
@@ -148,7 +219,8 @@ class GenerationScheduler {
 
   /// Runs every request to completion with continuous batching across
   /// `opts.slots` sessions. Outputs are bit-identical for any slot,
-  /// thread or module-slot count (the int8 datapath is exact).
+  /// thread, module-slot, KV-layout or prefill-chunk choice (the int8
+  /// datapath is exact and per-sequence work is scheduling-invariant).
   std::vector<GenerationResult> run(
       const std::vector<GenerationRequest>& requests,
       const GenerationSchedulerOptions& opts = {});

@@ -1,22 +1,172 @@
 #include "runtime/kv_cache.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
+
+#include "util/math_util.hpp"
 
 namespace protea::runtime {
 
+// --- KvBlockPool -------------------------------------------------------------
+
+void KvBlockPool::configure(size_t num_blocks, size_t block_rows,
+                            size_t row_bytes) {
+  if (num_blocks == 0 || block_rows == 0 || row_bytes == 0) {
+    throw std::invalid_argument("KvBlockPool::configure: zero dimension");
+  }
+  const std::lock_guard lock(mutex_);
+  if (configured() && num_blocks_ == num_blocks &&
+      block_rows_ == block_rows && row_bytes_ == row_bytes) {
+    return;  // identical geometry: keep storage and occupancy
+  }
+  if (configured() && free_list_.size() != num_blocks_) {
+    throw std::logic_error(
+        "KvBlockPool::configure: blocks still held by caches");
+  }
+  num_blocks_ = num_blocks;
+  block_rows_ = block_rows;
+  row_bytes_ = row_bytes;
+  arena_.reset();
+  auto storage = arena_.matrix_i8(num_blocks * block_rows, row_bytes);
+  storage.fill(0);
+  data_ = storage.data();
+  free_list_.clear();
+  free_list_.reserve(num_blocks);
+  // Stack order: block 0 on top, so a fresh pool hands out ids in
+  // ascending order (deterministic block tables for the stepped mode).
+  for (size_t b = num_blocks; b-- > 0;) {
+    free_list_.push_back(static_cast<uint32_t>(b));
+  }
+  is_free_.assign(num_blocks, 1);
+  peak_used_ = 0;
+  exhaustion_events_ = 0;
+}
+
+size_t KvBlockPool::bytes() const { return arena_.used(); }
+
+size_t KvBlockPool::free_blocks() const {
+  const std::lock_guard lock(mutex_);
+  return free_list_.size();
+}
+
+size_t KvBlockPool::used_blocks() const {
+  const std::lock_guard lock(mutex_);
+  return num_blocks_ - free_list_.size();
+}
+
+size_t KvBlockPool::peak_used_blocks() const {
+  const std::lock_guard lock(mutex_);
+  return peak_used_;
+}
+
+uint64_t KvBlockPool::exhaustion_events() const {
+  const std::lock_guard lock(mutex_);
+  return exhaustion_events_;
+}
+
+bool KvBlockPool::take_locked(size_t n, std::vector<uint32_t>& out) {
+  if (n > free_list_.size()) {
+    ++exhaustion_events_;
+    return false;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t b = free_list_.back();
+    free_list_.pop_back();
+    is_free_[b] = 0;
+    out.push_back(b);
+  }
+  peak_used_ = std::max(peak_used_, num_blocks_ - free_list_.size());
+  return true;
+}
+
+bool KvBlockPool::try_reserve(size_t n, std::vector<uint32_t>& out) {
+  if (n == 0) return true;
+  const std::lock_guard lock(mutex_);
+  if (!configured()) {
+    throw std::logic_error("KvBlockPool::try_reserve: not configured");
+  }
+  return take_locked(n, out);
+}
+
+void KvBlockPool::reserve_wait(size_t n, std::vector<uint32_t>& out) {
+  if (n == 0) return;
+  std::unique_lock lock(mutex_);
+  if (!configured()) {
+    throw std::logic_error("KvBlockPool::reserve_wait: not configured");
+  }
+  if (n > num_blocks_) {
+    throw KvBlockExhausted(
+        "KvBlockPool::reserve_wait: request exceeds pool size");
+  }
+  if (!take_locked(n, out)) {  // records the exhaustion event once
+    freed_.wait(lock, [&] { return n <= free_list_.size(); });
+    take_locked(n, out);  // predicate guarantees success
+  }
+}
+
+void KvBlockPool::release(std::span<const uint32_t> blocks) {
+  if (blocks.empty()) return;
+  {
+    const std::lock_guard lock(mutex_);
+    // Validate the whole span (marking as we go so a duplicate WITHIN
+    // the span also trips the check) and roll back before throwing: a
+    // bad or double-freed id must never leave a block both free-listed
+    // and still held by a cache — that alias would hand one block to
+    // two sequences, which then overwrite each other's K/V rows.
+    size_t marked = 0;
+    while (marked < blocks.size()) {
+      const uint32_t b = blocks[marked];
+      if (b >= num_blocks_ || is_free_[b]) break;
+      is_free_[b] = 1;
+      ++marked;
+    }
+    if (marked != blocks.size()) {
+      const bool bad_id = blocks[marked] >= num_blocks_;
+      for (size_t i = 0; i < marked; ++i) is_free_[blocks[i]] = 0;
+      if (bad_id) {
+        throw std::invalid_argument("KvBlockPool::release: bad block id");
+      }
+      throw std::logic_error("KvBlockPool::release: double free");
+    }
+    for (uint32_t b : blocks) free_list_.push_back(b);
+  }
+  freed_.notify_all();
+}
+
+// --- KvCache -----------------------------------------------------------------
+
+KvCache::~KvCache() {
+  // Give shared-pool blocks back so a dying session (exception unwind,
+  // scheduler teardown) never strands capacity other sequences wait on.
+  if (pool_ != nullptr && !block_table_.empty()) {
+    pool_->release(block_table_);
+  }
+}
+
 void KvCache::configure(size_t num_layers, size_t num_heads,
                         size_t head_dim, size_t capacity,
-                        size_t memory_capacity) {
+                        size_t memory_capacity,
+                        const KvCacheOptions& opts) {
   if (num_layers == 0 || num_heads == 0 || head_dim == 0 || capacity == 0 ||
       memory_capacity == 0) {
     throw std::invalid_argument("KvCache::configure: zero dimension");
   }
+  const bool paged = opts.block_rows > 0;
+  if (!paged && opts.pool != nullptr) {
+    throw std::invalid_argument(
+        "KvCache::configure: pool given but block_rows = 0 (dense)");
+  }
   if (configured() && layers_.size() == num_layers &&
       num_heads_ == num_heads && head_dim_ == head_dim &&
-      capacity_ == capacity && memory_capacity_ == memory_capacity) {
-    return;  // identical geometry: keep storage and sequence state
+      capacity_ == capacity && memory_capacity_ == memory_capacity &&
+      block_rows_ == opts.block_rows &&
+      (opts.pool == nullptr ? owned_pool_ != nullptr || !paged
+                            : pool_ == opts.pool)) {
+    return;  // identical geometry and layout: keep storage and state
   }
 
+  release_blocks();
   layers_.clear();
   arena_.reset();  // no live views by contract once layers_ is cleared
   num_heads_ = num_heads;
@@ -25,23 +175,153 @@ void KvCache::configure(size_t num_layers, size_t num_heads,
   memory_capacity_ = memory_capacity;
   len_ = 0;
   memory_len_ = 0;
+  block_rows_ = opts.block_rows;
+  owned_pool_.reset();
+  pool_ = nullptr;
 
   layers_.resize(num_layers);
   for (LayerKv& layer : layers_) {
-    layer.self_k.reserve(num_heads);
-    layer.self_v.reserve(num_heads);
     layer.cross_k.reserve(num_heads);
     layer.cross_v.reserve(num_heads);
     for (size_t h = 0; h < num_heads; ++h) {
-      layer.self_k.push_back(arena_.matrix_i8(capacity, head_dim));
-      layer.self_v.push_back(arena_.matrix_i8(capacity, head_dim));
       layer.cross_k.push_back(arena_.matrix_i8(memory_capacity, head_dim));
       layer.cross_v.push_back(arena_.matrix_i8(memory_capacity, head_dim));
-      layer.self_k.back().fill(0);
-      layer.self_v.back().fill(0);
       layer.cross_k.back().fill(0);
       layer.cross_v.back().fill(0);
     }
+    if (!paged) {
+      layer.self_k.reserve(num_heads);
+      layer.self_v.reserve(num_heads);
+      for (size_t h = 0; h < num_heads; ++h) {
+        layer.self_k.push_back(arena_.matrix_i8(capacity, head_dim));
+        layer.self_v.push_back(arena_.matrix_i8(capacity, head_dim));
+        layer.self_k.back().fill(0);
+        layer.self_v.back().fill(0);
+      }
+    }
+  }
+
+  if (paged) {
+    const size_t max_blocks = util::ceil_div(capacity, block_rows_);
+    if (opts.pool != nullptr) {
+      if (!opts.pool->configured()) {
+        throw std::invalid_argument(
+            "KvCache::configure: shared pool not configured");
+      }
+      if (opts.pool->block_rows() != block_rows_ ||
+          opts.pool->row_bytes() != row_bytes()) {
+        throw std::invalid_argument(
+            "KvCache::configure: shared pool geometry mismatch");
+      }
+      pool_ = opts.pool;
+    } else {
+      owned_pool_ = std::make_unique<KvBlockPool>();
+      owned_pool_->configure(max_blocks, block_rows_, row_bytes());
+      pool_ = owned_pool_.get();
+    }
+    // Pre-size the table so steady-state growth never heap-allocates.
+    block_table_.clear();
+    block_table_.reserve(max_blocks);
+  }
+}
+
+bool KvCache::try_reserve_rows(size_t rows) {
+  if (!configured()) {
+    throw std::logic_error("KvCache::try_reserve_rows: not configured");
+  }
+  if (rows > capacity_) {
+    throw std::invalid_argument(
+        "KvCache::try_reserve_rows: rows exceed capacity");
+  }
+  if (!paged() || rows <= reserved_rows()) return true;
+  const size_t need =
+      util::ceil_div(rows, block_rows_) - block_table_.size();
+  return pool_->try_reserve(need, block_table_);
+}
+
+void KvCache::reserve_rows(size_t rows) {
+  if (!try_reserve_rows(rows)) {
+    throw KvBlockExhausted("KvCache::reserve_rows: block pool exhausted");
+  }
+}
+
+void KvCache::reserve_rows_wait(size_t rows) {
+  if (!configured()) {
+    throw std::logic_error("KvCache::reserve_rows_wait: not configured");
+  }
+  if (rows > capacity_) {
+    throw std::invalid_argument(
+        "KvCache::reserve_rows_wait: rows exceed capacity");
+  }
+  if (!paged() || rows <= reserved_rows()) return;
+  const size_t need =
+      util::ceil_div(rows, block_rows_) - block_table_.size();
+  pool_->reserve_wait(need, block_table_);
+}
+
+void KvCache::release_blocks() {
+  if (pool_ != nullptr && !block_table_.empty()) {
+    pool_->release(block_table_);
+    block_table_.clear();
+  }
+  len_ = 0;  // the cached rows died with their blocks
+}
+
+int8_t* KvCache::self_row_ptr(size_t row, size_t layer, size_t head,
+                              size_t which) {
+  const uint32_t block = block_table_[row / block_rows_];
+  return pool_->row_data(block, row % block_rows_) +
+         ((layer * num_heads_ + head) * 2 + which) * head_dim_;
+}
+
+const int8_t* KvCache::self_row_ptr(size_t row, size_t layer, size_t head,
+                                    size_t which) const {
+  const uint32_t block = block_table_[row / block_rows_];
+  return pool_->row_data(block, row % block_rows_) +
+         ((layer * num_heads_ + head) * 2 + which) * head_dim_;
+}
+
+void KvCache::scatter_self(size_t layer, size_t head, size_t pos,
+                           tensor::ConstMatrixViewI8 k,
+                           tensor::ConstMatrixViewI8 v) {
+  if (!paged()) {
+    throw std::logic_error("KvCache::scatter_self: dense layout");
+  }
+  if (layer >= layers_.size() || head >= num_heads_ ||
+      k.rows() != v.rows() || k.cols() != head_dim_ ||
+      v.cols() != head_dim_) {
+    throw std::invalid_argument("KvCache::scatter_self: bad shape");
+  }
+  if (pos + k.rows() > reserved_rows()) {
+    throw std::logic_error("KvCache::scatter_self: rows not reserved");
+  }
+  for (size_t r = 0; r < k.rows(); ++r) {
+    std::memcpy(self_row_ptr(pos + r, layer, head, 0), k.row(r).data(),
+                head_dim_);
+    std::memcpy(self_row_ptr(pos + r, layer, head, 1), v.row(r).data(),
+                head_dim_);
+  }
+}
+
+void KvCache::gather_self(size_t layer, size_t head, size_t rows,
+                          tensor::MatrixViewI8 k_dst,
+                          tensor::MatrixViewI8 v_dst) const {
+  if (!paged()) {
+    throw std::logic_error("KvCache::gather_self: dense layout");
+  }
+  if (layer >= layers_.size() || head >= num_heads_ ||
+      k_dst.rows() != rows || v_dst.rows() != rows ||
+      k_dst.cols() != head_dim_ || v_dst.cols() != head_dim_) {
+    throw std::invalid_argument("KvCache::gather_self: bad shape");
+  }
+  if (rows > reserved_rows()) {
+    throw std::logic_error("KvCache::gather_self: rows not reserved");
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    std::memcpy(k_dst.row(r).data(), self_row_ptr(r, layer, head, 0),
+                head_dim_);
+    std::memcpy(v_dst.row(r).data(), self_row_ptr(r, layer, head, 1),
+                head_dim_);
   }
 }
 
@@ -61,7 +341,17 @@ void KvCache::append(size_t n) {
   if (len_ + n > capacity_) {
     throw std::invalid_argument("KvCache::append: capacity exceeded");
   }
+  if (paged() && len_ + n > reserved_rows()) {
+    throw std::logic_error("KvCache::append: rows not reserved");
+  }
   len_ += n;
+}
+
+size_t KvCache::self_bytes() const {
+  if (paged()) {
+    return block_table_.size() * pool_->block_bytes();
+  }
+  return layers_.size() * num_heads_ * 2 * capacity_ * head_dim_;
 }
 
 }  // namespace protea::runtime

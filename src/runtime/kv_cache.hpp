@@ -1,4 +1,5 @@
-// Arena-backed K/V caches for incremental (KV-cached) decoding.
+// Arena-backed K/V caches for incremental (KV-cached) decoding, with a
+// vLLM-style paged layout for the self-attention rows.
 //
 // A decoder layer's attention state during autoregressive generation is
 // (a) the self-attention K/V rows of every already-processed target
@@ -8,15 +9,39 @@
 // what makes naive generation quadratic; caching both makes step t cost
 // O(t) attention work instead of O(t^2).
 //
-// Storage is one private WorkspaceArena sized at configure(): every view
-// is carved out up front at the synthesized capacities, so per-step
-// bookkeeping is two integers (len, memory_len) and steady-state decoding
-// never touches the allocator. begin_sequence() recycles the same storage
-// for the next request — the property the continuous-batching scheduler
-// relies on when a slot retires one sequence and admits another.
+// Two self-K/V layouts share one KvCache front end:
+//
+//   * dense (PR-3 layout, block_rows = 0): every head gets a private
+//     (capacity x head_dim) view carved from the cache's arena at
+//     configure(). Simple and contiguous, but a short sequence strands
+//     the whole capacity reservation for its slot.
+//   * paged (default): token rows live in fixed-size blocks handed out
+//     by a KvBlockPool free list. One block holds `block_rows` token
+//     rows, each row packing K and V for every (layer, head) — so one
+//     per-sequence block table covers the whole stack, and capacity is
+//     reserved per block on demand instead of per slot up front. The
+//     pool can be private (sized at one full sequence) or shared by
+//     many sequences, which is where the serving win lives: short
+//     sequences hold only the blocks they actually filled.
+//
+// Cross K/V stays dense: it is written once per sequence at prefill and
+// sized by the memory, not by generation progress.
+//
+// Per-step bookkeeping is still two integers (len, memory_len) plus the
+// block table; steady-state decoding never touches the heap (the block
+// table and free list are pre-reserved at configure()). begin_sequence()
+// recycles the same storage for the next request — the property the
+// continuous-batching scheduler relies on when a slot retires one
+// sequence and admits another.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "runtime/workspace_arena.hpp"
@@ -24,24 +49,113 @@
 
 namespace protea::runtime {
 
+/// Thrown when a paged cache cannot get a block from its pool. Schedulers
+/// catch-or-avoid this by reserving at admission (backpressure: the
+/// request waits instead of corrupting a neighbor's rows).
+class KvBlockExhausted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Fixed-size block allocator for paged self K/V. All blocks are carved
+/// from one private WorkspaceArena at configure() and recycled through a
+/// free list; allocation is all-or-nothing (a partially-reserved sequence
+/// would deadlock against another one). Thread-safe: scheduler workers
+/// share one pool, and reserve_wait() parks a worker until a finishing
+/// sequence releases blocks.
+class KvBlockPool {
+ public:
+  static constexpr uint32_t kNoBlock = 0xffffffffu;
+
+  KvBlockPool() = default;
+  KvBlockPool(const KvBlockPool&) = delete;
+  KvBlockPool& operator=(const KvBlockPool&) = delete;
+
+  /// Carves `num_blocks` blocks of (`block_rows` x `row_bytes`) and
+  /// zero-fills them (recycled blocks always read defined bytes).
+  void configure(size_t num_blocks, size_t block_rows, size_t row_bytes);
+  bool configured() const { return num_blocks_ > 0; }
+
+  size_t num_blocks() const { return num_blocks_; }
+  size_t block_rows() const { return block_rows_; }
+  size_t row_bytes() const { return row_bytes_; }
+  size_t block_bytes() const { return block_rows_ * row_bytes_; }
+  /// Arena bytes backing all blocks.
+  size_t bytes() const;
+
+  size_t free_blocks() const;
+  size_t used_blocks() const;
+  /// High-water mark of concurrently-held blocks since configure().
+  size_t peak_used_blocks() const;
+  /// All-or-nothing reservations that found the pool short (each is one
+  /// backpressure event: the caller waited or deferred admission).
+  uint64_t exhaustion_events() const;
+
+  /// Appends `n` block ids to `out` if all are available; on shortfall
+  /// takes nothing, records an exhaustion event and returns false.
+  bool try_reserve(size_t n, std::vector<uint32_t>& out);
+  /// Blocking form: parks the caller until `n` blocks are free at once.
+  /// `n` must not exceed num_blocks() (it could never be satisfied).
+  void reserve_wait(size_t n, std::vector<uint32_t>& out);
+  /// Returns blocks to the free list and wakes blocked reservers.
+  void release(std::span<const uint32_t> blocks);
+
+  int8_t* row_data(uint32_t block, size_t row) {
+    return data_ + (size_t{block} * block_rows_ + row) * row_bytes_;
+  }
+  const int8_t* row_data(uint32_t block, size_t row) const {
+    return data_ + (size_t{block} * block_rows_ + row) * row_bytes_;
+  }
+
+ private:
+  bool take_locked(size_t n, std::vector<uint32_t>& out);
+
+  WorkspaceArena arena_;
+  int8_t* data_ = nullptr;
+  size_t num_blocks_ = 0;
+  size_t block_rows_ = 0;
+  size_t row_bytes_ = 0;
+  std::vector<uint32_t> free_list_;
+  std::vector<uint8_t> is_free_;  // per-block state, guards double frees
+  size_t peak_used_ = 0;
+  uint64_t exhaustion_events_ = 0;
+  mutable std::mutex mutex_;
+  std::condition_variable freed_;
+};
+
 /// One decoder layer's cached tensors, per attention head.
 struct LayerKv {
-  /// (capacity x head_dim) each; rows [0, len) hold cached self K/V.
+  /// Dense layout only: (capacity x head_dim) each; rows [0, len) hold
+  /// cached self K/V. Empty in paged mode (rows live in the block pool).
   std::vector<tensor::MatrixViewI8> self_k, self_v;
   /// (memory_capacity x head_dim) each; rows [0, memory_len) hold the
   /// encoder memory projected through this layer's cross K/V weights.
   std::vector<tensor::MatrixViewI8> cross_k, cross_v;
 };
 
+struct KvCacheOptions {
+  /// Token rows per block. 0 selects the dense (PR-3) layout.
+  size_t block_rows = 16;
+  /// Shared pool for paged mode; nullptr gives the cache a private pool
+  /// sized at one full-capacity sequence (same worst-case footprint as
+  /// dense, but allocated block-by-block on demand).
+  KvBlockPool* pool = nullptr;
+};
+
 class KvCache {
  public:
   KvCache() = default;
+  ~KvCache();
+  KvCache(const KvCache&) = delete;
+  KvCache& operator=(const KvCache&) = delete;
 
-  /// Carves all per-layer/per-head views out of the private arena and
-  /// zero-fills them (so a warmup pass over an empty cache reads defined
-  /// bytes). Reconfiguring with identical geometry is a no-op.
+  /// Carves the cross views (and, in dense mode, the self views) out of
+  /// the private arena and zero-fills them. Paged mode instead sizes the
+  /// block table and binds the pool. Reconfiguring with identical
+  /// geometry and layout is a no-op.
   void configure(size_t num_layers, size_t num_heads, size_t head_dim,
-                 size_t capacity, size_t memory_capacity);
+                 size_t capacity, size_t memory_capacity,
+                 const KvCacheOptions& opts = {});
   bool configured() const { return !layers_.empty(); }
 
   size_t num_layers() const { return layers_.size(); }
@@ -56,22 +170,73 @@ class KvCache {
   /// Valid cross-projection rows for the current sequence.
   size_t memory_len() const { return memory_len_; }
 
+  // --- paged layout ---------------------------------------------------------
+
+  bool paged() const { return block_rows_ > 0; }
+  size_t block_rows() const { return block_rows_; }
+  KvBlockPool* pool() { return pool_; }
+  const KvBlockPool* pool() const { return pool_; }
+  /// Rows the current block table can hold (capacity() in dense mode).
+  size_t reserved_rows() const {
+    return paged() ? block_table_.size() * block_rows_ : capacity_;
+  }
+  std::span<const uint32_t> block_table() const { return block_table_; }
+
+  /// Grows the block table to cover `rows` total rows (all-or-nothing;
+  /// never shrinks). Dense mode always succeeds. Returns false — taking
+  /// nothing — when the pool is short.
+  bool try_reserve_rows(size_t rows);
+  /// try_reserve_rows or throw KvBlockExhausted.
+  void reserve_rows(size_t rows);
+  /// Blocking form for threaded schedulers: parks until the pool can
+  /// satisfy the growth. The caller must not hold rows another waiter
+  /// needs (reserve-at-admission keeps this deadlock-free).
+  void reserve_rows_wait(size_t rows);
+  /// Returns every held block to the pool (the cached rows die). The
+  /// scheduler calls this when a sequence retires so waiting admissions
+  /// can proceed; begin_sequence() keeps blocks for reuse instead.
+  void release_blocks();
+
+  /// Copies the new K/V rows [pos, pos + k.rows()) of (layer, head) into
+  /// their blocks (paged mode only; rows must be reserved).
+  void scatter_self(size_t layer, size_t head, size_t pos,
+                    tensor::ConstMatrixViewI8 k, tensor::ConstMatrixViewI8 v);
+  /// Copies rows [0, rows) of (layer, head) K and V into the contiguous
+  /// (rows x head_dim) views `k_dst` / `v_dst` (paged mode only).
+  void gather_self(size_t layer, size_t head, size_t rows,
+                   tensor::MatrixViewI8 k_dst,
+                   tensor::MatrixViewI8 v_dst) const;
+
+  // --- sequence bookkeeping -------------------------------------------------
+
   /// Starts a new sequence in the same storage: drops all cached target
   /// rows and records the memory length the cross caches will be
-  /// prefilled for. Never allocates.
+  /// prefilled for. Held blocks are kept for reuse; never allocates.
   void begin_sequence(size_t memory_len);
 
   /// Marks `n` more target rows as cached, after a full stack pass has
-  /// appended them to every layer's self K/V views.
+  /// appended them to every layer's self K/V rows.
   void append(size_t n);
 
   LayerKv& layer(size_t i) { return layers_.at(i); }
   const LayerKv& layer(size_t i) const { return layers_.at(i); }
 
-  /// Arena bytes backing the cache storage.
+  /// Arena bytes backing the cache storage (cross views, plus the dense
+  /// self views; paged self rows live in the pool — see self_bytes()).
   size_t bytes() const { return arena_.used(); }
+  /// Self-K/V bytes this cache currently holds: the dense reservation,
+  /// or the held blocks' bytes in paged mode.
+  size_t self_bytes() const;
 
  private:
+  int8_t* self_row_ptr(size_t row, size_t layer, size_t head, size_t which);
+  const int8_t* self_row_ptr(size_t row, size_t layer, size_t head,
+                             size_t which) const;
+  /// Bytes per pooled token row: K and V for every (layer, head).
+  size_t row_bytes() const {
+    return layers_.size() * num_heads_ * 2 * head_dim_;
+  }
+
   WorkspaceArena arena_;
   std::vector<LayerKv> layers_;
   size_t num_heads_ = 0;
@@ -80,6 +245,11 @@ class KvCache {
   size_t memory_capacity_ = 0;
   size_t len_ = 0;
   size_t memory_len_ = 0;
+  // Paged state.
+  size_t block_rows_ = 0;
+  KvBlockPool* pool_ = nullptr;
+  std::unique_ptr<KvBlockPool> owned_pool_;
+  std::vector<uint32_t> block_table_;
 };
 
 }  // namespace protea::runtime

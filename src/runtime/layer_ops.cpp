@@ -351,8 +351,9 @@ void run_decoder_layer(const LayerOpContext& ctx,
 
 void run_self_attention_cached(const LayerOpContext& ctx,
                                const AttentionBlockDesc& desc,
-                               tensor::ConstMatrixViewI8 x, LayerKv& kv,
-                               size_t pos, tensor::MatrixViewI8 concat) {
+                               tensor::ConstMatrixViewI8 x, KvCache& cache,
+                               size_t layer_index, size_t pos,
+                               tensor::MatrixViewI8 concat) {
   if (desc.self_heads.empty()) {
     throw std::invalid_argument(
         "run_self_attention_cached: self heads required");
@@ -365,11 +366,13 @@ void run_self_attention_cached(const LayerOpContext& ctx,
     throw std::invalid_argument(
         "run_self_attention_cached: head dims inconsistent");
   }
-  if (kv.self_k.size() != h || kv.self_k[0].cols() != dk) {
+  if (cache.num_heads() != h || cache.head_dim() != dk ||
+      layer_index >= cache.num_layers()) {
     throw std::invalid_argument(
         "run_self_attention_cached: cache geometry mismatch");
   }
-  if (pos + n > kv.self_k[0].rows()) {
+  if (pos + n > cache.capacity() ||
+      (cache.paged() && pos + n > cache.reserved_rows())) {
     throw std::invalid_argument(
         "run_self_attention_cached: cache capacity exceeded");
   }
@@ -378,22 +381,40 @@ void run_self_attention_cached(const LayerOpContext& ctx,
         "run_self_attention_cached: concat shape mismatch");
   }
   const size_t total = pos + n;
+  LayerKv& kv = cache.layer(layer_index);
 
   const accel::SoftmaxUnit softmax(desc.logit_scale);
   for (size_t head = 0; head < h; ++head) {
     const auto m = ctx.ws.mark();
     auto q = ctx.ws.matrix_i8(n, dk);
-    // The QKV engine writes the new K/V rows straight into the cache.
-    auto k_new = append_rows(kv.self_k[head], pos, n);
-    auto v_new = append_rows(kv.self_v[head], pos, n);
-    accel::run_qkv_engine(x, desc.self_heads[head], ctx.ts_mha, *desc.rq_q,
-                          *desc.rq_k, *desc.rq_v, q, k_new, v_new, ctx.ws,
-                          ctx.stats, ctx.gemm_pool);
-
-    const tensor::ConstMatrixViewI8 k_all =
-        prefix_rows(kv.self_k[head], total);
-    const tensor::ConstMatrixViewI8 v_all =
-        prefix_rows(kv.self_v[head], total);
+    tensor::ConstMatrixViewI8 k_all, v_all;
+    if (!cache.paged()) {
+      // Dense: the QKV engine writes the new K/V rows straight into the
+      // cache views, and the cached prefix is already contiguous.
+      auto k_new = append_rows(kv.self_k[head], pos, n);
+      auto v_new = append_rows(kv.self_v[head], pos, n);
+      accel::run_qkv_engine(x, desc.self_heads[head], ctx.ts_mha,
+                            *desc.rq_q, *desc.rq_k, *desc.rq_v, q, k_new,
+                            v_new, ctx.ws, ctx.stats, ctx.gemm_pool);
+      k_all = prefix_rows(kv.self_k[head], total);
+      v_all = prefix_rows(kv.self_v[head], total);
+    } else {
+      // Paged: project into workspace scratch, scatter the new rows
+      // through the block table, then gather the whole cached prefix
+      // into contiguous views for the layout-blind QK/SV engines. The
+      // copies are exact, so paged == dense bit for bit.
+      auto k_new = ctx.ws.matrix_i8(n, dk);
+      auto v_new = ctx.ws.matrix_i8(n, dk);
+      accel::run_qkv_engine(x, desc.self_heads[head], ctx.ts_mha,
+                            *desc.rq_q, *desc.rq_k, *desc.rq_v, q, k_new,
+                            v_new, ctx.ws, ctx.stats, ctx.gemm_pool);
+      cache.scatter_self(layer_index, head, pos, k_new, v_new);
+      auto k_gather = ctx.ws.matrix_i8(total, dk);
+      auto v_gather = ctx.ws.matrix_i8(total, dk);
+      cache.gather_self(layer_index, head, total, k_gather, v_gather);
+      k_all = k_gather;
+      v_all = v_gather;
+    }
     auto logits = ctx.ws.matrix_i8(n, total);
     auto weights = ctx.ws.matrix_i8(n, total);
     auto scores = ctx.ws.matrix_i8(n, dk);
@@ -495,10 +516,12 @@ void run_cross_attention_cached(const LayerOpContext& ctx,
 void run_decoder_layer_cached(const LayerOpContext& ctx,
                               const accel::QDecoderLayer& layer,
                               tensor::ConstMatrixViewI8 x, size_t pos,
-                              LayerKv& kv, size_t memory_len,
+                              KvCache& cache, size_t layer_index,
                               tensor::MatrixViewI8 out, StageGate* gate) {
   const size_t n = x.rows();
   const size_t d = x.cols();
+  const size_t memory_len = cache.memory_len();
+  LayerKv& kv = cache.layer(layer_index);
   const auto m = ctx.ws.mark();
 
   // Masked self-attention over the cached prefix (MHA-module engines).
@@ -506,7 +529,7 @@ void run_decoder_layer_cached(const LayerOpContext& ctx,
   {
     const StageScope scope(gate, Stage::kMha);
     run_self_attention_cached(ctx, decoder_self_attention_desc(layer), x,
-                              kv, pos, self_concat);
+                              cache, layer_index, pos, self_concat);
   }
   auto x1 = ctx.ws.matrix_i8(n, d);
   {

@@ -217,21 +217,28 @@ AttentionBlockDesc decoder_cross_attention_desc(
 
 // --- KV-cached (incremental) variants ---------------------------------------
 // The same engine sequences, but attention state lives in a KvCache: the
-// self-attention K/V of new rows are appended in place (the QKV engine
-// writes straight into the cache views) and the QK/softmax/SV stages span
-// the cached prefix, so a decode step does O(len) attention work instead
-// of recomputing the whole O(len^2) square. int32 accumulation is exact
-// and every op is row-wise, so the cached path is bit-identical to the
-// full-recompute path — pinned by tests/test_generation.cpp.
+// self-attention K/V of new rows are appended in place and the
+// QK/softmax/SV stages span the cached prefix, so a decode step does
+// O(len) attention work instead of recomputing the whole O(len^2)
+// square. In the dense layout the QKV engine writes straight into the
+// cache views; in the paged layout the new rows are scattered through
+// the sequence's block table and the cached prefix is gathered into
+// contiguous workspace views before QK/SV (the engines themselves are
+// layout-blind). int32 accumulation is exact, every op is row-wise and
+// gather/scatter are byte copies, so BOTH layouts are bit-identical to
+// the full-recompute path — pinned by tests/test_generation.cpp and
+// tests/test_kv_paging.cpp.
 
 /// Masked self-attention over `x` (n new rows at absolute positions
-/// [pos, pos+n)) with K/V appended into `kv` rows [pos, pos+n) and
-/// attention spanning the pos+n cached rows. `desc.self_heads` must be
-/// set; `desc.causal` is implied (row i masks columns > pos+i).
+/// [pos, pos+n)) with K/V appended into `cache` rows [pos, pos+n) of
+/// layer `layer_index` and attention spanning the pos+n cached rows.
+/// `desc.self_heads` must be set; `desc.causal` is implied (row i masks
+/// columns > pos+i). Paged caches must have rows [0, pos+n) reserved.
 void run_self_attention_cached(const LayerOpContext& ctx,
                                const AttentionBlockDesc& desc,
-                               tensor::ConstMatrixViewI8 x, LayerKv& kv,
-                               size_t pos, tensor::MatrixViewI8 concat);
+                               tensor::ConstMatrixViewI8 x, KvCache& cache,
+                               size_t layer_index, size_t pos,
+                               tensor::MatrixViewI8 concat);
 
 /// One-time prefill: projects the quantized encoder memory through the
 /// layer's cross K/V weights into `kv` rows [0, memory.rows()).
@@ -249,14 +256,15 @@ void run_cross_attention_cached(const LayerOpContext& ctx,
                                 tensor::MatrixViewI8 concat);
 
 /// One decoder layer over cached K/V: appends `x` (n rows at position
-/// `pos`) to the layer's self cache, attends over the cached prefix and
-/// the prefilled cross projections, then projection-LN + FFN. The
-/// optional gate brackets the MHA-module stages (both attentions) and
-/// FFN-module stages (projections + FFN) for the generation scheduler.
+/// `pos`) to layer `layer_index`'s self cache, attends over the cached
+/// prefix and the prefilled cross projections (cache.memory_len() rows),
+/// then projection-LN + FFN. The optional gate brackets the MHA-module
+/// stages (both attentions) and FFN-module stages (projections + FFN)
+/// for the generation scheduler.
 void run_decoder_layer_cached(const LayerOpContext& ctx,
                               const accel::QDecoderLayer& layer,
                               tensor::ConstMatrixViewI8 x, size_t pos,
-                              LayerKv& kv, size_t memory_len,
+                              KvCache& cache, size_t layer_index,
                               tensor::MatrixViewI8 out,
                               StageGate* gate = nullptr);
 

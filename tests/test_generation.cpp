@@ -214,6 +214,42 @@ TEST(GenerationSession, ValidatesInputs) {
       std::invalid_argument);
 }
 
+// --- chunked prefill --------------------------------------------------------
+
+TEST(GenerationSession, ChunkedPrefillBitIdenticalToOneShot) {
+  // Chunk sizes {1, 7, T-1, T} (T = 9) must all produce outputs
+  // bit-identical to the one-shot pass: every op is row-wise and the
+  // causal mask only looks backwards, so splitting the prompt into
+  // bounded passes changes the schedule, not the numbers.
+  Fixture fx;
+  constexpr size_t kT = 9;
+  const auto prefix = random_input(kT, fx.cfg.d_model, 150);
+
+  runtime::GenerationSession one_shot(fx.acfg, fx.qd);
+  tensor::MatrixF expected;
+  one_shot.prefill(prefix, fx.memory, expected);
+
+  for (size_t chunk : {size_t{1}, size_t{7}, kT - 1, kT}) {
+    runtime::GenerationOptions opts;
+    opts.prefill_chunk = chunk;
+    runtime::GenerationSession session(fx.acfg, fx.qd, nullptr, opts);
+    tensor::MatrixF states;
+    session.prefill(prefix, fx.memory, states);
+    EXPECT_EQ(states, expected) << "chunk " << chunk;
+    EXPECT_EQ(session.position(), kT) << "chunk " << chunk;
+
+    // Decode after a chunked prefill must also match.
+    tensor::MatrixF token = random_input(1, fx.cfg.d_model, 151);
+    tensor::MatrixF state, expected_state;
+    one_shot.decode_step(token, expected_state);
+    session.decode_step(token, state);
+    EXPECT_EQ(state, expected_state) << "chunk " << chunk;
+
+    // Re-arm the one-shot session for the next chunk size.
+    one_shot.prefill(prefix, fx.memory, expected);
+  }
+}
+
 // --- incremental perf model vs executed schedule ----------------------------
 
 TEST(GenerationPerf, PrefillMacsMatchExecution) {
@@ -433,6 +469,79 @@ TEST(GenerationScheduler, ThreadedMatchesStepped) {
   EXPECT_EQ(scheduler.last_run().prefills, requests.size());
 }
 
+TEST(GenerationScheduler, ChunkedPrefillAdmissionMatchesOneShot) {
+  // The stepped scheduler with chunked-prefill admission (one chunk per
+  // scheduler step) must emit token-for-token identical results, while
+  // executing more prefill passes than prompts.
+  Fixture fx;
+  std::vector<runtime::GenerationRequest> requests;
+  for (uint64_t i = 0; i < 4; ++i) {
+    auto req = make_request(fx, 160 + i, 3);
+    req.prefix = random_input(5 + i % 3, fx.cfg.d_model, 170 + i);
+    requests.push_back(std::move(req));
+  }
+  runtime::GenerationScheduler scheduler(fx.acfg, fx.qd);
+  runtime::GenerationSchedulerOptions opts;
+  opts.slots = 2;
+  const auto expected = scheduler.run(requests, opts);
+
+  opts.prefill_chunk = 2;
+  const auto results = scheduler.run(requests, opts);
+  ASSERT_EQ(results.size(), expected.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].states, expected[i].states) << "request " << i;
+    EXPECT_EQ(results[i].steps, expected[i].steps);
+  }
+  EXPECT_GT(scheduler.last_run().prefill_chunks,
+            scheduler.last_run().prefills);
+}
+
+// --- capacity-edge regression (KvCache over-reservation fix) ----------------
+
+TEST(GenerationScheduler, PromptFillingCapacityStillDecodesFirstToken) {
+  // Regression: a prompt of exactly seq_len rows used to be rejected for
+  // max_new_tokens = 1 even though the first generated token is emitted
+  // from the last prefill state and its embedding is never fed back —
+  // the cache needs no extra row for it.
+  Fixture fx;
+  auto req = make_request(fx, 180, 1);
+  req.prefix = random_input(fx.cfg.seq_len, fx.cfg.d_model, 181);
+  auto emitted = std::make_shared<int>(0);
+  const auto inner = req.next_token;
+  req.next_token = [inner, emitted](std::span<const float> state,
+                                    tensor::MatrixF& next) {
+    ++*emitted;
+    return inner(state, next);
+  };
+
+  runtime::GenerationScheduler scheduler(fx.acfg, fx.qd);
+  const std::vector<runtime::GenerationRequest> requests = {req};
+  const auto results = scheduler.run(requests);
+  EXPECT_EQ(*emitted, 1);  // the first token WAS decoded
+  // Its state row cannot be cached (position == capacity), so no decode
+  // step ran and the states are exactly the prefill states.
+  EXPECT_EQ(results[0].steps, 0u);
+  EXPECT_EQ(results[0].states.rows(), static_cast<size_t>(fx.cfg.seq_len));
+
+  runtime::GenerationSession session(fx.acfg, fx.qd);
+  tensor::MatrixF states;
+  session.prefill(req.prefix, fx.memory, states);
+  EXPECT_EQ(results[0].states, states);
+}
+
+TEST(GenerationScheduler, CapacityEdgeStopsDecodeWithoutOverflow) {
+  // prefix + max_new == seq_len + 1: the run must stop at the capacity
+  // instead of throwing from decode_step — seq_len - prefix steps, all
+  // seq_len token emissions served.
+  Fixture fx;
+  const std::vector<runtime::GenerationRequest> requests = {
+      make_request(fx, 185, fx.cfg.seq_len)};  // prefix rows = 1
+  runtime::GenerationScheduler scheduler(fx.acfg, fx.qd);
+  const auto results = scheduler.run(requests);
+  EXPECT_EQ(results[0].steps, static_cast<uint32_t>(fx.cfg.seq_len - 1));
+  EXPECT_EQ(results[0].states.rows(), static_cast<size_t>(fx.cfg.seq_len));
+}
+
 TEST(GenerationScheduler, ValidatesRequests) {
   Fixture fx;
   runtime::GenerationScheduler scheduler(fx.acfg, fx.qd);
@@ -442,7 +551,9 @@ TEST(GenerationScheduler, ValidatesRequests) {
   EXPECT_THROW(scheduler.run(requests), std::invalid_argument);
 
   requests[0] = make_request(fx, 131, 4);
-  requests[0].max_new_tokens = fx.cfg.seq_len;  // prefix + max > seq_len
+  // prefix + max > seq_len + 1 (the +1 edge is legal: the final token's
+  // embedding is never appended, see PromptFillingCapacity* below).
+  requests[0].max_new_tokens = fx.cfg.seq_len + 1;
   EXPECT_THROW(scheduler.run(requests), std::invalid_argument);
 
   requests[0] = make_request(fx, 132, 4);

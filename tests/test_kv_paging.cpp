@@ -1,0 +1,316 @@
+// Property tests for the paged KV-cache layer: the KvBlockPool free
+// list's all-or-nothing reservation contract, and — the tentpole
+// invariant — bit-identity of paged decode against dense decode across
+// randomized (T, capacity, block_size) triples, including
+// block-boundary-straddling sequence lengths, single-token blocks and
+// shared-pool sequences with block exhaustion backpressure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "accel/decoder_model.hpp"
+#include "ref/weights.hpp"
+#include "runtime/generation.hpp"
+#include "runtime/kv_cache.hpp"
+#include "util/rng.hpp"
+
+namespace protea {
+namespace {
+
+tensor::MatrixF random_input(size_t rows, size_t cols, uint64_t seed) {
+  tensor::MatrixF m(rows, cols);
+  util::Xoshiro256 rng(seed);
+  for (float& x : m.flat()) {
+    x = static_cast<float>(std::clamp(rng.normal(), -3.0, 3.0));
+  }
+  return m;
+}
+
+/// Model + quantized decoder at a given target capacity (seq_len).
+struct PagingFixture {
+  ref::ModelConfig cfg;
+  accel::AccelConfig acfg;
+  accel::QuantizedDecoder qd;
+  tensor::MatrixF memory;
+
+  explicit PagingFixture(uint32_t seq_len, uint64_t seed = 200) {
+    cfg.seq_len = seq_len;
+    cfg.d_model = 48;
+    cfg.num_heads = 4;
+    cfg.num_layers = 2;
+    cfg.activation = ref::Activation::kGelu;
+    const auto weights = ref::make_random_decoder_weights(cfg, seed);
+    memory = random_input(6, cfg.d_model, seed + 1);
+    const auto calib = random_input(cfg.seq_len, cfg.d_model, seed + 2);
+    qd = accel::prepare_decoder(weights, calib, memory);
+  }
+};
+
+// --- KvBlockPool free-list contract -----------------------------------------
+
+TEST(KvBlockPool, AllOrNothingReservationAndPeakTracking) {
+  runtime::KvBlockPool pool;
+  pool.configure(4, 2, 16);
+  EXPECT_EQ(pool.free_blocks(), 4u);
+  EXPECT_EQ(pool.block_bytes(), 32u);
+
+  std::vector<uint32_t> held;
+  EXPECT_TRUE(pool.try_reserve(3, held));
+  EXPECT_EQ(held.size(), 3u);
+  EXPECT_EQ(pool.used_blocks(), 3u);
+  EXPECT_EQ(pool.peak_used_blocks(), 3u);
+
+  // Shortfall takes NOTHING (a partial grab would deadlock two waiters)
+  // and records one backpressure event.
+  std::vector<uint32_t> more;
+  EXPECT_FALSE(pool.try_reserve(2, more));
+  EXPECT_TRUE(more.empty());
+  EXPECT_EQ(pool.free_blocks(), 1u);
+  EXPECT_EQ(pool.exhaustion_events(), 1u);
+
+  pool.release(held);
+  held.clear();
+  EXPECT_EQ(pool.free_blocks(), 4u);
+  EXPECT_EQ(pool.peak_used_blocks(), 3u);  // high-water mark sticks
+
+  // Recycled blocks come back in free-list order; reservation succeeds
+  // again with the same all-or-nothing semantics.
+  EXPECT_TRUE(pool.try_reserve(4, held));
+  EXPECT_EQ(pool.free_blocks(), 0u);
+  EXPECT_EQ(pool.peak_used_blocks(), 4u);
+  pool.release(held);
+}
+
+TEST(KvBlockPool, ValidatesArguments) {
+  runtime::KvBlockPool pool;
+  EXPECT_THROW(pool.configure(0, 2, 16), std::invalid_argument);
+  std::vector<uint32_t> out;
+  EXPECT_THROW(pool.try_reserve(1, out), std::logic_error);  // unconfigured
+
+  pool.configure(2, 2, 16);
+  // A request larger than the pool could never be satisfied by waiting.
+  EXPECT_THROW(pool.reserve_wait(3, out), runtime::KvBlockExhausted);
+  const uint32_t bad = 7;
+  EXPECT_THROW(pool.release({&bad, 1}), std::invalid_argument);
+  EXPECT_EQ(pool.free_blocks(), 2u);  // failed release mutated nothing
+
+  // Double frees — of an already-free block, or duplicated WITHIN one
+  // span — must throw and leave the pool consistent, never alias one
+  // block to two sequences.
+  std::vector<uint32_t> held;
+  ASSERT_TRUE(pool.try_reserve(1, held));
+  const std::vector<uint32_t> dup = {held[0], held[0]};
+  EXPECT_THROW(pool.release(dup), std::logic_error);
+  EXPECT_EQ(pool.free_blocks(), 1u);  // rollback kept the held block held
+  pool.release(held);
+  EXPECT_THROW(pool.release(held), std::logic_error);
+  EXPECT_EQ(pool.free_blocks(), 2u);
+}
+
+TEST(KvCache, LayoutGuards) {
+  runtime::KvCache dense;
+  dense.configure(1, 2, 8, 4, 4, runtime::KvCacheOptions{.block_rows = 0});
+  EXPECT_FALSE(dense.paged());
+  EXPECT_TRUE(dense.try_reserve_rows(4));  // dense always covers capacity
+  tensor::MatrixI8 rows(2, 8);
+  EXPECT_THROW(dense.scatter_self(0, 0, 0, rows, rows), std::logic_error);
+  EXPECT_THROW(dense.gather_self(0, 0, 2, rows, rows), std::logic_error);
+
+  // A dense cache cannot take a pool, and a paged cache rejects a pool
+  // whose row geometry does not match the stack.
+  runtime::KvBlockPool pool;
+  pool.configure(2, 2, 999);
+  runtime::KvCache paged;
+  EXPECT_THROW(
+      paged.configure(1, 2, 8, 4, 4,
+                      runtime::KvCacheOptions{.block_rows = 0, .pool = &pool}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      paged.configure(1, 2, 8, 4, 4,
+                      runtime::KvCacheOptions{.block_rows = 2, .pool = &pool}),
+      std::invalid_argument);
+}
+
+// --- paged == dense bit-identity (the tentpole invariant) -------------------
+
+/// Runs prefill(T rows) + decode-to-capacity on a dense and a paged
+/// session and asserts every emitted state matches bit for bit.
+void expect_paged_matches_dense(const PagingFixture& fx, size_t t_rows,
+                                size_t block_rows, uint64_t seed) {
+  const auto prefix = random_input(t_rows, fx.cfg.d_model, seed);
+  const auto tokens =
+      random_input(fx.cfg.seq_len, fx.cfg.d_model, seed + 1);
+
+  runtime::GenerationOptions dense_opts;
+  dense_opts.kv_block_rows = 0;  // PR-3 dense layout
+  runtime::GenerationSession dense(fx.acfg, fx.qd, nullptr, dense_opts);
+
+  runtime::GenerationOptions paged_opts;
+  paged_opts.kv_block_rows = block_rows;
+  runtime::GenerationSession paged(fx.acfg, fx.qd, nullptr, paged_opts);
+  ASSERT_TRUE(paged.cache().paged());
+
+  tensor::MatrixF dense_states, paged_states;
+  dense.prefill(prefix, fx.memory, dense_states);
+  paged.prefill(prefix, fx.memory, paged_states);
+  ASSERT_EQ(paged_states, dense_states)
+      << "prefill T=" << t_rows << " bs=" << block_rows;
+
+  tensor::MatrixF ds, ps;
+  for (size_t t = t_rows; t < fx.cfg.seq_len; ++t) {
+    const auto token = tokens.slice_rows(t, 1);
+    dense.decode_step(token, ds);
+    paged.decode_step(token, ps);
+    ASSERT_EQ(ps, ds) << "pos " << t << " T=" << t_rows
+                      << " bs=" << block_rows;
+  }
+  // The paged session held exactly ceil(rows / bs) blocks at the end.
+  EXPECT_EQ(paged.cache().block_table().size(),
+            (fx.cfg.seq_len + block_rows - 1) / block_rows);
+}
+
+TEST(KvPaging, BoundaryStraddlingTriplesAreBitIdentical) {
+  // Hand-picked edges: single-token blocks, prompts ending exactly on a
+  // block boundary, one past it, one before it, a block larger than the
+  // whole capacity, and a prompt filling capacity outright.
+  {
+    PagingFixture fx(8, 210);
+    expect_paged_matches_dense(fx, 5, 1, 300);   // single-token blocks
+    expect_paged_matches_dense(fx, 4, 4, 301);   // prompt == boundary
+    expect_paged_matches_dense(fx, 5, 4, 302);   // one past the boundary
+    expect_paged_matches_dense(fx, 3, 4, 303);   // one before the boundary
+    expect_paged_matches_dense(fx, 3, 16, 304);  // block > capacity
+    expect_paged_matches_dense(fx, 8, 4, 305);   // prompt fills capacity
+  }
+  {
+    PagingFixture fx(13, 211);  // capacity not a multiple of any block
+    expect_paged_matches_dense(fx, 7, 4, 306);
+    expect_paged_matches_dense(fx, 12, 5, 307);
+  }
+}
+
+TEST(KvPaging, RandomizedTriplesAreBitIdentical) {
+  // Fixed-seed randomized sweep over (T, capacity, block_size): the
+  // paged layout must be invisible to the numerics for every shape.
+  util::Xoshiro256 rng(220);
+  const uint32_t capacities[] = {6, 9, 12, 16};
+  const size_t block_sizes[] = {1, 2, 3, 5, 8};
+  for (int trial = 0; trial < 6; ++trial) {
+    const uint32_t cap =
+        capacities[rng.next() % (sizeof(capacities) / sizeof(uint32_t))];
+    const size_t bs =
+        block_sizes[rng.next() % (sizeof(block_sizes) / sizeof(size_t))];
+    const size_t t_rows = 1 + rng.next() % cap;
+    PagingFixture fx(cap, 230 + trial);
+    expect_paged_matches_dense(fx, t_rows, bs, 400 + trial * 10);
+  }
+}
+
+TEST(KvPaging, SharedPoolInterleavedSequencesStayIsolated) {
+  // Two sessions on ONE pool, decoding in lockstep: block tables
+  // interleave in the pool, yet each sequence's states must match a
+  // private-pool run bit for bit (no neighbor corruption).
+  PagingFixture fx(12, 240);
+  runtime::KvBlockPool pool;
+  pool.configure(/*blocks=*/8, /*block_rows=*/3,
+                 fx.cfg.num_layers * fx.cfg.num_heads * 2 *
+                     fx.cfg.head_dim());
+
+  runtime::GenerationOptions shared_opts;
+  shared_opts.kv_block_rows = 3;
+  shared_opts.kv_pool = &pool;
+  runtime::GenerationSession a(fx.acfg, fx.qd, nullptr, shared_opts);
+  runtime::GenerationSession b(fx.acfg, fx.qd, nullptr, shared_opts);
+  runtime::GenerationSession solo(fx.acfg, fx.qd);
+
+  const auto prefix_a = random_input(4, fx.cfg.d_model, 241);
+  const auto prefix_b = random_input(2, fx.cfg.d_model, 242);
+  const auto tokens = random_input(12, fx.cfg.d_model, 243);
+
+  tensor::MatrixF sa, sb, ref_states;
+  a.prefill(prefix_a, fx.memory, sa);
+  b.prefill(prefix_b, fx.memory, sb);
+
+  tensor::MatrixF stepped_a, stepped_b;
+  std::vector<tensor::MatrixF> states_a, states_b;
+  for (size_t t = 0; t < 6; ++t) {  // interleaved lockstep decode
+    a.decode_step(tokens.slice_rows(t, 1), stepped_a);
+    b.decode_step(tokens.slice_rows(t, 1), stepped_b);
+    states_a.push_back(stepped_a);
+    states_b.push_back(stepped_b);
+  }
+  EXPECT_GT(pool.used_blocks(), 0u);
+
+  // Replay each sequence on a private session and compare.
+  tensor::MatrixF ref_step;
+  solo.prefill(prefix_a, fx.memory, ref_states);
+  EXPECT_EQ(ref_states, sa);
+  for (size_t t = 0; t < 6; ++t) {
+    solo.decode_step(tokens.slice_rows(t, 1), ref_step);
+    EXPECT_EQ(states_a[t], ref_step) << "seq a pos " << t;
+  }
+  solo.prefill(prefix_b, fx.memory, ref_states);
+  EXPECT_EQ(ref_states, sb);
+  for (size_t t = 0; t < 6; ++t) {
+    solo.decode_step(tokens.slice_rows(t, 1), ref_step);
+    EXPECT_EQ(states_b[t], ref_step) << "seq b pos " << t;
+  }
+
+  // end_sequence releases every held block back to the pool.
+  a.end_sequence();
+  b.end_sequence();
+  EXPECT_EQ(pool.used_blocks(), 0u);
+}
+
+TEST(KvPaging, ExhaustedPoolThrowsInsteadOfCorrupting) {
+  // A session decoding past what the shared pool can back must fail
+  // loudly (KvBlockExhausted) — never overwrite a neighbor's rows.
+  PagingFixture fx(12, 250);
+  runtime::KvBlockPool pool;
+  pool.configure(/*blocks=*/2, /*block_rows=*/2,
+                 fx.cfg.num_layers * fx.cfg.num_heads * 2 *
+                     fx.cfg.head_dim());
+  runtime::GenerationOptions opts;
+  opts.kv_block_rows = 2;
+  opts.kv_pool = &pool;
+  runtime::GenerationSession session(fx.acfg, fx.qd, nullptr, opts);
+
+  const auto prefix = random_input(3, fx.cfg.d_model, 251);
+  const auto token = random_input(1, fx.cfg.d_model, 252);
+  tensor::MatrixF states, state;
+  session.prefill(prefix, fx.memory, states);  // 2 blocks (4 rows)
+  session.decode_step(token, state);           // row 4 fits the reservation
+  EXPECT_THROW(session.decode_step(token, state),
+               runtime::KvBlockExhausted);
+  // The failed step reserved nothing and cached nothing.
+  EXPECT_EQ(session.position(), 4u);
+  EXPECT_EQ(pool.free_blocks(), 0u);
+  session.end_sequence();
+  EXPECT_EQ(pool.free_blocks(), 2u);
+}
+
+TEST(KvPaging, BlockReuseAfterReleaseIsBitIdentical) {
+  // Blocks recycled through the free list must behave like fresh ones:
+  // run a sequence, release, run a different sequence, compare against
+  // an untouched session.
+  PagingFixture fx(10, 260);
+  runtime::GenerationOptions opts;
+  opts.kv_block_rows = 2;
+  runtime::GenerationSession session(fx.acfg, fx.qd, nullptr, opts);
+
+  tensor::MatrixF states;
+  session.prefill(random_input(9, fx.cfg.d_model, 261), fx.memory, states);
+  session.end_sequence();
+
+  const auto prefix = random_input(4, fx.cfg.d_model, 262);
+  const auto memory2 = random_input(5, fx.cfg.d_model, 263);
+  tensor::MatrixF reused, fresh;
+  session.prefill(prefix, memory2, reused);
+  runtime::GenerationSession session2(fx.acfg, fx.qd, nullptr, opts);
+  session2.prefill(prefix, memory2, fresh);
+  EXPECT_EQ(reused, fresh);
+}
+
+}  // namespace
+}  // namespace protea

@@ -304,6 +304,48 @@ TEST(GenerationSession, SteadyStateDecodeStepMakesZeroHeapAllocations) {
   EXPECT_EQ(after - before, 0u)
       << (after - before) << " heap allocations across "
       << (cfg.seq_len - 2) << " steady-state decode steps";
+  // The default layout is paged now: the pin above also covers block-
+  // table growth (pre-reserved at configure) and pool free-list churn.
+  EXPECT_TRUE(session.cache().paged());
+}
+
+TEST(GenerationSession, PagedChunkedDecodeStepsStayAllocationFree) {
+  // Single-token blocks + chunked prefill is the worst case for the
+  // paged bookkeeping: every decode step crosses a block boundary, so
+  // each one pops the pool free list and grows the block table — all of
+  // which must come from storage pre-reserved at configure().
+  ref::ModelConfig cfg;
+  cfg.seq_len = 12;
+  cfg.d_model = 48;
+  cfg.num_heads = 4;
+  cfg.num_layers = 2;
+  cfg.activation = ref::Activation::kGelu;
+  const auto weights = ref::make_random_decoder_weights(cfg, 150);
+  util::Xoshiro256 rng(151);
+  tensor::MatrixF memory(8, cfg.d_model);
+  tensor::MatrixF calib(cfg.seq_len, cfg.d_model);
+  tensor::MatrixF token(1, cfg.d_model);
+  for (float& x : memory.flat()) x = static_cast<float>(rng.normal());
+  for (float& x : calib.flat()) x = static_cast<float>(rng.normal());
+  for (float& x : token.flat()) x = static_cast<float>(rng.normal());
+  const auto qd = accel::prepare_decoder(weights, calib, memory);
+
+  const accel::AccelConfig acfg;
+  GenerationOptions opts;
+  opts.kv_block_rows = 1;  // a block per token
+  opts.prefill_chunk = 3;
+  GenerationSession session(acfg, qd, nullptr, opts);
+  tensor::MatrixF states;
+  tensor::MatrixF state(1, cfg.d_model);
+  session.prefill(calib.slice_rows(0, 7), memory, states);
+
+  const uint64_t before = g_alloc_count.load();
+  while (session.position() < session.capacity()) {
+    session.decode_step(token, state);
+  }
+  const uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations in paged decode steps";
 }
 
 // --- batch scheduler ---------------------------------------------------------
