@@ -339,6 +339,77 @@ KvFootprint estimate_kv_footprint(const ref::ModelConfig& model,
   return fp;
 }
 
+ForkedKvFootprint estimate_forked_kv_footprint(const ref::ModelConfig& model,
+                                               uint32_t prompt_rows,
+                                               uint32_t new_rows,
+                                               uint32_t beams,
+                                               uint32_t block_rows) {
+  if (prompt_rows == 0 || beams == 0 || block_rows == 0 ||
+      prompt_rows + new_rows > model.seq_len) {
+    throw std::invalid_argument("forked kv footprint: bad arguments");
+  }
+  ForkedKvFootprint fp;
+  fp.row_bytes = uint64_t{model.num_layers} * model.num_heads * 2 *
+                 model.head_dim();
+  const uint64_t block_bytes = uint64_t{block_rows} * fp.row_bytes;
+  const uint32_t full = util::ceil_div(prompt_rows + new_rows, block_rows);
+  fp.shared_blocks = util::ceil_div(prompt_rows, block_rows);
+  // A beam's private worst case: every block past the last fully-shared
+  // one — its divergent tail plus the COW copy of the straddling block.
+  fp.private_blocks = full - prompt_rows / block_rows;
+  fp.cow_bytes =
+      (uint64_t{fp.shared_blocks} + uint64_t{beams} * fp.private_blocks) *
+      block_bytes;
+  fp.eager_bytes = uint64_t{beams} * full * block_bytes;
+  fp.bytes_saved = fp.eager_bytes - fp.cow_bytes;
+  return fp;
+}
+
+PerfReport estimate_beam_generation_performance(const AccelConfig& config,
+                                                const ref::ModelConfig& model,
+                                                uint32_t prefill_len,
+                                                uint32_t total_len,
+                                                uint32_t memory_len,
+                                                uint32_t beam_width) {
+  // total_len may exceed seq_len by one: the last selected token is
+  // scored from the final decoded state and never appended, so the
+  // deepest modeled step position is total_len - 2 <= seq_len - 1.
+  if (prefill_len == 0 || beam_width == 0 || prefill_len > total_len ||
+      total_len > uint32_t{model.seq_len} + 1) {
+    throw std::invalid_argument("beam generation perf: bad lengths");
+  }
+  const PerfReport prefill =
+      estimate_decoder_performance(config, model, prefill_len, memory_len);
+
+  PerfReport report;
+  hw::Cycles step_cycles = 0;
+  uint64_t step_macs = 0;
+  for (uint32_t pos = prefill_len; pos + 1 < total_len; ++pos) {
+    const PerfReport step =
+        estimate_decode_step_performance(config, model, pos, memory_len);
+    step_cycles += beam_width * step.total_cycles;
+    step_macs += beam_width * step.macs;
+  }
+  report.stages.push_back(StageTiming{.name = "prefill",
+                                      .invocations = 1,
+                                      .compute = prefill.total_cycles,
+                                      .total = prefill.total_cycles,
+                                      .bytes_loaded = 0});
+  const uint64_t beam_steps =
+      uint64_t{beam_width} *
+      (total_len > prefill_len ? total_len - prefill_len - 1 : 0);
+  report.stages.push_back(StageTiming{.name = "beam_steps",
+                                      .invocations = beam_steps,
+                                      .compute = step_cycles,
+                                      .total = step_cycles,
+                                      .bytes_loaded = 0});
+  report.total_cycles = prefill.total_cycles + step_cycles;
+  report.layer_cycles = report.total_cycles / model.num_layers;
+  report.macs = prefill.macs + step_macs;
+  finalize_report(config, report);
+  return report;
+}
+
 PerfReport estimate_generation_performance(const AccelConfig& config,
                                            const ref::ModelConfig& model,
                                            uint32_t prefill_len,

@@ -114,6 +114,45 @@ struct KvFootprint {
 KvFootprint estimate_kv_footprint(const ref::ModelConfig& model,
                                   uint32_t rows, uint32_t block_rows);
 
+/// Shared-vs-private self-K/V memory model for copy-on-write forking
+/// (runtime/decode_policy.hpp): `beams` branches fork off a
+/// `prompt_rows`-row prefill and then each diverge by `new_rows` cached
+/// rows. COW shares the prompt lineage once (each beam privately holds
+/// only its divergent tail plus the write-triggered copy of the
+/// straddling block); the eager reference copies the full lineage per
+/// beam. `bytes_saved` is the COW win — what bench_decoder_scaling's
+/// beam-K records measure executed via pool accounting.
+struct ForkedKvFootprint {
+  uint64_t row_bytes = 0;          // K+V bytes per token row (whole stack)
+  uint32_t shared_blocks = 0;      // prompt lineage, counted once
+  uint32_t private_blocks = 0;     // worst-case divergent blocks per beam
+  uint64_t cow_bytes = 0;          // shared + beams x private
+  uint64_t eager_bytes = 0;        // beams x full per-beam lineage
+  uint64_t bytes_saved = 0;        // eager_bytes - cow_bytes
+};
+
+ForkedKvFootprint estimate_forked_kv_footprint(const ref::ModelConfig& model,
+                                               uint32_t prompt_rows,
+                                               uint32_t new_rows,
+                                               uint32_t beams,
+                                               uint32_t block_rows);
+
+/// Cycle model of width-K beam search over the KV-cached engine,
+/// mirroring BeamSearchDecoder's executed schedule: ONE prefill of
+/// `prefill_len` rows (beams fork the cache instead of re-prefilling —
+/// forks cost no engine work), then K incremental steps per emitted
+/// token at positions [prefill_len, total_len - 1) — the final selected
+/// token is scored from the last step's states and never decoded. The
+/// vocab-head projection runs off-accelerator and is not modeled. MACs
+/// are cross-checked against the executed decoder's EngineStats in
+/// tests/test_decode_policy.cpp.
+PerfReport estimate_beam_generation_performance(const AccelConfig& config,
+                                                const ref::ModelConfig& model,
+                                                uint32_t prefill_len,
+                                                uint32_t total_len,
+                                                uint32_t memory_len,
+                                                uint32_t beam_width);
+
 /// Total cycle model for a KV-cached generation: one full prefill of
 /// `prefill_len` rows (which includes the one-time cross K/V projection)
 /// plus incremental steps for positions [prefill_len, total_len). The

@@ -109,7 +109,8 @@ void GenerationSession::warm() {
   size_t warm_rows = kv_.capacity();
   if (kv_.paged()) {
     const size_t backable =
-        kv_.reserved_rows() + kv_.pool()->free_blocks() * kv_.block_rows();
+        kv_.reserved_rows() +
+        kv_.pool()->uncommitted_free_blocks() * kv_.block_rows();
     warm_rows = std::min(warm_rows, backable);
   }
   if (warm_rows == 0) {  // pool fully held elsewhere: warm lazily later
@@ -245,6 +246,23 @@ void GenerationSession::reserve_rows_wait(size_t rows) {
 void GenerationSession::end_sequence() {
   kv_.release_blocks();
   refresh_kv_stats();
+}
+
+void GenerationSession::fork_from(GenerationSession& parent,
+                                  bool eager_copy) {
+  if (&parent == this) {
+    throw std::invalid_argument("GenerationSession::fork_from: self fork");
+  }
+  if (model_ != parent.model_) {
+    throw std::invalid_argument(
+        "GenerationSession::fork_from: sessions must share one model");
+  }
+  kv_.fork_from(parent.kv_, eager_copy);  // enforces the shared pool
+  refresh_kv_stats();
+}
+
+void GenerationSession::bind_kv_credit(KvPoolCredit* credit) {
+  kv_.bind_credit(credit);
 }
 
 // --- GenerationScheduler -----------------------------------------------------

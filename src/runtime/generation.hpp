@@ -122,6 +122,21 @@ class GenerationSession {
   void reserve_rows_wait(size_t rows);
   void end_sequence();
 
+  /// Copy-on-write fork (runtime/kv_cache.hpp): adopts `parent`'s whole
+  /// decoding state — cached length, cross projections and the self-K/V
+  /// block table by refcount — without moving K/V bytes; the first
+  /// divergent decode_step into a shared block copies just that block.
+  /// Both sessions must be built on the same model and ONE shared paged
+  /// pool. `eager_copy` materializes private block copies at fork time
+  /// (the bit-exact reference mode). Any sequence this session was
+  /// running is ended first.
+  void fork_from(GenerationSession& parent, bool eager_copy = false);
+
+  /// Binds block growth and COW copies to a fork group's admission
+  /// credit (reserved worst-case headroom — see KvPoolCredit); nullptr
+  /// unbinds. The session must not hold blocks.
+  void bind_kv_credit(KvPoolCredit* credit);
+
   /// Target rows cached so far (the next step decodes this position).
   size_t position() const { return kv_.len(); }
   /// Maximum target rows (the model's programmed seq_len).

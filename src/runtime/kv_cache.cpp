@@ -24,6 +24,10 @@ void KvBlockPool::configure(size_t num_blocks, size_t block_rows,
     throw std::logic_error(
         "KvBlockPool::configure: blocks still held by caches");
   }
+  if (credit_outstanding_ != 0) {
+    throw std::logic_error(
+        "KvBlockPool::configure: admission credits outstanding");
+  }
   num_blocks_ = num_blocks;
   block_rows_ = block_rows;
   row_bytes_ = row_bytes;
@@ -38,9 +42,15 @@ void KvBlockPool::configure(size_t num_blocks, size_t block_rows,
   for (size_t b = num_blocks; b-- > 0;) {
     free_list_.push_back(static_cast<uint32_t>(b));
   }
+  ref_count_.assign(num_blocks, 0);
   is_free_.assign(num_blocks, 1);
+  in_span_.assign(num_blocks, 0);
+  needs_zero_.assign(num_blocks, 0);  // configure() zeroed the arena
+  block_credit_.assign(num_blocks, nullptr);
   peak_used_ = 0;
   exhaustion_events_ = 0;
+  cow_copies_ = 0;
+  zero_fills_ = 0;
 }
 
 size_t KvBlockPool::bytes() const { return arena_.used(); }
@@ -48,6 +58,11 @@ size_t KvBlockPool::bytes() const { return arena_.used(); }
 size_t KvBlockPool::free_blocks() const {
   const std::lock_guard lock(mutex_);
   return free_list_.size();
+}
+
+size_t KvBlockPool::uncommitted_free_blocks() const {
+  const std::lock_guard lock(mutex_);
+  return uncommitted_free_locked();
 }
 
 size_t KvBlockPool::used_blocks() const {
@@ -65,31 +80,82 @@ uint64_t KvBlockPool::exhaustion_events() const {
   return exhaustion_events_;
 }
 
-bool KvBlockPool::take_locked(size_t n, std::vector<uint32_t>& out) {
-  if (n > free_list_.size()) {
+size_t KvBlockPool::shared_blocks() const {
+  const std::lock_guard lock(mutex_);
+  size_t shared = 0;
+  for (uint32_t rc : ref_count_) shared += rc >= 2 ? 1 : 0;
+  return shared;
+}
+
+uint64_t KvBlockPool::cow_copies() const {
+  const std::lock_guard lock(mutex_);
+  return cow_copies_;
+}
+
+uint64_t KvBlockPool::zero_fills() const {
+  const std::lock_guard lock(mutex_);
+  return zero_fills_;
+}
+
+uint32_t KvBlockPool::pop_one_locked(KvPoolCredit* credit, bool skip_zero) {
+  const uint32_t b = free_list_.back();
+  free_list_.pop_back();
+  is_free_[b] = 0;
+  ref_count_[b] = 1;
+  block_credit_[b] = credit;
+  if (credit != nullptr) {
+    credit->live += 1;
+    credit->peak = std::max(credit->peak, credit->live);
+    credit_outstanding_ -= 1;
+  }
+  // Lazy re-zeroing: a recycled block is scrubbed on its first hand-out
+  // after the free — except when the caller is about to overwrite every
+  // byte with a COW/duplicate copy.
+  if (needs_zero_[b]) {
+    if (!skip_zero) {
+      std::memset(data_ + size_t{b} * block_bytes(), 0, block_bytes());
+      ++zero_fills_;
+    }
+    needs_zero_[b] = 0;
+  }
+  peak_used_ = std::max(peak_used_, num_blocks_ - free_list_.size());
+  return b;
+}
+
+bool KvBlockPool::take_locked(size_t n, std::vector<uint32_t>& out,
+                              KvPoolCredit* credit, bool skip_zero) {
+  if (credit != nullptr) {
+    // Credited takes draw on the group's admission reservation. Headroom
+    // is guaranteed by the credit invariant (free >= credit_outstanding_
+    // >= limit - live); exceeding the limit means the caller's
+    // worst-case bound was wrong — fail loudly, never eat another
+    // group's reservation.
+    if (credit->live + n > credit->limit) {
+      throw std::logic_error(
+          "KvBlockPool: credited take exceeds its admission bound");
+    }
+  } else if (n > uncommitted_free_locked()) {
     ++exhaustion_events_;
     return false;
   }
   for (size_t i = 0; i < n; ++i) {
-    const uint32_t b = free_list_.back();
-    free_list_.pop_back();
-    is_free_[b] = 0;
-    out.push_back(b);
+    out.push_back(pop_one_locked(credit, skip_zero));
   }
-  peak_used_ = std::max(peak_used_, num_blocks_ - free_list_.size());
   return true;
 }
 
-bool KvBlockPool::try_reserve(size_t n, std::vector<uint32_t>& out) {
+bool KvBlockPool::try_reserve(size_t n, std::vector<uint32_t>& out,
+                              KvPoolCredit* credit) {
   if (n == 0) return true;
   const std::lock_guard lock(mutex_);
   if (!configured()) {
     throw std::logic_error("KvBlockPool::try_reserve: not configured");
   }
-  return take_locked(n, out);
+  return take_locked(n, out, credit, /*skip_zero=*/false);
 }
 
-void KvBlockPool::reserve_wait(size_t n, std::vector<uint32_t>& out) {
+void KvBlockPool::reserve_wait(size_t n, std::vector<uint32_t>& out,
+                               KvPoolCredit* credit) {
   if (n == 0) return;
   std::unique_lock lock(mutex_);
   if (!configured()) {
@@ -99,9 +165,11 @@ void KvBlockPool::reserve_wait(size_t n, std::vector<uint32_t>& out) {
     throw KvBlockExhausted(
         "KvBlockPool::reserve_wait: request exceeds pool size");
   }
-  if (!take_locked(n, out)) {  // records the exhaustion event once
-    freed_.wait(lock, [&] { return n <= free_list_.size(); });
-    take_locked(n, out);  // predicate guarantees success
+  if (!take_locked(n, out, credit, /*skip_zero=*/false)) {
+    // Only uncredited takes can fall through (credited ones either
+    // succeed or throw); the event was recorded once.
+    freed_.wait(lock, [&] { return n <= uncommitted_free_locked(); });
+    take_locked(n, out, credit, /*skip_zero=*/false);  // guaranteed
   }
 }
 
@@ -109,29 +177,184 @@ void KvBlockPool::release(std::span<const uint32_t> blocks) {
   if (blocks.empty()) return;
   {
     const std::lock_guard lock(mutex_);
-    // Validate the whole span (marking as we go so a duplicate WITHIN
-    // the span also trips the check) and roll back before throwing: a
-    // bad or double-freed id must never leave a block both free-listed
-    // and still held by a cache — that alias would hand one block to
-    // two sequences, which then overwrite each other's K/V rows.
+    // Validate the whole span, marking seen ids as we go: one release
+    // call drops ONE reference per DISTINCT block (a cache's table never
+    // lists a block twice, so a duplicate WITHIN the span is always an
+    // over-release — even when other forks still hold references). Roll
+    // back before throwing: a bad or double-freed id must never leave a
+    // block both free-listed and still held by a cache — that alias
+    // would hand one block to two sequences, which then overwrite each
+    // other's K/V rows.
     size_t marked = 0;
     while (marked < blocks.size()) {
       const uint32_t b = blocks[marked];
-      if (b >= num_blocks_ || is_free_[b]) break;
-      is_free_[b] = 1;
+      if (b >= num_blocks_ || ref_count_[b] == 0 || in_span_[b]) break;
+      in_span_[b] = 1;
+      --ref_count_[b];
       ++marked;
     }
     if (marked != blocks.size()) {
       const bool bad_id = blocks[marked] >= num_blocks_;
-      for (size_t i = 0; i < marked; ++i) is_free_[blocks[i]] = 0;
+      for (size_t i = 0; i < marked; ++i) {
+        ++ref_count_[blocks[i]];
+        in_span_[blocks[i]] = 0;
+      }
       if (bad_id) {
         throw std::invalid_argument("KvBlockPool::release: bad block id");
       }
       throw std::logic_error("KvBlockPool::release: double free");
     }
-    for (uint32_t b : blocks) free_list_.push_back(b);
+    for (uint32_t b : blocks) in_span_[b] = 0;
+    for (uint32_t b : blocks) {
+      if (ref_count_[b] == 0 && !is_free_[b]) {  // last holder let go
+        is_free_[b] = 1;
+        needs_zero_[b] = 1;  // scrubbed lazily at the next hand-out
+        if (block_credit_[b] != nullptr) {
+          block_credit_[b]->live -= 1;
+          block_credit_[b] = nullptr;
+          ++credit_outstanding_;  // headroom returns to the group
+        }
+        free_list_.push_back(b);
+      }
+    }
   }
   freed_.notify_all();
+}
+
+void KvBlockPool::fork_ref(std::span<const uint32_t> blocks) {
+  const std::lock_guard lock(mutex_);
+  for (uint32_t b : blocks) {
+    if (b >= num_blocks_ || ref_count_[b] == 0) {
+      throw std::invalid_argument("KvBlockPool::fork_ref: block not live");
+    }
+  }
+  for (uint32_t b : blocks) ++ref_count_[b];
+}
+
+uint32_t KvBlockPool::ref_count(uint32_t block) const {
+  const std::lock_guard lock(mutex_);
+  if (block >= num_blocks_) {
+    throw std::invalid_argument("KvBlockPool::ref_count: bad block id");
+  }
+  return ref_count_[block];
+}
+
+uint32_t KvBlockPool::duplicate_locked(uint32_t block,
+                                       KvPoolCredit* credit) {
+  if (block >= num_blocks_ || ref_count_[block] == 0) {
+    throw std::invalid_argument("KvBlockPool::duplicate: block not live");
+  }
+  if (credit != nullptr) {
+    if (credit->live + 1 > credit->limit) {
+      throw std::logic_error(
+          "KvBlockPool: credited take exceeds its admission bound");
+    }
+  } else if (uncommitted_free_locked() == 0) {
+    ++exhaustion_events_;
+    throw KvBlockExhausted(
+        "KvBlockPool: no free block to back the copy-on-write");
+  }
+  const uint32_t fresh = pop_one_locked(credit, /*skip_zero=*/true);
+  std::memcpy(data_ + size_t{fresh} * block_bytes(),
+              data_ + size_t{block} * block_bytes(), block_bytes());
+  return fresh;
+}
+
+uint32_t KvBlockPool::make_private(uint32_t block, KvPoolCredit* credit) {
+  const std::lock_guard lock(mutex_);
+  if (block >= num_blocks_ || ref_count_[block] == 0) {
+    throw std::invalid_argument(
+        "KvBlockPool::make_private: block not live");
+  }
+  if (ref_count_[block] == 1) return block;  // sole holder: write in place
+  const uint32_t copy = duplicate_locked(block, credit);
+  --ref_count_[block];  // cannot hit zero: it was >= 2
+  ++cow_copies_;
+  return copy;
+}
+
+bool KvBlockPool::make_private_span(std::span<uint32_t> blocks,
+                                    KvPoolCredit* credit) {
+  const std::lock_guard lock(mutex_);
+  bool copied = false;
+  for (uint32_t& b : blocks) {
+    if (b >= num_blocks_ || ref_count_[b] == 0) {
+      throw std::invalid_argument(
+          "KvBlockPool::make_private_span: block not live");
+    }
+    if (ref_count_[b] == 1) continue;  // sole holder: write in place
+    const uint32_t copy = duplicate_locked(b, credit);
+    --ref_count_[b];  // cannot hit zero: it was >= 2
+    ++cow_copies_;
+    b = copy;
+    copied = true;
+  }
+  return copied;
+}
+
+uint32_t KvBlockPool::duplicate(uint32_t block, KvPoolCredit* credit) {
+  const std::lock_guard lock(mutex_);
+  return duplicate_locked(block, credit);
+}
+
+bool KvBlockPool::try_reserve_credit(KvPoolCredit& credit, size_t n) {
+  const std::lock_guard lock(mutex_);
+  if (!configured()) {
+    throw std::logic_error(
+        "KvBlockPool::try_reserve_credit: not configured");
+  }
+  if (credit.limit != 0 || credit.live != 0) {
+    throw std::logic_error(
+        "KvBlockPool::try_reserve_credit: credit already in use");
+  }
+  if (n > uncommitted_free_locked()) {
+    ++exhaustion_events_;
+    return false;
+  }
+  credit.limit = n;
+  credit.peak = 0;
+  credit_outstanding_ += n;
+  return true;
+}
+
+bool KvBlockPool::reserve_credit_wait(KvPoolCredit& credit, size_t n) {
+  std::unique_lock lock(mutex_);
+  if (!configured()) {
+    throw std::logic_error(
+        "KvBlockPool::reserve_credit_wait: not configured");
+  }
+  if (credit.limit != 0 || credit.live != 0) {
+    throw std::logic_error(
+        "KvBlockPool::reserve_credit_wait: credit already in use");
+  }
+  if (n > num_blocks_) {
+    throw KvBlockExhausted(
+        "KvBlockPool::reserve_credit_wait: request exceeds pool size");
+  }
+  bool waited = false;
+  if (n > uncommitted_free_locked()) {
+    waited = true;
+    ++exhaustion_events_;  // once per backpressure episode
+    freed_.wait(lock, [&] { return n <= uncommitted_free_locked(); });
+  }
+  credit.limit = n;
+  credit.peak = 0;
+  credit_outstanding_ += n;
+  return waited;
+}
+
+void KvBlockPool::release_credit(KvPoolCredit& credit) {
+  {
+    const std::lock_guard lock(mutex_);
+    if (credit.live != 0) {
+      throw std::logic_error(
+          "KvBlockPool::release_credit: group still holds blocks");
+    }
+    credit_outstanding_ -= credit.limit;
+    credit.limit = 0;
+    credit.peak = 0;
+  }
+  freed_.notify_all();  // the headroom is uncommitted again
 }
 
 // --- KvCache -----------------------------------------------------------------
@@ -178,6 +401,9 @@ void KvCache::configure(size_t num_layers, size_t num_heads,
   block_rows_ = opts.block_rows;
   owned_pool_.reset();
   pool_ = nullptr;
+  credit_ = nullptr;
+  maybe_shared_ = false;
+  forked_lineage_ = false;
 
   layers_.resize(num_layers);
   for (LayerKv& layer : layers_) {
@@ -236,7 +462,7 @@ bool KvCache::try_reserve_rows(size_t rows) {
   if (!paged() || rows <= reserved_rows()) return true;
   const size_t need =
       util::ceil_div(rows, block_rows_) - block_table_.size();
-  return pool_->try_reserve(need, block_table_);
+  return pool_->try_reserve(need, block_table_, credit_);
 }
 
 void KvCache::reserve_rows(size_t rows) {
@@ -256,7 +482,7 @@ void KvCache::reserve_rows_wait(size_t rows) {
   if (!paged() || rows <= reserved_rows()) return;
   const size_t need =
       util::ceil_div(rows, block_rows_) - block_table_.size();
-  pool_->reserve_wait(need, block_table_);
+  pool_->reserve_wait(need, block_table_, credit_);
 }
 
 void KvCache::release_blocks() {
@@ -265,6 +491,98 @@ void KvCache::release_blocks() {
     block_table_.clear();
   }
   len_ = 0;  // the cached rows died with their blocks
+  maybe_shared_ = false;
+  forked_lineage_ = false;
+}
+
+void KvCache::bind_credit(KvPoolCredit* credit) {
+  if (!block_table_.empty()) {
+    throw std::logic_error(
+        "KvCache::bind_credit: cache still holds blocks");
+  }
+  credit_ = credit;
+}
+
+void KvCache::fork_from(KvCache& parent, bool eager_copy) {
+  if (!configured() || !parent.configured()) {
+    throw std::logic_error("KvCache::fork_from: not configured");
+  }
+  if (&parent == this) {
+    throw std::invalid_argument("KvCache::fork_from: self fork");
+  }
+  if (!paged() || !parent.paged()) {
+    throw std::logic_error(
+        "KvCache::fork_from: forking requires the paged layout");
+  }
+  if (pool_ != parent.pool_) {
+    throw std::invalid_argument(
+        "KvCache::fork_from: parent and child must share one pool");
+  }
+  if (layers_.size() != parent.layers_.size() ||
+      num_heads_ != parent.num_heads_ || head_dim_ != parent.head_dim_ ||
+      capacity_ != parent.capacity_ ||
+      memory_capacity_ != parent.memory_capacity_ ||
+      block_rows_ != parent.block_rows_) {
+    throw std::invalid_argument("KvCache::fork_from: geometry mismatch");
+  }
+  release_blocks();
+  len_ = parent.len_;
+  memory_len_ = parent.memory_len_;
+
+  // The cross projections are per-sequence dense views in this cache's
+  // private arena; fork copies the prefilled prefix (a function of the
+  // shared memory alone, identical across forks).
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const LayerKv& src = parent.layers_[li];
+    LayerKv& dst = layers_[li];
+    for (size_t h = 0; h < num_heads_; ++h) {
+      const size_t bytes = memory_len_ * head_dim_;
+      std::memcpy(dst.cross_k[h].row(0).data(), src.cross_k[h].row(0).data(),
+                  bytes);
+      std::memcpy(dst.cross_v[h].row(0).data(), src.cross_v[h].row(0).data(),
+                  bytes);
+    }
+  }
+
+  if (eager_copy) {
+    // Reference mode: materialize a private copy of every block now.
+    // Roll back on exhaustion so a failed fork leaves no stray holds.
+    try {
+      for (uint32_t b : parent.block_table_) {
+        block_table_.push_back(pool_->duplicate(b, credit_));
+      }
+    } catch (...) {
+      release_blocks();
+      throw;
+    }
+    return;
+  }
+  // COW fork: adopt the parent's table by reference — O(block-table),
+  // no K/V bytes move. Both sides may now hold shared blocks, so both
+  // route divergent appends through the write-triggered copy.
+  for (uint32_t b : parent.block_table_) block_table_.push_back(b);
+  pool_->fork_ref(block_table_);
+  maybe_shared_ = true;
+  forked_lineage_ = true;
+  parent.maybe_shared_ = true;
+  parent.forked_lineage_ = true;
+}
+
+void KvCache::ensure_rows_private(size_t pos, size_t n) {
+  if (!maybe_shared_ || n == 0) return;
+  const size_t first = pos / block_rows_;
+  const size_t last = (pos + n - 1) / block_rows_;
+  pool_->make_private_span(
+      std::span<uint32_t>(block_table_.data() + first, last - first + 1),
+      credit_);
+  // The hot-path payoff: once an append pass owns every block through
+  // the END of the table, later appends cannot hit a shared block —
+  // rows behind the frontier are never rewritten (begin_sequence
+  // re-arms the guard), table growth hands out private blocks, and a
+  // new fork re-sets the flag. Only the first scatter after a fork
+  // pays the pool lock; the other (layer, head) scatters of the same
+  // rows skip it.
+  if (last + 1 == block_table_.size()) maybe_shared_ = false;
 }
 
 int8_t* KvCache::self_row_ptr(size_t row, size_t layer, size_t head,
@@ -295,6 +613,11 @@ void KvCache::scatter_self(size_t layer, size_t head, size_t pos,
   if (pos + k.rows() > reserved_rows()) {
     throw std::logic_error("KvCache::scatter_self: rows not reserved");
   }
+  // Write-triggered copy: a fork must not scribble on blocks its
+  // siblings still read. Layer 0 / head 0 pays the copy; later
+  // (layer, head) writes of the same rows see refcount 1 and scatter in
+  // place.
+  ensure_rows_private(pos, k.rows());
   for (size_t r = 0; r < k.rows(); ++r) {
     std::memcpy(self_row_ptr(pos + r, layer, head, 0), k.row(r).data(),
                 head_dim_);
@@ -335,6 +658,10 @@ void KvCache::begin_sequence(size_t memory_len) {
   }
   len_ = 0;
   memory_len_ = memory_len;
+  // In-place reuse rewinds the append frontier to 0: a forked lineage's
+  // still-shared prefix blocks are writable again, so the COW guard must
+  // come back up.
+  if (forked_lineage_) maybe_shared_ = true;
 }
 
 void KvCache::append(size_t n) {

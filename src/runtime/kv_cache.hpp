@@ -27,6 +27,14 @@
 // Cross K/V stays dense: it is written once per sequence at prefill and
 // sized by the memory, not by generation progress.
 //
+// Paged blocks are refcounted, which buys copy-on-write FORKING: a cache
+// can adopt another's block table by bumping refcounts (fork = O(block
+// table), no K/V bytes move), and the first divergent append into a
+// still-shared block copies just that block. Beam search and parallel
+// sampling fork K branches off one prefill at near-1x prompt footprint.
+// A KvPoolCredit reserves a fork group's COW-aware worst case at
+// admission so shared-pool backpressure stays deadlock-free.
+//
 // Per-step bookkeeping is still two integers (len, memory_len) plus the
 // block table; steady-state decoding never touches the heap (the block
 // table and free list are pre-reserved at configure()). begin_sequence()
@@ -57,12 +65,40 @@ class KvBlockExhausted : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Admission credit for a GROUP of caches that fork blocks among each
+/// other (a beam-search group): reserves worst-case HEADROOM in the pool
+/// without naming blocks, so the group's later takes — fresh blocks and
+/// write-triggered COW copies alike — are guaranteed to succeed without
+/// waiting. That is what keeps shared-pool backpressure deadlock-free for
+/// forked workloads: the group waits only at admission, holding nothing.
+///
+/// `live` counts the group's UNIQUE blocks (a block forked K ways counts
+/// once — the whole point of COW accounting); `peak` is its high-water
+/// mark. A credited take beyond `limit` throws std::logic_error: the
+/// caller's worst-case bound was wrong, and the pool fails loudly instead
+/// of silently eating another group's reservation. The credit must
+/// outlive every block taken against it and every cache bound to it.
+struct KvPoolCredit {
+  size_t limit = 0;  // admission reservation (unique blocks)
+  size_t live = 0;   // unique blocks currently held by the group
+  size_t peak = 0;   // high-water mark of live since the reservation
+};
+
 /// Fixed-size block allocator for paged self K/V. All blocks are carved
 /// from one private WorkspaceArena at configure() and recycled through a
 /// free list; allocation is all-or-nothing (a partially-reserved sequence
 /// would deadlock against another one). Thread-safe: scheduler workers
 /// share one pool, and reserve_wait() parks a worker until a finishing
 /// sequence releases blocks.
+///
+/// Blocks are REFCOUNTED for copy-on-write forking: fork_ref() lets a
+/// second cache adopt a block (refcount bump — no K/V bytes move) and
+/// release() frees a block only when its last holder lets go.
+/// make_private() is the write-triggered copy: a shared block is
+/// duplicated into a fresh block for the writer and the source refcount
+/// drops by one. Zero-filling is lazy: a freed block is re-zeroed on its
+/// FIRST hand-out after the free — and not at all when it is about to be
+/// fully overwritten by a COW/duplicate copy.
 class KvBlockPool {
  public:
   static constexpr uint32_t kNoBlock = 0xffffffffu;
@@ -84,21 +120,77 @@ class KvBlockPool {
   size_t bytes() const;
 
   size_t free_blocks() const;
+  /// Free blocks not spoken for by outstanding admission credits — what
+  /// an uncredited taker can actually get without waiting.
+  size_t uncommitted_free_blocks() const;
+  /// Unique blocks held (a block shared by K forks counts ONCE — this is
+  /// the pool-accounting number the COW sharing win shows up in).
   size_t used_blocks() const;
+  /// Blocks currently shared by two or more holders (refcount >= 2).
+  size_t shared_blocks() const;
   /// High-water mark of concurrently-held blocks since configure().
   size_t peak_used_blocks() const;
   /// All-or-nothing reservations that found the pool short (each is one
   /// backpressure event: the caller waited or deferred admission).
   uint64_t exhaustion_events() const;
+  /// Write-triggered copies performed by make_private().
+  uint64_t cow_copies() const;
+  /// Lazy re-zeroings performed at hand-out (a COW/duplicate hand-out is
+  /// fully overwritten by its copy and is never counted here).
+  uint64_t zero_fills() const;
 
   /// Appends `n` block ids to `out` if all are available; on shortfall
-  /// takes nothing, records an exhaustion event and returns false.
-  bool try_reserve(size_t n, std::vector<uint32_t>& out);
+  /// takes nothing, records an exhaustion event and returns false. With
+  /// `credit`, the take draws on the group's admission reservation
+  /// instead of the uncommitted pool (and throws std::logic_error past
+  /// its limit).
+  bool try_reserve(size_t n, std::vector<uint32_t>& out,
+                   KvPoolCredit* credit = nullptr);
   /// Blocking form: parks the caller until `n` blocks are free at once.
   /// `n` must not exceed num_blocks() (it could never be satisfied).
-  void reserve_wait(size_t n, std::vector<uint32_t>& out);
-  /// Returns blocks to the free list and wakes blocked reservers.
+  void reserve_wait(size_t n, std::vector<uint32_t>& out,
+                    KvPoolCredit* credit = nullptr);
+  /// Drops one reference per listed block; a block whose last reference
+  /// goes returns to the free list (marked for lazy re-zeroing) and wakes
+  /// blocked reservers.
   void release(std::span<const uint32_t> blocks);
+
+  /// COW fork: adds one reference to each listed block (no bytes move).
+  /// Every block must be live; the forking cache must share the credit
+  /// domain of the original holder (live-accounting is per unique block).
+  void fork_ref(std::span<const uint32_t> blocks);
+  uint32_t ref_count(uint32_t block) const;
+
+  /// Write-triggered copy: returns `block` itself when the caller is the
+  /// sole holder; otherwise takes a fresh block (skipping the lazy
+  /// zero-fill — the copy overwrites every byte), duplicates the
+  /// contents, drops one reference on the source and returns the copy.
+  /// Throws KvBlockExhausted when the pool cannot back the copy.
+  uint32_t make_private(uint32_t block, KvPoolCredit* credit = nullptr);
+  /// make_private over a block-table slice under ONE lock (the per-write
+  /// COW check runs per (layer, head) on the decode hot path — batching
+  /// keeps that to one mutex acquisition per scatter). Updates shared
+  /// entries in place; returns true when any copy was made.
+  bool make_private_span(std::span<uint32_t> blocks,
+                         KvPoolCredit* credit = nullptr);
+  /// Eager copy: takes a fresh block, duplicates `block`'s contents into
+  /// it and returns it. Source references are untouched (the reference
+  /// the COW fork path is tested against).
+  uint32_t duplicate(uint32_t block, KvPoolCredit* credit = nullptr);
+
+  /// Reserves `n` blocks of HEADROOM for a fork group, all or nothing:
+  /// uncredited takers keep their hands off that many free blocks, so
+  /// the group's later (credited) takes never wait. `credit` must be
+  /// idle (limit == live == 0).
+  bool try_reserve_credit(KvPoolCredit& credit, size_t n);
+  /// Blocking form of try_reserve_credit (parks until the headroom
+  /// exists); `n` must not exceed num_blocks(). Returns true when the
+  /// pool was short and the caller had to wait (ONE exhaustion event is
+  /// recorded for the episode).
+  bool reserve_credit_wait(KvPoolCredit& credit, size_t n);
+  /// Returns unused headroom; the group must have released every block
+  /// first (credit.live == 0).
+  void release_credit(KvPoolCredit& credit);
 
   int8_t* row_data(uint32_t block, size_t row) {
     return data_ + (size_t{block} * block_rows_ + row) * row_bytes_;
@@ -108,7 +200,13 @@ class KvBlockPool {
   }
 
  private:
-  bool take_locked(size_t n, std::vector<uint32_t>& out);
+  uint32_t pop_one_locked(KvPoolCredit* credit, bool skip_zero);
+  bool take_locked(size_t n, std::vector<uint32_t>& out,
+                   KvPoolCredit* credit, bool skip_zero);
+  size_t uncommitted_free_locked() const {
+    return free_list_.size() - credit_outstanding_;
+  }
+  uint32_t duplicate_locked(uint32_t block, KvPoolCredit* credit);
 
   WorkspaceArena arena_;
   int8_t* data_ = nullptr;
@@ -116,9 +214,16 @@ class KvBlockPool {
   size_t block_rows_ = 0;
   size_t row_bytes_ = 0;
   std::vector<uint32_t> free_list_;
-  std::vector<uint8_t> is_free_;  // per-block state, guards double frees
+  std::vector<uint32_t> ref_count_;   // 0 = free (on the free list)
+  std::vector<uint8_t> is_free_;      // free-list membership, guards double frees
+  std::vector<uint8_t> in_span_;      // release() scratch: duplicate-id guard
+  std::vector<uint8_t> needs_zero_;   // freed since last zero-fill
+  std::vector<KvPoolCredit*> block_credit_;  // admission-credit owner or null
+  size_t credit_outstanding_ = 0;  // sum over credits of (limit - live)
   size_t peak_used_ = 0;
   uint64_t exhaustion_events_ = 0;
+  uint64_t cow_copies_ = 0;
+  uint64_t zero_fills_ = 0;
   mutable std::mutex mutex_;
   std::condition_variable freed_;
 };
@@ -197,8 +302,32 @@ class KvCache {
   /// can proceed; begin_sequence() keeps blocks for reuse instead.
   void release_blocks();
 
+  /// Binds subsequent block takes (growth and COW copies) to a fork
+  /// group's admission credit; nullptr unbinds. The cache must hold no
+  /// blocks (credit live-accounting is per held block).
+  void bind_credit(KvPoolCredit* credit);
+  KvPoolCredit* credit() const { return credit_; }
+
+  // --- copy-on-write forking ------------------------------------------------
+
+  /// Forks this cache off `parent` (paged mode, one SHARED pool, same
+  /// geometry): adopts the parent's sequence state, byte-copies the cross
+  /// K/V prefix and — the O(block-table) part — adopts the parent's block
+  /// table by bumping each block's refcount. No self K/V bytes move; the
+  /// first divergent append into a shared block triggers a copy-on-write
+  /// (see scatter_self). `eager_copy` instead materializes private copies
+  /// of every block at fork time — the bit-exact reference the COW path
+  /// is tested against. Any blocks this cache held are released first.
+  void fork_from(KvCache& parent, bool eager_copy = false);
+  /// True when a fork may have left this cache's blocks shared (cleared
+  /// when the cache drops its blocks).
+  bool maybe_shared() const { return maybe_shared_; }
+
   /// Copies the new K/V rows [pos, pos + k.rows()) of (layer, head) into
-  /// their blocks (paged mode only; rows must be reserved).
+  /// their blocks (paged mode only; rows must be reserved). Writes
+  /// respect forking: a target block shared with another cache is first
+  /// made private (write-triggered copy), so a fork never scribbles on
+  /// its siblings' prefix.
   void scatter_self(size_t layer, size_t head, size_t pos,
                     tensor::ConstMatrixViewI8 k, tensor::ConstMatrixViewI8 v);
   /// Copies rows [0, rows) of (layer, head) K and V into the contiguous
@@ -229,6 +358,10 @@ class KvCache {
   size_t self_bytes() const;
 
  private:
+  /// Makes every block overlapping rows [pos, pos + n) private to this
+  /// cache (COW copies of any shared ones). No-op unless a fork left the
+  /// table possibly shared.
+  void ensure_rows_private(size_t pos, size_t n);
   int8_t* self_row_ptr(size_t row, size_t layer, size_t head, size_t which);
   const int8_t* self_row_ptr(size_t row, size_t layer, size_t head,
                              size_t which) const;
@@ -250,6 +383,15 @@ class KvCache {
   KvBlockPool* pool_ = nullptr;
   std::unique_ptr<KvBlockPool> owned_pool_;
   std::vector<uint32_t> block_table_;
+  KvPoolCredit* credit_ = nullptr;
+  /// Fast-path guard for the write-triggered copy: true while an append
+  /// might hit a block shared with a fork sibling. Cleared once an
+  /// append pass has privatized through the END of the table (appends
+  /// only move forward, and fresh reservations are private), re-set by
+  /// fork_from on both sides and re-armed by begin_sequence (in-place
+  /// reuse rewinds the frontier over still-shared prefix blocks).
+  bool maybe_shared_ = false;
+  bool forked_lineage_ = false;  // held blocks may trace to a COW fork
 };
 
 }  // namespace protea::runtime

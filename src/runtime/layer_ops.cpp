@@ -402,7 +402,12 @@ void run_self_attention_cached(const LayerOpContext& ctx,
       // Paged: project into workspace scratch, scatter the new rows
       // through the block table, then gather the whole cached prefix
       // into contiguous views for the layout-blind QK/SV engines. The
-      // copies are exact, so paged == dense bit for bit.
+      // copies are exact, so paged == dense bit for bit. Scatter also
+      // respects copy-on-write forking: a target block still shared
+      // with a forked sibling is made private before the first write
+      // (the head-0 scatter of a layer pays the block copy; later heads
+      // see refcount 1), so the gather below always reads this
+      // sequence's own prefix.
       auto k_new = ctx.ws.matrix_i8(n, dk);
       auto v_new = ctx.ws.matrix_i8(n, dk);
       accel::run_qkv_engine(x, desc.self_heads[head], ctx.ts_mha,

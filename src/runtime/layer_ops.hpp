@@ -224,10 +224,14 @@ AttentionBlockDesc decoder_cross_attention_desc(
 // cache views; in the paged layout the new rows are scattered through
 // the sequence's block table and the cached prefix is gathered into
 // contiguous workspace views before QK/SV (the engines themselves are
-// layout-blind). int32 accumulation is exact, every op is row-wise and
-// gather/scatter are byte copies, so BOTH layouts are bit-identical to
-// the full-recompute path — pinned by tests/test_generation.cpp and
-// tests/test_kv_paging.cpp.
+// layout-blind). The scatter respects copy-on-write forking
+// (KvCache::fork_from): writing into a block still shared with a forked
+// sibling first copies it, so divergent appends never corrupt the shared
+// prompt prefix. int32 accumulation is exact, every op is row-wise and
+// gather/scatter are byte copies, so BOTH layouts — and COW-forked
+// caches — are bit-identical to the full-recompute path, pinned by
+// tests/test_generation.cpp, tests/test_kv_paging.cpp and
+// tests/test_kv_cow.cpp.
 
 /// Masked self-attention over `x` (n new rows at absolute positions
 /// [pos, pos+n)) with K/V appended into `cache` rows [pos, pos+n) of

@@ -301,12 +301,17 @@ TEST(KvPaging, BlockReuseAfterReleaseIsBitIdentical) {
 
   tensor::MatrixF states;
   session.prefill(random_input(9, fx.cfg.d_model, 261), fx.memory, states);
+  const uint64_t fills_before = session.cache().pool()->zero_fills();
   session.end_sequence();
+  // Releasing is cheap: blocks are only MARKED dirty, the scrub happens
+  // lazily at the next hand-out (and exactly once per recycled block).
+  EXPECT_EQ(session.cache().pool()->zero_fills(), fills_before);
 
   const auto prefix = random_input(4, fx.cfg.d_model, 262);
   const auto memory2 = random_input(5, fx.cfg.d_model, 263);
   tensor::MatrixF reused, fresh;
   session.prefill(prefix, memory2, reused);
+  EXPECT_GT(session.cache().pool()->zero_fills(), fills_before);
   runtime::GenerationSession session2(fx.acfg, fx.qd, nullptr, opts);
   session2.prefill(prefix, memory2, fresh);
   EXPECT_EQ(reused, fresh);

@@ -348,6 +348,64 @@ TEST(GenerationSession, PagedChunkedDecodeStepsStayAllocationFree) {
       << (after - before) << " heap allocations in paged decode steps";
 }
 
+TEST(GenerationSession, ForkedCowDecodeStaysAllocationFree) {
+  // The beam-search steady state: fork (refcount adoption into the
+  // pre-reserved block table), divergent decode (write-triggered block
+  // copies drawn from the pre-carved pool), retire, re-fork — all of it
+  // must run without heap allocations once the sessions are warm. The
+  // fork point deliberately straddles a block so every child pays a COW
+  // copy inside the counted region.
+  ref::ModelConfig cfg;
+  cfg.seq_len = 12;
+  cfg.d_model = 48;
+  cfg.num_heads = 4;
+  cfg.num_layers = 2;
+  cfg.activation = ref::Activation::kGelu;
+  const auto weights = ref::make_random_decoder_weights(cfg, 160);
+  util::Xoshiro256 rng(161);
+  tensor::MatrixF memory(8, cfg.d_model);
+  tensor::MatrixF calib(cfg.seq_len, cfg.d_model);
+  tensor::MatrixF token(1, cfg.d_model);
+  for (float& x : memory.flat()) x = static_cast<float>(rng.normal());
+  for (float& x : calib.flat()) x = static_cast<float>(rng.normal());
+  for (float& x : token.flat()) x = static_cast<float>(rng.normal());
+  const auto qd = accel::prepare_decoder(weights, calib, memory);
+
+  const accel::AccelConfig acfg;
+  KvBlockPool pool;
+  pool.configure(/*blocks=*/12, /*block_rows=*/4,
+                 cfg.num_layers * cfg.num_heads * 2 * cfg.head_dim());
+  GenerationOptions opts;
+  opts.kv_block_rows = 4;
+  opts.kv_pool = &pool;
+  GenerationSession parent(acfg, qd, nullptr, opts);
+  GenerationSession child(acfg, qd, nullptr, opts);
+
+  tensor::MatrixF states;
+  tensor::MatrixF state(1, cfg.d_model);
+  parent.prefill(calib.slice_rows(0, 6), memory, states);  // mid-block
+
+  const uint64_t before = g_alloc_count.load();
+  for (int round = 0; round < 3; ++round) {  // fork / diverge / re-fork
+    child.fork_from(parent);
+    while (child.position() < child.capacity()) {
+      child.decode_step(token, state);
+    }
+    child.end_sequence();
+  }
+  while (parent.position() < parent.capacity()) {
+    parent.decode_step(token, state);  // parent COWs its tail block too
+  }
+  const uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before)
+      << " heap allocations across forked COW decode rounds";
+  EXPECT_GT(pool.cow_copies(), 0u);  // the copies actually happened
+  parent.end_sequence();
+  child.end_sequence();
+  EXPECT_EQ(pool.used_blocks(), 0u);
+}
+
 // --- batch scheduler ---------------------------------------------------------
 
 TEST(BatchScheduler, BatchOfDuplicatesMatchesBatchOfOne) {
