@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "hw/frequency_model.hpp"
+#include "hw/hbm.hpp"
 #include "hw/resource_model.hpp"
 #include "runtime/inference_session.hpp"
 #include "util/math_util.hpp"
@@ -446,6 +447,37 @@ PerfReport estimate_generation_performance(const AccelConfig& config,
   report.macs = prefill.macs + step_macs;
   finalize_report(config, report);
   return report;
+}
+
+PreemptionCost estimate_preemption_cost(const AccelConfig& config,
+                                        const ref::ModelConfig& model,
+                                        uint32_t rows_cached,
+                                        uint32_t memory_len,
+                                        uint32_t block_rows) {
+  if (rows_cached == 0 || rows_cached > model.seq_len || block_rows == 0) {
+    throw std::invalid_argument("preemption cost: bad rows/block_rows");
+  }
+  PreemptionCost cost;
+  // Swap moves the victim's whole block-table bytes twice: spill at
+  // eviction, rescatter at restore. Partial tail blocks travel whole —
+  // the same bytes KvCache::swap_out actually copies.
+  const KvFootprint fp = estimate_kv_footprint(model, rows_cached, block_rows);
+  cost.swap_bytes = 2 * fp.paged_bytes;
+  const hw::HbmModel hbm;
+  const uint32_t channels =
+      std::min(config.synth.hbm_channels_used, hbm.config().channels);
+  const double fmax = hw::fmax_mhz(config.synth);
+  cost.swap_ms =
+      hw::cycles_to_ms(hbm.load_cycles(cost.swap_bytes, channels), fmax);
+  // Drop-and-recompute re-runs the cached rows through the stack. The
+  // replay is chunked (prompt pass + fed-token pass) but every cycle
+  // model here is row-wise, so one prefill-shaped estimate is exact.
+  const PerfReport recompute =
+      estimate_decoder_performance(config, model, rows_cached, memory_len);
+  cost.recompute_macs = recompute.macs;
+  cost.recompute_ms = recompute.latency_ms;
+  cost.prefer_swap = cost.swap_ms < cost.recompute_ms;
+  return cost;
 }
 
 }  // namespace protea::accel

@@ -165,4 +165,32 @@ PerfReport estimate_generation_performance(const AccelConfig& config,
                                            uint32_t total_len,
                                            uint32_t memory_len);
 
+/// Analytic cost of the traffic engine's two preemption-recovery
+/// strategies (runtime/traffic.hpp) for a victim holding `rows_cached`
+/// target rows, used for victim/strategy selection:
+///
+///   * swap-out moves the held block bytes twice (spill + rescatter)
+///     over HBM at the synthesized channel allocation — pure bandwidth,
+///     zero engine MACs;
+///   * drop-and-recompute re-runs the cached rows through the stack
+///     (one prefill-shaped pass; replay chunking does not change the
+///     MAC count) — pure compute, zero extra traffic.
+///
+/// recompute_macs is exact (cross-checked against the executed replay's
+/// EngineStats delta in tests); the millisecond figures are the same
+/// cycle model the other estimators use.
+struct PreemptionCost {
+  uint64_t swap_bytes = 0;     // held block bytes x 2 (spill + restore)
+  double swap_ms = 0.0;        // HBM transfer time for both moves
+  uint64_t recompute_macs = 0; // exact MACs of the restore re-prefill
+  double recompute_ms = 0.0;   // modeled latency of that re-prefill
+  bool prefer_swap = false;    // swap_ms < recompute_ms
+};
+
+PreemptionCost estimate_preemption_cost(const AccelConfig& config,
+                                        const ref::ModelConfig& model,
+                                        uint32_t rows_cached,
+                                        uint32_t memory_len,
+                                        uint32_t block_rows);
+
 }  // namespace protea::accel

@@ -435,6 +435,52 @@ void BeamSearchDecoder::release_all() {
   for (auto& s : next_sessions_) s->end_sequence();
 }
 
+void BeamSearchDecoder::preempt_restore_group(const tensor::MatrixF& prompt,
+                                              const tensor::MatrixF& memory,
+                                              KvCreditLease& lease) {
+  // The group preempts as a unit: every session's blocks AND the
+  // admission credit return to the pool before on_preempted fires —
+  // a higher-priority requester sees the full headroom, not a partially
+  // drained group.
+  last_run_.kv_blocks_peak = std::max<size_t>(last_run_.kv_blocks_peak,
+                                              lease.credit()->peak);
+  release_all();
+  lease.release();
+  ++last_run_.group_preemptions;
+  if (options_.on_preempted) options_.on_preempted();
+
+  // Re-admit at the same COW-aware worst case: the rebuilt group is in
+  // exactly the state an unpreempted run reaches at this point (shared
+  // prompt lineage + per-beam divergent tails), which that bound covers.
+  if (lease.acquire_wait(last_run_.worst_case_blocks)) {
+    ++last_run_.credit_waits;
+  }
+
+  // Rebuild bit-exactly from CPU-side state: one prompt prefill (chunk
+  // invariance makes its K/V bytes identical to the original), re-fork
+  // the live beams, then replay each beam's committed tokens — all but
+  // the still-pending tokens.back() — through the same decode path.
+  // Selection state (histories, scores, logits scratch) never left CPU
+  // memory, so the next selection round is unchanged.
+  tensor::MatrixF scratch;
+  cur_sessions_[0]->prefill(prompt, memory, scratch);
+  last_run_.replayed_rows += prompt.rows();
+  for (size_t j = 1; j < live_; ++j) {
+    cur_sessions_[j]->fork_from(*cur_sessions_[0], !options_.cow);
+    ++last_run_.forks;
+  }
+  for (size_t j = 0; j < live_; ++j) {
+    const Beam& beam = cur_beams_[j];
+    for (size_t t = 0; t + 1 < beam.tokens.size(); ++t) {
+      std::copy(vocab_->embed->row(beam.tokens[t]).begin(),
+                vocab_->embed->row(beam.tokens[t]).end(),
+                token_embeds_[j].row(0).begin());
+      cur_sessions_[j]->decode_step(token_embeds_[j], states_[j]);
+      ++last_run_.replayed_rows;
+    }
+  }
+}
+
 std::vector<BeamHypothesis> BeamSearchDecoder::generate(
     std::span<const uint32_t> prompt_tokens,
     const tensor::MatrixF& memory) {
@@ -481,14 +527,30 @@ std::vector<BeamHypothesis> BeamSearchDecoder::generate(
     throw std::invalid_argument(
         "BeamSearchDecoder: worst case exceeds the block pool");
   }
-  if (pool_->reserve_credit_wait(credit_, worst)) {
+  KvCreditLease lease(*pool_);
+  if (lease.acquire_wait(worst)) {
     ++last_run_.credit_waits;
   }
-  for (auto& s : cur_sessions_) s->bind_kv_credit(&credit_);
-  for (auto& s : next_sessions_) s->bind_kv_credit(&credit_);
+  for (auto& s : cur_sessions_) s->bind_kv_credit(lease.credit());
+  for (auto& s : next_sessions_) s->bind_kv_credit(lease.credit());
+  // Declared AFTER the lease, so on any exit — return or unwind — it
+  // runs FIRST: blocks are released and sessions unbound before the
+  // lease's destructor hands the credit back (the pool requires that
+  // ordering).
+  struct GroupScope {
+    BeamSearchDecoder& d;
+    KvCreditLease& lease;
+    ~GroupScope() {
+      d.release_all();
+      for (auto& s : d.cur_sessions_) s->bind_kv_credit(nullptr);
+      for (auto& s : d.next_sessions_) s->bind_kv_credit(nullptr);
+      d.last_run_.kv_blocks_peak = std::max<size_t>(
+          d.last_run_.kv_blocks_peak, lease.credit()->peak);
+    }
+  } group_scope{*this, lease};
 
   std::vector<BeamHypothesis> out;
-  try {
+  {
     finished_count_ = 0;
     live_ = 0;
 
@@ -550,6 +612,9 @@ std::vector<BeamHypothesis> BeamSearchDecoder::generate(
     // in stepped mode) ------------------------------------------------------
     uint32_t generated = 1;
     while (live_ > 0 && generated < options_.max_new_tokens) {
+      if (options_.preempt_point && options_.preempt_point(generated)) {
+        preempt_restore_group(prompt, memory, lease);
+      }
       if (workers_ != nullptr) {
         for (size_t j = 0; j < live_; ++j) {
           workers_->submit([this, j] { step_beam(j); });
@@ -650,20 +715,8 @@ std::vector<BeamHypothesis> BeamSearchDecoder::generate(
                        return a.score > b.score;
                      });
     if (out.size() > k) out.resize(k);
-  } catch (...) {
-    release_all();
-    for (auto& s : cur_sessions_) s->bind_kv_credit(nullptr);
-    for (auto& s : next_sessions_) s->bind_kv_credit(nullptr);
-    last_run_.kv_blocks_peak = credit_.peak;
-    pool_->release_credit(credit_);
-    throw;
   }
 
-  release_all();
-  for (auto& s : cur_sessions_) s->bind_kv_credit(nullptr);
-  for (auto& s : next_sessions_) s->bind_kv_credit(nullptr);
-  last_run_.kv_blocks_peak = credit_.peak;
-  pool_->release_credit(credit_);
   last_run_.cow_copies = pool_->cow_copies() - cow_before;
   uint64_t macs_after = 0;
   for (auto& s : cur_sessions_) macs_after += s->stats().macs;

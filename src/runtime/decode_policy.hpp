@@ -179,6 +179,19 @@ struct BeamSearchOptions {
   /// COW-aware worst case against it); nullptr gives the decoder a
   /// private pool sized at its own worst case.
   KvBlockPool* kv_pool = nullptr;
+  /// Cooperative group-preemption hook for traffic schedulers: called
+  /// before each selection round with the number of tokens selected so
+  /// far. Returning true preempts the WHOLE group as a unit — every
+  /// session's blocks AND the admission credit go back to the pool —
+  /// then restores it bit-exactly (one prompt re-prefill, re-fork, and
+  /// per-beam replay of the committed tokens) under a fresh credit at
+  /// the same worst-case bound. Hypotheses are identical to an
+  /// unpreempted run.
+  std::function<bool(uint32_t generated)> preempt_point;
+  /// Fires between release and restore, while the group holds NOTHING
+  /// (used by tests to assert the pool drained, and by schedulers to run
+  /// higher-priority work).
+  std::function<void()> on_preempted;
 
   void validate() const;
 };
@@ -202,6 +215,8 @@ struct BeamSearchStats {
   uint64_t decode_steps = 0; // per-beam engine steps
   uint64_t credit_waits = 0; // admission had to wait for pool headroom
   uint64_t macs = 0;         // engine MACs summed over the group
+  uint64_t group_preemptions = 0;  // preempt_point evictions this run
+  uint64_t replayed_rows = 0;      // rows re-run by group restores
 };
 
 /// COW-aware worst-case unique-block bound for a width-K group decoding
@@ -255,6 +270,11 @@ class BeamSearchDecoder {
   void step_beam(size_t j);
   void offer_finished(const Beam& beam, uint32_t token, double sum);
   void release_all();
+  /// options_.preempt_point fired: evict the whole group (blocks +
+  /// credit), notify, re-admit and rebuild it bit-exactly.
+  void preempt_restore_group(const tensor::MatrixF& prompt,
+                             const tensor::MatrixF& memory,
+                             KvCreditLease& lease);
 
   const accel::AccelConfig* config_;
   const accel::QuantizedDecoder* model_;
@@ -262,7 +282,6 @@ class BeamSearchDecoder {
   BeamSearchOptions options_;
   KvBlockPool* pool_ = nullptr;
   std::unique_ptr<KvBlockPool> owned_pool_;
-  KvPoolCredit credit_;
   std::vector<std::unique_ptr<GenerationSession>> cur_sessions_;
   std::vector<std::unique_ptr<GenerationSession>> next_sessions_;
   std::vector<Beam> cur_beams_, next_beams_;

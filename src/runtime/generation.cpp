@@ -265,6 +265,19 @@ void GenerationSession::bind_kv_credit(KvPoolCredit* credit) {
   kv_.bind_credit(credit);
 }
 
+size_t GenerationSession::swap_out(std::vector<int8_t>& dst) {
+  const size_t rows = kv_.swap_out(dst);
+  refresh_kv_stats();
+  return rows;
+}
+
+bool GenerationSession::try_swap_in(std::span<const int8_t> src,
+                                    size_t rows) {
+  const bool ok = kv_.try_swap_in(src, rows);
+  if (ok) refresh_kv_stats();
+  return ok;
+}
+
 // --- GenerationScheduler -----------------------------------------------------
 
 namespace {

@@ -137,6 +137,16 @@ class GenerationSession {
   /// unbinds. The session must not hold blocks.
   void bind_kv_credit(KvPoolCredit* credit);
 
+  /// Victim preemption, swap-out flavor (paged mode): spills the held
+  /// blocks' contents into `dst` and releases them (returns the cached
+  /// row count); try_swap_in() restores them all-or-nothing after a
+  /// fresh prefill_begin() has recomputed the cross projections —
+  /// bit-identical to never having been preempted (the cross K/V is a
+  /// pure function of the memory; self rows come back byte-for-byte).
+  size_t swap_bytes() const { return kv_.swap_bytes(); }
+  size_t swap_out(std::vector<int8_t>& dst);
+  bool try_swap_in(std::span<const int8_t> src, size_t rows);
+
   /// Target rows cached so far (the next step decodes this position).
   size_t position() const { return kv_.len(); }
   /// Maximum target rows (the model's programmed seq_len).
@@ -171,6 +181,38 @@ class GenerationSession {
   WorkspaceArena ws_;
   accel::EngineStats own_stats_;
   accel::EngineStats* stats_;
+};
+
+/// RAII companion to GenerationSession::end_sequence(): releases the
+/// session's blocks on scope exit unless commit()ed, so a throw
+/// mid-prefill or mid-step (block exhaustion, a failpoint, a bad
+/// callback) can never strand pool blocks other sequences wait on.
+class SequenceScope {
+ public:
+  SequenceScope() = default;
+  explicit SequenceScope(GenerationSession* session) : session_(session) {}
+  ~SequenceScope() {
+    if (session_ != nullptr) session_->end_sequence();
+  }
+  SequenceScope(SequenceScope&& other) noexcept : session_(other.session_) {
+    other.session_ = nullptr;
+  }
+  SequenceScope& operator=(SequenceScope&& other) noexcept {
+    if (this != &other) {
+      if (session_ != nullptr) session_->end_sequence();
+      session_ = other.session_;
+      other.session_ = nullptr;
+    }
+    return *this;
+  }
+  SequenceScope(const SequenceScope&) = delete;
+  SequenceScope& operator=(const SequenceScope&) = delete;
+
+  /// Keeps the sequence alive (ownership passed elsewhere).
+  void commit() { session_ = nullptr; }
+
+ private:
+  GenerationSession* session_ = nullptr;
 };
 
 /// One generation request. `memory` is the caller-owned encoder output;

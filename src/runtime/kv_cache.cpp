@@ -129,12 +129,13 @@ bool KvBlockPool::take_locked(size_t n, std::vector<uint32_t>& out,
     // is guaranteed by the credit invariant (free >= credit_outstanding_
     // >= limit - live); exceeding the limit means the caller's
     // worst-case bound was wrong — fail loudly, never eat another
-    // group's reservation.
+    // group's reservation. Failpoints never fire here: the reservation
+    // is a contract.
     if (credit->live + n > credit->limit) {
       throw std::logic_error(
           "KvBlockPool: credited take exceeds its admission bound");
     }
-  } else if (n > uncommitted_free_locked()) {
+  } else if (failpoint_hit_locked() || n > uncommitted_free_locked()) {
     ++exhaustion_events_;
     return false;
   }
@@ -145,13 +146,13 @@ bool KvBlockPool::take_locked(size_t n, std::vector<uint32_t>& out,
 }
 
 bool KvBlockPool::try_reserve(size_t n, std::vector<uint32_t>& out,
-                              KvPoolCredit* credit) {
+                              KvPoolCredit* credit, bool skip_zero) {
   if (n == 0) return true;
   const std::lock_guard lock(mutex_);
   if (!configured()) {
     throw std::logic_error("KvBlockPool::try_reserve: not configured");
   }
-  return take_locked(n, out, credit, /*skip_zero=*/false);
+  return take_locked(n, out, credit, skip_zero);
 }
 
 void KvBlockPool::reserve_wait(size_t n, std::vector<uint32_t>& out,
@@ -165,11 +166,14 @@ void KvBlockPool::reserve_wait(size_t n, std::vector<uint32_t>& out,
     throw KvBlockExhausted(
         "KvBlockPool::reserve_wait: request exceeds pool size");
   }
-  if (!take_locked(n, out, credit, /*skip_zero=*/false)) {
+  // Loop (not a single retry): an injected failpoint can fail the take
+  // while the wait predicate is already true, in which case the wait
+  // returns immediately and the retry consumes the next trip — finite
+  // injections can therefore never wedge a blocking reserve.
+  while (!take_locked(n, out, credit, /*skip_zero=*/false)) {
     // Only uncredited takes can fall through (credited ones either
-    // succeed or throw); the event was recorded once.
+    // succeed or throw); each shortfall was recorded as one event.
     freed_.wait(lock, [&] { return n <= uncommitted_free_locked(); });
-    take_locked(n, out, credit, /*skip_zero=*/false);  // guaranteed
   }
 }
 
@@ -249,7 +253,7 @@ uint32_t KvBlockPool::duplicate_locked(uint32_t block,
       throw std::logic_error(
           "KvBlockPool: credited take exceeds its admission bound");
     }
-  } else if (uncommitted_free_locked() == 0) {
+  } else if (failpoint_hit_locked() || uncommitted_free_locked() == 0) {
     ++exhaustion_events_;
     throw KvBlockExhausted(
         "KvBlockPool: no free block to back the copy-on-write");
@@ -307,7 +311,7 @@ bool KvBlockPool::try_reserve_credit(KvPoolCredit& credit, size_t n) {
     throw std::logic_error(
         "KvBlockPool::try_reserve_credit: credit already in use");
   }
-  if (n > uncommitted_free_locked()) {
+  if (failpoint_hit_locked() || n > uncommitted_free_locked()) {
     ++exhaustion_events_;
     return false;
   }
@@ -342,6 +346,43 @@ bool KvBlockPool::reserve_credit_wait(KvPoolCredit& credit, size_t n) {
   credit_outstanding_ += n;
   return waited;
 }
+
+#ifdef PROTEA_FAILPOINTS
+void KvBlockPool::inject_failures(uint64_t skip, uint64_t count) {
+  const std::lock_guard lock(mutex_);
+  fail_skip_ = skip;
+  fail_next_ = count;
+}
+
+void KvBlockPool::force_exhaustion(bool on) {
+  const std::lock_guard lock(mutex_);
+  force_exhausted_ = on;
+}
+
+void KvBlockPool::clear_failures() {
+  const std::lock_guard lock(mutex_);
+  fail_skip_ = 0;
+  fail_next_ = 0;
+  force_exhausted_ = false;
+}
+
+uint64_t KvBlockPool::failpoint_trips() const {
+  const std::lock_guard lock(mutex_);
+  return failpoint_trips_;
+}
+#else
+void KvBlockPool::inject_failures(uint64_t, uint64_t) {
+  throw std::logic_error("KvBlockPool: built without PROTEA_FAILPOINTS");
+}
+
+void KvBlockPool::force_exhaustion(bool) {
+  throw std::logic_error("KvBlockPool: built without PROTEA_FAILPOINTS");
+}
+
+void KvBlockPool::clear_failures() {}
+
+uint64_t KvBlockPool::failpoint_trips() const { return 0; }
+#endif
 
 void KvBlockPool::release_credit(KvPoolCredit& credit) {
   {
@@ -501,6 +542,63 @@ void KvCache::bind_credit(KvPoolCredit* credit) {
         "KvCache::bind_credit: cache still holds blocks");
   }
   credit_ = credit;
+}
+
+size_t KvCache::swap_bytes() const {
+  return paged() ? block_table_.size() * pool_->block_bytes() : 0;
+}
+
+size_t KvCache::swap_out(std::vector<int8_t>& dst) {
+  if (!paged() || pool_ == nullptr) {
+    throw std::logic_error("KvCache::swap_out: paged layout required");
+  }
+  if (maybe_shared_) {
+    // A fork sibling may still read these blocks; spilling and releasing
+    // them would yank the shared prefix out from under it. Beam groups
+    // preempt as a unit through drop-and-recompute instead.
+    throw std::logic_error(
+        "KvCache::swap_out: block table possibly shared with a fork");
+  }
+  const size_t bytes = swap_bytes();
+  dst.resize(bytes);
+  const size_t bb = pool_->block_bytes();
+  for (size_t i = 0; i < block_table_.size(); ++i) {
+    std::memcpy(dst.data() + i * bb, pool_->row_data(block_table_[i], 0),
+                bb);
+  }
+  const size_t rows = len_;
+  release_blocks();
+  return rows;
+}
+
+bool KvCache::try_swap_in(std::span<const int8_t> src, size_t rows) {
+  if (!paged() || pool_ == nullptr) {
+    throw std::logic_error("KvCache::try_swap_in: paged layout required");
+  }
+  if (!block_table_.empty()) {
+    throw std::logic_error("KvCache::try_swap_in: cache still holds blocks");
+  }
+  const size_t bb = pool_->block_bytes();
+  if (src.size() % bb != 0) {
+    throw std::invalid_argument(
+        "KvCache::try_swap_in: spill size is not a whole block count");
+  }
+  const size_t blocks = src.size() / bb;
+  if (rows > blocks * block_rows_ || rows > capacity_) {
+    throw std::invalid_argument("KvCache::try_swap_in: bad row count");
+  }
+  // All-or-nothing like any other reservation; the restore copy
+  // overwrites every byte, so the lazy re-zero is skipped.
+  if (!pool_->try_reserve(blocks, block_table_, credit_,
+                          /*skip_zero=*/true)) {
+    return false;
+  }
+  for (size_t i = 0; i < blocks; ++i) {
+    std::memcpy(pool_->row_data(block_table_[i], 0), src.data() + i * bb,
+                bb);
+  }
+  len_ = rows;
+  return true;
 }
 
 void KvCache::fork_from(KvCache& parent, bool eager_copy) {

@@ -143,9 +143,10 @@ class KvBlockPool {
   /// takes nothing, records an exhaustion event and returns false. With
   /// `credit`, the take draws on the group's admission reservation
   /// instead of the uncommitted pool (and throws std::logic_error past
-  /// its limit).
+  /// its limit). `skip_zero` skips the lazy re-zeroing when the caller
+  /// is about to overwrite every byte (swap-in restore).
   bool try_reserve(size_t n, std::vector<uint32_t>& out,
-                   KvPoolCredit* credit = nullptr);
+                   KvPoolCredit* credit = nullptr, bool skip_zero = false);
   /// Blocking form: parks the caller until `n` blocks are free at once.
   /// `n` must not exceed num_blocks() (it could never be satisfied).
   void reserve_wait(size_t n, std::vector<uint32_t>& out,
@@ -192,6 +193,28 @@ class KvBlockPool {
   /// first (credit.live == 0).
   void release_credit(KvPoolCredit& credit);
 
+  // --- deterministic fault injection (failpoints) ---------------------------
+  //
+  // Tests and the traffic stress harness inject pool exhaustion at exact,
+  // reproducible points: after `skip` more UNCREDITED take attempts, the
+  // next `count` attempts fail as if the pool were empty (recorded as
+  // ordinary exhaustion events plus a failpoint_trips count). Credited
+  // takes are never failpointed — their headroom is a contract the rest
+  // of the system proves deadlock-freedom against. Compiled away to zero
+  // hot-path cost when PROTEA_FAILPOINTS is off (the setters then throw).
+
+  /// Arms "after `skip` attempts, fail the next `count`". Attempts are
+  /// counted per pool operation (one try_reserve / one COW copy), not
+  /// per block.
+  void inject_failures(uint64_t skip, uint64_t count);
+  /// Forces every uncredited take to fail until cleared. Only safe with
+  /// the try_* paths: a blocking reserve under forced exhaustion would
+  /// spin on its own failpoint forever.
+  void force_exhaustion(bool on);
+  void clear_failures();
+  /// Injected failures actually hit so far.
+  uint64_t failpoint_trips() const;
+
   int8_t* row_data(uint32_t block, size_t row) {
     return data_ + (size_t{block} * block_rows_ + row) * row_bytes_;
   }
@@ -207,6 +230,27 @@ class KvBlockPool {
     return free_list_.size() - credit_outstanding_;
   }
   uint32_t duplicate_locked(uint32_t block, KvPoolCredit* credit);
+  /// Consumes one failpoint decision for an uncredited take attempt.
+#ifdef PROTEA_FAILPOINTS
+  bool failpoint_hit_locked() {
+    if (force_exhausted_) {
+      ++failpoint_trips_;
+      return true;
+    }
+    if (fail_skip_ > 0) {
+      --fail_skip_;
+      return false;
+    }
+    if (fail_next_ > 0) {
+      --fail_next_;
+      ++failpoint_trips_;
+      return true;
+    }
+    return false;
+  }
+#else
+  static constexpr bool failpoint_hit_locked() { return false; }
+#endif
 
   WorkspaceArena arena_;
   int8_t* data_ = nullptr;
@@ -224,8 +268,59 @@ class KvBlockPool {
   uint64_t exhaustion_events_ = 0;
   uint64_t cow_copies_ = 0;
   uint64_t zero_fills_ = 0;
+#ifdef PROTEA_FAILPOINTS
+  uint64_t fail_skip_ = 0;   // uncredited attempts to let through first
+  uint64_t fail_next_ = 0;   // then fail this many
+  bool force_exhausted_ = false;
+  uint64_t failpoint_trips_ = 0;
+#endif
   mutable std::mutex mutex_;
   std::condition_variable freed_;
+};
+
+/// RAII holder for a KvPoolCredit reservation: the headroom is released
+/// when the lease dies, so a throw between admission and retirement can
+/// never strand reserved blocks. The group's blocks must be released
+/// BEFORE the lease is destroyed (credit live-accounting) — order block
+/// cleanup guards inside the lease's scope.
+class KvCreditLease {
+ public:
+  KvCreditLease() = default;
+  explicit KvCreditLease(KvBlockPool& pool) : pool_(&pool) {}
+  ~KvCreditLease() { release(); }
+  KvCreditLease(KvCreditLease&& other) noexcept
+      : pool_(other.pool_), credit_(other.credit_) {
+    other.pool_ = nullptr;
+    other.credit_ = KvPoolCredit{};
+  }
+  KvCreditLease& operator=(KvCreditLease&& other) noexcept {
+    if (this != &other) {
+      release();
+      pool_ = other.pool_;
+      credit_ = other.credit_;
+      other.pool_ = nullptr;
+      other.credit_ = KvPoolCredit{};
+    }
+    return *this;
+  }
+  KvCreditLease(const KvCreditLease&) = delete;
+  KvCreditLease& operator=(const KvCreditLease&) = delete;
+
+  bool try_acquire(size_t n) { return pool_->try_reserve_credit(credit_, n); }
+  /// Blocking acquire; returns true when the pool was short (one
+  /// backpressure episode).
+  bool acquire_wait(size_t n) { return pool_->reserve_credit_wait(credit_, n); }
+  void release() {
+    if (pool_ != nullptr && credit_.limit != 0) {
+      pool_->release_credit(credit_);
+    }
+  }
+  bool held() const { return credit_.limit != 0; }
+  KvPoolCredit* credit() { return &credit_; }
+
+ private:
+  KvBlockPool* pool_ = nullptr;
+  KvPoolCredit credit_;
 };
 
 /// One decoder layer's cached tensors, per attention head.
@@ -307,6 +402,26 @@ class KvCache {
   /// blocks (credit live-accounting is per held block).
   void bind_credit(KvPoolCredit* credit);
   KvPoolCredit* credit() const { return credit_; }
+
+  // --- preemption: swap-out / restore ---------------------------------------
+
+  /// Bytes a swap-out would spill right now (held blocks x block bytes).
+  size_t swap_bytes() const;
+  /// Victim-preemption spill: copies every held block's FULL contents
+  /// into `dst` (resized to swap_bytes()) in block-table order, then
+  /// releases the blocks. Returns the cached row count to pass back to
+  /// try_swap_in(). Bytes beyond len() ride along unchanged, so the
+  /// restore is bit-exact including the partially-filled tail block.
+  /// Refuses possibly-shared tables (a fork sibling still reads them).
+  /// Cross K/V is NOT spilled — it is a pure function of the encoder
+  /// memory and is recomputed at restore (prefill_begin), bit-identical.
+  size_t swap_out(std::vector<int8_t>& dst);
+  /// Restore: takes ceil(src / block_bytes) fresh blocks all-or-nothing
+  /// (false — holding nothing — when the pool is short), copies the
+  /// spilled bytes back and marks `rows` rows cached. The cache must
+  /// hold no blocks; call begin_sequence()/prefill_begin first so the
+  /// cross projections are back before decoding resumes.
+  bool try_swap_in(std::span<const int8_t> src, size_t rows);
 
   // --- copy-on-write forking ------------------------------------------------
 

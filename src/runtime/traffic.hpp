@@ -1,0 +1,264 @@
+// SLO-aware traffic engine: the robustness layer over the generation
+// scheduler — victim preemption, priority classes, deadlines, cooperative
+// cancellation and graceful load shedding, driven by a seeded synthetic
+// trace generator.
+//
+// The PR-4 scheduler is deadlock-free because admission is pessimistic:
+// a sequence's worst-case KV blocks are reserved up front, so under
+// bursty traffic the pool sits underused while requests queue, and
+// nothing can cancel, time out or be preempted once admitted. This
+// engine flips that: admission is OPTIMISTIC (only the first prefill
+// chunk is reserved) and block tables grow on demand; when the pool
+// comes up short, a strictly worse-ranked victim is preempted instead of
+// the requester waiting forever. Two recovery flavors, both bit-exact:
+//
+//   * swap-out — the victim's block-table contents spill into a side
+//     buffer (KvCache::swap_out) and come back by rescatter
+//     (try_swap_in); the cross K/V is recomputed from the memory at
+//     restore, which is deterministic, so a restored sequence is
+//     byte-identical to one never preempted.
+//   * drop-and-recompute — the victim releases everything and is
+//     re-prefilled from its retained token history (prompt rows + the
+//     embeddings already fed) through the chunked-prefill path, which
+//     PR 4 proved bit-identical for any chunking.
+//
+// Scheduling is priority- and deadline-aware: requests are ranked by
+// (priority class, absolute deadline, arrival, submission order) — a
+// total order, so preemption can never cycle and the best-ranked request
+// always progresses. Past a configurable overload watermark the engine
+// sheds the worst-ranked queued requests with a reason instead of
+// parking them forever; expired or cancelled requests stop cooperatively
+// at the next round boundary with their partial output intact.
+//
+// Determinism: ONE coordinator drives rounds in both modes. Every pool
+// mutation — admission, growth, preemption, restore — happens serially
+// in the coordinator; threads > 1 only parallelizes the round's compute
+// units (one prefill chunk or decode step per active seat) over a worker
+// pool bracketed by the MHA/FFN module gates. Outputs AND SchedulerStats
+// are therefore bit-identical between stepped and threaded runs (only
+// wall-clock fields differ), which is what makes the fault-injection
+// stress harness (bench_traffic) a real invariant gate rather than a
+// smoke test.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accel_config.hpp"
+#include "accel/decoder_model.hpp"
+#include "runtime/generation.hpp"
+#include "runtime/kv_cache.hpp"
+
+namespace protea::runtime {
+
+/// Priority classes, best first. The rank order is strict: an
+/// interactive request can preempt a standard or batch one, never the
+/// reverse.
+enum class TrafficPriority : uint32_t {
+  kInteractive = 0,
+  kStandard = 1,
+  kBatch = 2,
+};
+inline constexpr size_t kTrafficClasses = 3;
+const char* traffic_priority_name(TrafficPriority p);
+
+/// Terminal state of a request. Shedding always carries a reason string
+/// in TrafficResult::shed_reason — reject-with-reason, never park
+/// forever.
+enum class TrafficOutcome : uint32_t {
+  kPending = 0,        // engine-internal; never returned
+  kCompleted,          // finished within its deadline (or had none)
+  kCompletedLate,      // finished, but past its deadline
+  kShedOverload,       // rejected at the overload watermark, never ran
+  kShedDeadline,       // deadline expired before first admission
+  kShedCapacity,       // cannot ever fit the pool / unit failure / stall
+  kCancelled,          // cooperative cancel or cancel_on_deadline
+};
+const char* traffic_outcome_name(TrafficOutcome o);
+
+/// How a preemption victim's KV state is recovered at restore.
+enum class PreemptionRecovery : uint32_t {
+  kSwapOut = 0,   // spill blocks to the side buffer, rescatter on restore
+  kRecompute,     // release everything, re-prefill from token history
+  kAuto,          // swap while a swap slot is free, recompute beyond
+};
+
+/// One traffic request: a generation request plus its SLO envelope.
+struct TrafficRequest {
+  GenerationRequest gen;
+  TrafficPriority priority = TrafficPriority::kStandard;
+  /// Virtual arrival time in scheduler rounds (deterministic; the
+  /// coordinator fast-forwards idle gaps).
+  uint32_t arrival_round = 0;
+  /// Rounds after arrival by which the request must retire; 0 = none.
+  uint32_t deadline_rounds = 0;
+  /// true: an expired deadline cancels the request mid-flight (partial
+  /// output returned). false: it keeps running and retires kCompletedLate.
+  bool cancel_on_deadline = false;
+  /// Optional cooperative cancel: checked at every round boundary; the
+  /// request stops with its partial output and outcome kCancelled.
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+struct TrafficResult {
+  /// Output states for the rows actually computed (prefix rows processed
+  /// so far + decode steps); empty when the request never ran.
+  tensor::MatrixF states;
+  uint32_t steps = 0;
+  TrafficOutcome outcome = TrafficOutcome::kPending;
+  std::string shed_reason;  // set for every shed/cancel outcome
+  uint32_t admitted_round = 0;  // first admission (valid once admitted)
+  uint32_t retired_round = 0;
+  uint32_t latency_rounds = 0;  // retired - arrival (virtual time)
+  double latency_ms = 0.0;      // wall clock, first admission -> retired
+  uint32_t preemptions = 0;     // times this request was evicted
+  bool deadline_missed = false;
+};
+
+struct TrafficOptions {
+  size_t slots = 4;    // concurrent seats (live sessions)
+  size_t threads = 1;  // > 1: per-round parallel unit dispatch
+  uint32_t mha_slots = 0;  // module semaphore widths (0 -> worker count)
+  uint32_t ffn_slots = 0;
+  size_t prefill_chunk = 0;   // prompt rows per round (0 = whole prompt)
+  size_t kv_block_rows = 16;  // must be paged (> 0)
+  /// Shared pool size in blocks (ignored when kv_pool is given). The
+  /// traffic engine requires a shared paged pool — preemption is a
+  /// statement about contention.
+  size_t kv_pool_blocks = 0;
+  KvBlockPool* kv_pool = nullptr;  // external pool (must outlive the run)
+  PreemptionRecovery recovery = PreemptionRecovery::kAuto;
+  /// Concurrently swapped-out victims the side buffer holds; victims
+  /// beyond this fall back to drop-and-recompute.
+  size_t swap_slots = 2;
+  /// false disables victim preemption entirely (requests then stall
+  /// until blocks free up — the PR-4 behavior, kept for comparison).
+  bool preemption = true;
+  /// Overload watermark: when more than this many never-admitted
+  /// requests are queued, the worst-ranked are shed with a reason.
+  /// 0 = never shed on overload.
+  size_t shed_queue_depth = 0;
+  /// Deterministic fault injection, armed on the pool AFTER the session
+  /// warm-up (so warm-up takes don't consume the schedule): skip this
+  /// many uncredited takes, then fail the next `fail_count`. Cleared at
+  /// the end of the run.
+  uint64_t fail_skip = 0;
+  uint64_t fail_count = 0;
+  /// Consecutive no-progress rounds before the engine force-sheds the
+  /// worst-ranked request (liveness backstop under forced exhaustion).
+  size_t stall_limit = 4096;
+};
+
+struct TrafficClassStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t completed_late = 0;
+  uint64_t shed_overload = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_capacity = 0;
+  uint64_t cancelled = 0;
+  uint64_t preemptions = 0;   // evictions of this class's requests
+  uint64_t swap_outs = 0;     // preemptions recovered by swap
+  uint64_t recomputes = 0;    // preemptions recovered by re-prefill
+  uint64_t restores = 0;      // successful restorations
+  uint64_t deadline_misses = 0;
+  uint64_t kv_block_waits = 0;  // admission/growth wait episodes
+};
+
+/// Per-class + aggregate counters for one run. Every field except
+/// wall_ms is deterministic and bit-identical between stepped and
+/// threaded modes (asserted by tests and the stress harness).
+struct SchedulerStats {
+  std::array<TrafficClassStats, kTrafficClasses> per_class{};
+  uint64_t rounds = 0;
+  uint64_t decode_steps = 0;
+  uint64_t prefill_chunks = 0;
+  uint64_t replayed_rows = 0;  // rows re-prefilled by drop-and-recompute
+  uint64_t swap_bytes = 0;     // bytes spilled to the side buffer
+  uint64_t kv_blocks_peak = 0;
+  uint64_t failpoint_trips = 0;  // injected failures that fired this run
+  uint32_t max_active = 0;
+  double wall_ms = 0.0;
+
+  const TrafficClassStats& cls(TrafficPriority p) const {
+    return per_class[static_cast<size_t>(p)];
+  }
+  uint64_t total(uint64_t TrafficClassStats::* field) const {
+    uint64_t sum = 0;
+    for (const TrafficClassStats& c : per_class) sum += c.*field;
+    return sum;
+  }
+};
+
+/// Continuous-batching engine with preemption, deadlines and shedding.
+/// Owns the model; run() is reentrant across calls like
+/// GenerationScheduler.
+class TrafficEngine {
+ public:
+  TrafficEngine(accel::AccelConfig config, accel::QuantizedDecoder model);
+
+  /// Serves every request to its terminal outcome. Completed requests'
+  /// outputs are bit-identical to an unconstrained run (preemption and
+  /// recovery are invisible in the bits); cancelled requests return the
+  /// prefix they computed.
+  std::vector<TrafficResult> run(const std::vector<TrafficRequest>& requests,
+                                 const TrafficOptions& opts = {});
+
+  const SchedulerStats& last_run() const { return last_run_; }
+  const accel::QuantizedDecoder& model() const { return model_; }
+  const accel::AccelConfig& config() const { return config_; }
+
+ private:
+  accel::AccelConfig config_;
+  accel::QuantizedDecoder model_;
+  SchedulerStats last_run_;
+};
+
+// --- synthetic trace generation ---------------------------------------------
+
+/// One synthetic request descriptor. The harness maps items onto real
+/// TrafficRequests (embeddings, policies) — the trace itself is pure
+/// shape + timing, reproducible from the seed alone.
+struct TraceItem {
+  uint32_t arrival_round = 0;
+  uint32_t prompt_rows = 1;
+  uint32_t max_new = 1;
+  TrafficPriority priority = TrafficPriority::kStandard;
+  uint32_t deadline_rounds = 0;  // 0 = none
+  bool cancel_on_deadline = false;
+  bool sampled = false;  // stochastic decode policy (vs greedy)
+  bool beam = false;     // beam-search group request
+  uint64_t policy_seed = 0;
+};
+
+/// Seeded synthetic traffic model: bursty Poisson arrivals (exponential
+/// interarrivals whose rate jumps by burst_factor inside bursts),
+/// bounded-Pareto heavy-tailed prompt/output lengths, and a
+/// greedy/sampled/beam policy mix with priority classes and deadlines.
+struct TraceConfig {
+  size_t requests = 64;
+  double mean_interarrival_rounds = 2.0;
+  double burst_prob = 0.15;    // per-arrival chance to toggle burst state
+  double burst_factor = 8.0;   // arrival-rate multiplier inside a burst
+  double heavy_tail_alpha = 1.2;  // bounded-Pareto shape for lengths
+  uint32_t min_prompt = 1;
+  uint32_t max_prompt = 8;
+  uint32_t min_new = 1;
+  uint32_t max_new = 8;
+  double sampled_fraction = 0.3;
+  double beam_fraction = 0.0;
+  double interactive_fraction = 0.25;
+  double batch_fraction = 0.25;   // remainder is kStandard
+  double deadline_fraction = 0.5;
+  double deadline_slack = 3.0;    // deadline = slack x (prompt + max_new)
+  double cancel_on_deadline_fraction = 0.0;
+  uint64_t seed = 1;
+};
+
+std::vector<TraceItem> generate_trace(const TraceConfig& config);
+
+}  // namespace protea::runtime

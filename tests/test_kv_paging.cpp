@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
+#include <span>
 #include <vector>
 
 #include "accel/decoder_model.hpp"
@@ -315,6 +317,128 @@ TEST(KvPaging, BlockReuseAfterReleaseIsBitIdentical) {
   runtime::GenerationSession session2(fx.acfg, fx.qd, nullptr, opts);
   session2.prefill(prefix, memory2, fresh);
   EXPECT_EQ(reused, fresh);
+}
+
+// --- deterministic failpoints (traffic-engine fault injection) --------------
+
+#ifdef PROTEA_FAILPOINTS
+TEST(KvBlockPool, FailpointScheduleSkipsThenFailsThenDrains) {
+  runtime::KvBlockPool pool;
+  pool.configure(6, 2, 16);
+  pool.inject_failures(2, 2);  // let 2 attempts through, fail the next 2
+
+  std::vector<uint32_t> a, b, c;
+  EXPECT_TRUE(pool.try_reserve(1, a));   // skip 1
+  EXPECT_TRUE(pool.try_reserve(1, b));   // skip 2
+  EXPECT_FALSE(pool.try_reserve(1, c));  // injected failure 1
+  EXPECT_TRUE(c.empty());                // failed takes take NOTHING
+  EXPECT_EQ(pool.failpoint_trips(), 1u);
+  EXPECT_FALSE(pool.try_reserve(1, c));  // injected failure 2
+  EXPECT_EQ(pool.failpoint_trips(), 2u);
+  // Injected failures read as ordinary exhaustion to observers.
+  EXPECT_EQ(pool.exhaustion_events(), 2u);
+
+  // Schedule drained: the pool is healthy again without clear_failures().
+  EXPECT_TRUE(pool.try_reserve(1, c));
+  EXPECT_EQ(pool.failpoint_trips(), 2u);
+  pool.release(a);
+  pool.release(b);
+  pool.release(c);
+}
+
+TEST(KvBlockPool, ForcedExhaustionSparesCreditedTakes) {
+  runtime::KvBlockPool pool;
+  pool.configure(6, 2, 16);
+  // Credit headroom is the deadlock-freedom contract the rest of the
+  // system is proved against: credited takes are NEVER failpointed.
+  runtime::KvPoolCredit credit;
+  ASSERT_TRUE(pool.try_reserve_credit(credit, 2));
+
+  pool.force_exhaustion(true);
+  std::vector<uint32_t> out;
+  EXPECT_FALSE(pool.try_reserve(1, out));
+  EXPECT_FALSE(pool.try_reserve(1, out));
+  EXPECT_EQ(pool.failpoint_trips(), 2u);
+
+  std::vector<uint32_t> credited;
+  EXPECT_TRUE(pool.try_reserve(2, credited, &credit));
+  EXPECT_EQ(credited.size(), 2u);
+  EXPECT_EQ(credit.live, 2u);
+
+  pool.clear_failures();
+  EXPECT_TRUE(pool.try_reserve(1, out));  // healthy again
+  pool.release(out);
+  pool.release(credited);
+  EXPECT_EQ(credit.live, 0u);  // release returns headroom to the group
+  pool.release_credit(credit);
+}
+#else
+TEST(KvBlockPool, FailpointSettersThrowWhenCompiledOut) {
+  runtime::KvBlockPool pool;
+  pool.configure(2, 2, 16);
+  EXPECT_THROW(pool.inject_failures(0, 1), std::logic_error);
+  EXPECT_THROW(pool.force_exhaustion(true), std::logic_error);
+  EXPECT_EQ(pool.failpoint_trips(), 0u);
+}
+#endif  // PROTEA_FAILPOINTS
+
+// --- preemption swap-out / swap-in at the cache level ------------------------
+
+TEST(KvPaging, CacheSwapRoundTripPreservesBlockBytes) {
+  runtime::KvBlockPool pool;
+  pool.configure(6, 2, 8);
+  runtime::KvCache cache;
+  runtime::KvCacheOptions opts;
+  opts.block_rows = 2;
+  opts.pool = &pool;
+  cache.configure(1, 1, 4, 8, 4, opts);  // row_bytes = 1*1*2*4 = 8
+  cache.begin_sequence(2);
+  ASSERT_TRUE(cache.try_reserve_rows(5));  // 3 blocks, tail half-filled
+
+  // Stamp a distinct byte pattern across every held block (including
+  // the unfilled tail rows — they must ride along unchanged).
+  std::vector<int8_t> stamp;
+  int v = 1;
+  for (const uint32_t b : cache.block_table()) {
+    for (size_t r = 0; r < pool.block_rows(); ++r) {
+      int8_t* row = pool.row_data(b, r);
+      for (size_t i = 0; i < pool.row_bytes(); ++i) {
+        row[i] = static_cast<int8_t>(v++ & 0x7f);
+        stamp.push_back(row[i]);
+      }
+    }
+  }
+  cache.append(5);
+
+  EXPECT_EQ(cache.swap_bytes(), 3 * pool.block_bytes());
+  std::vector<int8_t> spill;
+  const size_t rows = cache.swap_out(spill);
+  EXPECT_EQ(rows, 5u);
+  ASSERT_EQ(spill.size(), stamp.size());
+  EXPECT_EQ(spill, stamp);  // table-order spill is byte-exact
+  EXPECT_EQ(pool.used_blocks(), 0u);
+  EXPECT_EQ(cache.swap_bytes(), 0u);
+
+  // Restore skips the lazy re-zero (the copy overwrites every byte).
+  const uint64_t zero_fills_before = pool.zero_fills();
+  ASSERT_TRUE(cache.try_swap_in(spill, rows));
+  EXPECT_EQ(pool.zero_fills(), zero_fills_before);
+  EXPECT_EQ(cache.len(), 5u);
+  ASSERT_EQ(cache.block_table().size(), 3u);
+  size_t off = 0;
+  for (const uint32_t b : cache.block_table()) {
+    EXPECT_EQ(std::memcmp(pool.row_data(b, 0), stamp.data() + off,
+                          pool.block_bytes()),
+              0);
+    off += pool.block_bytes();
+  }
+  cache.release_blocks();
+
+  // A spill that is not a whole block count, or rows beyond what the
+  // blocks hold, is a caller bug.
+  EXPECT_THROW(cache.try_swap_in(std::span<const int8_t>(spill).first(7), 5),
+               std::invalid_argument);
+  EXPECT_THROW(cache.try_swap_in(spill, 7), std::invalid_argument);
 }
 
 }  // namespace
