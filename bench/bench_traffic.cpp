@@ -290,6 +290,9 @@ int main(int argc, char** argv) {
         shed += 1;
         gate.require(!res.shed_reason.empty(), "shed carries a reason");
         break;
+      case runtime::TrafficOutcome::kFailed:
+        gate.require(false, "no unit failures in the storm");
+        break;
       default:
         gate.require(false, "request reached a terminal outcome");
     }

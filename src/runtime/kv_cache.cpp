@@ -171,6 +171,15 @@ void KvBlockPool::reserve_wait(size_t n, std::vector<uint32_t>& out,
   // returns immediately and the retry consumes the next trip — finite
   // injections can therefore never wedge a blocking reserve.
   while (!take_locked(n, out, credit, /*skip_zero=*/false)) {
+#ifdef PROTEA_FAILPOINTS
+    // force_exhaustion fails EVERY take, so the retry loop would spin at
+    // 100% CPU on its own failpoint (the wait predicate stays true).
+    // Failpoints are test-only: fail loudly instead of live-locking.
+    if (force_exhausted_) {
+      throw KvBlockExhausted(
+          "KvBlockPool::reserve_wait: forced-exhaustion failpoint armed");
+    }
+#endif
     // Only uncredited takes can fall through (credited ones either
     // succeed or throw); each shortfall was recorded as one event.
     freed_.wait(lock, [&] { return n <= uncommitted_free_locked(); });

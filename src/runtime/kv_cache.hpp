@@ -207,9 +207,10 @@ class KvBlockPool {
   /// counted per pool operation (one try_reserve / one COW copy), not
   /// per block.
   void inject_failures(uint64_t skip, uint64_t count);
-  /// Forces every uncredited take to fail until cleared. Only safe with
-  /// the try_* paths: a blocking reserve under forced exhaustion would
-  /// spin on its own failpoint forever.
+  /// Forces every uncredited take to fail until cleared. Meant for the
+  /// try_* paths; reserve_wait() throws KvBlockExhausted while this is
+  /// armed (a blocking reserve would otherwise spin on its own
+  /// failpoint forever).
   void force_exhaustion(bool on);
   void clear_failures();
   /// Injected failures actually hit so far.

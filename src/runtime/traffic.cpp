@@ -44,6 +44,8 @@ const char* traffic_outcome_name(TrafficOutcome o) {
       return "shed_capacity";
     case TrafficOutcome::kCancelled:
       return "cancelled";
+    case TrafficOutcome::kFailed:
+      return "failed";
   }
   return "?";
 }
@@ -220,6 +222,12 @@ class Coordinator {
       workers_ = std::make_unique<util::ThreadPool>(workers);
     }
 
+    // Each request is in at most one place (the waiting list or a seat),
+    // so waiting_ never outgrows this — preempt_seat's push_back can
+    // then never reallocate, which keeps indices AND iterators stable
+    // while a reserve-with-preemption pass is in flight.
+    waiting_.reserve(requests.size());
+
     arrival_order_.resize(requests.size());
     std::iota(arrival_order_.begin(), arrival_order_.end(), 0u);
     std::sort(arrival_order_.begin(), arrival_order_.end(),
@@ -334,6 +342,9 @@ class Coordinator {
         break;
       case TrafficOutcome::kCancelled:
         ++c.cancelled;
+        break;
+      case TrafficOutcome::kFailed:
+        ++c.failed;
         break;
       case TrafficOutcome::kPending:
         break;
@@ -536,8 +547,7 @@ class Coordinator {
           best = wi;
         }
       }
-      Waiting& w = waiting_[best];
-      const Rank r = rank_of(w.index);
+      const Rank r = rank_of(waiting_[best].index);
 
       size_t s = SIZE_MAX;
       for (size_t i = 0; i < seats_.size(); ++i) {
@@ -550,13 +560,13 @@ class Coordinator {
         if (!opts_.preemption) break;
         const size_t victim = find_victim(r, SIZE_MAX);
         if (victim == SIZE_MAX) break;  // every seat outranks us
-        preempt_seat(victim);  // appends to waiting_; w stays valid (< end)
+        preempt_seat(victim);  // appends to waiting_; index stays valid
         s = victim;
       }
 
       const bool ok = waiting_[best].flight != nullptr
-                          ? try_restore(waiting_[best], s)
-                          : try_admit(waiting_[best], s);
+                          ? try_restore(best, s)
+                          : try_admit(best, s);
       if (!ok) {
         if (!waiting_[best].wait_counted) {
           ++cls(waiting_[best].index).kv_block_waits;
@@ -570,8 +580,14 @@ class Coordinator {
         std::max(stats_.max_active, static_cast<uint32_t>(active_count()));
   }
 
-  bool try_admit(Waiting& w, size_t s) {
-    const TrafficRequest& req = requests_[w.index];
+  /// try_admit/try_restore take the WAITING-LIST INDEX, not a Waiting&:
+  /// reserve_with_preemption can evict seats onto waiting_, and although
+  /// the constructor pre-reserves enough capacity that push_back never
+  /// reallocates, indexing (plus the heap-stable Flight) keeps these
+  /// correct even if that invariant ever changes.
+  bool try_admit(size_t best, size_t s) {
+    const uint32_t index = waiting_[best].index;
+    const TrafficRequest& req = requests_[index];
     GenerationSession& session = *sessions_[s];
     const size_t prefix = req.gen.prefix.rows();
     // Optimistic admission: only the first prefill chunk up front, the
@@ -579,17 +595,17 @@ class Coordinator {
     const size_t first = opts_.prefill_chunk == 0
                              ? prefix
                              : std::min(opts_.prefill_chunk, prefix);
-    const Rank r = rank_of(w.index);
+    const Rank r = rank_of(index);
     if (!reserve_with_preemption(
             r, s, [&] { return session.try_reserve_rows(first); })) {
       return false;
     }
     auto f = std::make_unique<Flight>();
     f->req = &req;
-    f->result = &results_[w.index];
-    f->index = w.index;
+    f->result = &results_[index];
+    f->index = index;
     f->rank = r;
-    f->deadline_round = deadline_of(w.index);
+    f->deadline_round = deadline_of(index);
     f->result->states = tensor::MatrixF(prefix + req.gen.max_new_tokens,
                                         req.gen.prefix.cols());
     if (req.gen.max_new_tokens > 0) {
@@ -603,13 +619,36 @@ class Coordinator {
     return true;
   }
 
-  bool try_restore(Waiting& w, size_t s) {
-    Flight& f = *w.flight;
+  /// Could an uncredited take of `blocks` blocks (or the preemption
+  /// retry loop behind it) possibly succeed right now? Exact under the
+  /// coordinator's pool serialization — units never touch the pool —
+  /// except for armed failpoints, which the real take still consults.
+  bool reserve_could_succeed(size_t blocks, const Rank& r,
+                             size_t exclude) const {
+    if (blocks <= pool_.uncommitted_free_blocks()) return true;
+    return opts_.preemption && find_victim(r, exclude) != SIZE_MAX;
+  }
+
+  bool try_restore(size_t best, size_t s) {
+    // The Flight lives on the heap behind waiting_[best].flight, so it
+    // is stable across waiting_ growth; the Waiting slot itself is only
+    // re-touched (by index) for the final hand-off.
+    Flight& f = *waiting_[best].flight;
     GenerationSession& session = *sessions_[s];
     // The cross K/V is a pure function of the encoder memory: recompute
-    // it fresh (deterministic, so bit-identical to the original).
-    session.prefill_begin(*f.req->gen.memory, nullptr);
+    // it fresh (deterministic, so bit-identical to the original). It is
+    // also the expensive part of a restore attempt — a full projection
+    // over the memory — so every path below secures (or at least
+    // probes) the block reservation FIRST, keeping a failed attempt
+    // cheap under sustained pool contention.
     if (f.swapped) {
+      // prefill_begin must precede try_swap_in (begin_sequence rewinds
+      // the cached length that swap-in re-establishes), so probe the
+      // pool before paying for the projection. The probe can only
+      // misfire on an armed failpoint, which the take below consults.
+      const size_t blocks = f.swap_data.size() / pool_.block_bytes();
+      if (!reserve_could_succeed(blocks, f.rank, s)) return false;
+      session.prefill_begin(*f.req->gen.memory, nullptr);
       // Rescatter the spilled block bytes — byte-exact, including the
       // partial tail block.
       if (!reserve_with_preemption(f.rank, s, [&] {
@@ -624,6 +663,8 @@ class Coordinator {
     } else if (f.prefilling) {
       // Drop-and-recompute of a mid-prefill victim: restart the prompt
       // (rows are rewritten identically — chunked prefill is exact).
+      // Reserving before prefill_begin is safe here: begin_sequence
+      // keeps held blocks, and prefill_begin never touches the pool.
       const size_t prefix = f.req->gen.prefix.rows();
       const size_t first = opts_.prefill_chunk == 0
                                ? prefix
@@ -632,6 +673,7 @@ class Coordinator {
               f.rank, s, [&] { return session.try_reserve_rows(first); })) {
         return false;
       }
+      session.prefill_begin(*f.req->gen.memory, nullptr);
       f.prefill_pos = 0;
     } else {
       // Drop-and-recompute: re-prefill the prompt plus every decode
@@ -643,6 +685,7 @@ class Coordinator {
               f.rank, s, [&] { return session.try_reserve_rows(cached); })) {
         return false;
       }
+      session.prefill_begin(*f.req->gen.memory, nullptr);
       tensor::MatrixF scratch;
       session.prefill_rows(f.req->gen.prefix, scratch, nullptr);
       if (f.result->steps > 0) {
@@ -654,7 +697,7 @@ class Coordinator {
     f.needs_begin = false;
     f.stalled = false;
     ++cls(f.index).restores;
-    seats_[s] = std::move(w.flight);
+    seats_[s] = std::move(waiting_[best].flight);
     progressed_ = true;
     return true;
   }
@@ -736,15 +779,24 @@ class Coordinator {
     for (size_t s = 0; s < seats_.size(); ++s) {
       if (seats_[s] == nullptr || !seats_[s]->error) continue;
       Flight& f = *seats_[s];
+      // Units run against pre-reserved rows, so pool exhaustion here
+      // would be an engine invariant slipping — keep it visible as a
+      // capacity shed. Anything else is a caller fault (typically a
+      // throwing next_token callback) and retires kFailed so caller
+      // bugs never masquerade as pool pressure in outcomes or stats.
+      TrafficOutcome outcome = TrafficOutcome::kFailed;
       std::string reason = "unit failed: ";
       try {
         std::rethrow_exception(f.error);
+      } catch (const KvBlockExhausted& e) {
+        outcome = TrafficOutcome::kShedCapacity;
+        reason += e.what();
       } catch (const std::exception& e) {
         reason += e.what();
       } catch (...) {
         reason += "unknown exception";
       }
-      retire(f.index, TrafficOutcome::kShedCapacity, std::move(reason), &f);
+      retire(f.index, outcome, std::move(reason), &f);
       clear_seat(s);
     }
   }

@@ -75,8 +75,10 @@ enum class TrafficOutcome : uint32_t {
   kCompletedLate,      // finished, but past its deadline
   kShedOverload,       // rejected at the overload watermark, never ran
   kShedDeadline,       // deadline expired before first admission
-  kShedCapacity,       // cannot ever fit the pool / unit failure / stall
+  kShedCapacity,       // cannot ever fit the pool / pool-exhaustion / stall
   kCancelled,          // cooperative cancel or cancel_on_deadline
+  kFailed,             // a compute unit threw a non-capacity error
+                       // (typically the caller's next_token callback)
 };
 const char* traffic_outcome_name(TrafficOutcome o);
 
@@ -161,6 +163,7 @@ struct TrafficClassStats {
   uint64_t shed_deadline = 0;
   uint64_t shed_capacity = 0;
   uint64_t cancelled = 0;
+  uint64_t failed = 0;  // unit errors (caller faults), not capacity sheds
   uint64_t preemptions = 0;   // evictions of this class's requests
   uint64_t swap_outs = 0;     // preemptions recovered by swap
   uint64_t recomputes = 0;    // preemptions recovered by re-prefill

@@ -360,6 +360,12 @@ TEST(KvBlockPool, ForcedExhaustionSparesCreditedTakes) {
   EXPECT_FALSE(pool.try_reserve(1, out));
   EXPECT_EQ(pool.failpoint_trips(), 2u);
 
+  // A blocking reserve would otherwise live-lock on its own failpoint
+  // (the wait predicate is already true, so the retry spins): it must
+  // fail loudly instead, taking nothing.
+  EXPECT_THROW(pool.reserve_wait(1, out), runtime::KvBlockExhausted);
+  EXPECT_TRUE(out.empty());
+
   std::vector<uint32_t> credited;
   EXPECT_TRUE(pool.try_reserve(2, credited, &credit));
   EXPECT_EQ(credited.size(), 2u);

@@ -157,6 +157,7 @@ void expect_same_class_stats(const TrafficClassStats& a,
   EXPECT_EQ(a.shed_deadline, b.shed_deadline) << what;
   EXPECT_EQ(a.shed_capacity, b.shed_capacity) << what;
   EXPECT_EQ(a.cancelled, b.cancelled) << what;
+  EXPECT_EQ(a.failed, b.failed) << what;
   EXPECT_EQ(a.preemptions, b.preemptions) << what;
   EXPECT_EQ(a.swap_outs, b.swap_outs) << what;
   EXPECT_EQ(a.recomputes, b.recomputes) << what;
@@ -445,6 +446,38 @@ TEST(TrafficEngine, ImpossibleRequestIsShedNotThrown) {
   EXPECT_EQ(results[1].outcome, TrafficOutcome::kCompleted);
   EXPECT_EQ(results[1].steps, 2u);
   EXPECT_EQ(engine.last_run().total(&TrafficClassStats::shed_capacity), 1u);
+}
+
+TEST(TrafficEngine, ThrowingCallbackFailsRequestWithoutSheddingIt) {
+  // A user-supplied next_token callback that throws is a CALLER fault:
+  // the request retires kFailed (with the exception message as the
+  // reason), never kShedCapacity — caller bugs must not read as pool
+  // pressure. Neighbors are unaffected.
+  TrafficFixture fx;
+  runtime::TrafficEngine engine(fx.acfg, fx.qd);
+
+  std::vector<runtime::TrafficRequest> reqs(2);
+  reqs[0].gen.prefix = random_input(2, fx.cfg.d_model, 91);
+  reqs[0].gen.memory = &fx.memory;
+  reqs[0].gen.max_new_tokens = 3;
+  reqs[0].gen.next_token = [](std::span<const float>, tensor::MatrixF&) -> bool {
+    throw std::runtime_error("callback boom");
+  };
+  reqs[1].gen = make_gen_request(fx, 2, 2, 0.3f, -1, 92);
+
+  runtime::TrafficOptions opts;
+  opts.slots = 2;
+  opts.kv_block_rows = 4;
+  opts.kv_pool_blocks = 8;
+  const auto results = engine.run(reqs, opts);
+  const auto& stats = engine.last_run();
+
+  EXPECT_EQ(results[0].outcome, TrafficOutcome::kFailed);
+  EXPECT_NE(results[0].shed_reason.find("callback boom"), std::string::npos)
+      << results[0].shed_reason;
+  EXPECT_EQ(results[1].outcome, TrafficOutcome::kCompleted);
+  EXPECT_EQ(stats.total(&TrafficClassStats::failed), 1u);
+  EXPECT_EQ(stats.total(&TrafficClassStats::shed_capacity), 0u);
 }
 
 TEST(TrafficEngine, StallValveForceShedsWhenPreemptionDisabled) {
