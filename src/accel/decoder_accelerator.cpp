@@ -229,7 +229,8 @@ PerfReport estimate_decoder_performance(const AccelConfig& config,
 PerfReport estimate_decode_step_performance(const AccelConfig& config,
                                             const ref::ModelConfig& model,
                                             uint32_t pos,
-                                            uint32_t memory_len) {
+                                            uint32_t memory_len,
+                                            bool kv_gather_fallback) {
   config.validate();
   validate_runtime(config.synth, model);
   if (pos >= model.seq_len) {
@@ -311,10 +312,25 @@ PerfReport estimate_decode_step_performance(const AccelConfig& config,
       tc.ln_row_overhead;
   add_stage("layernorm", 3, 3 * ln_row);
 
+  // Legacy gather fallback only: every head copies its 2 x kv_len x dk
+  // cached prefix into contiguous scratch before QK/SV. Pure data
+  // movement (no engine cycles) — the block-strided default streams the
+  // block table in place and moves none of it.
+  if (kv_gather_fallback) {
+    report.stages.push_back(
+        StageTiming{.name = "self_gather",
+                    .invocations = model.num_heads,
+                    .compute = 0,
+                    .total = 0,
+                    .bytes_loaded = uint64_t{model.num_heads} * 2 * kv_len * dk});
+  }
+
   for (const auto& stage : report.stages) {
     report.layer_cycles += stage.total;
+    report.bytes_loaded += stage.bytes_loaded;
   }
   report.total_cycles = report.layer_cycles * model.num_layers;
+  report.bytes_loaded *= model.num_layers;
 
   // Per-step MAC count, matching the executed incremental schedule (and
   // the EngineStats deltas a real decode_step records).
@@ -337,6 +353,8 @@ KvFootprint estimate_kv_footprint(const ref::ModelConfig& model,
   fp.dense_bytes = fp.row_bytes * model.seq_len;
   fp.blocks = util::ceil_div(rows, block_rows);
   fp.paged_bytes = uint64_t{fp.blocks} * block_rows * fp.row_bytes;
+  fp.gather_bytes_per_step = fp.row_bytes * rows;
+  fp.gather_scratch_bytes = uint64_t{2} * rows * model.head_dim();
   return fp;
 }
 

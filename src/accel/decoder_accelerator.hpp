@@ -92,10 +92,21 @@ PerfReport estimate_decoder_performance(const AccelConfig& config,
 /// and single-row projections/FFN. Matches the executed schedule of
 /// GenerationSession::decode_step exactly (MAC counts are cross-checked
 /// against EngineStats in tests/test_generation.cpp).
+///
+/// The default models the block-strided paged path: the QK/SV engines
+/// stream K/V straight out of the block table, so the step moves zero
+/// gather traffic (report.bytes_loaded == 0, matching the executed
+/// EngineStats::gathered_bytes == 0). `kv_gather_fallback = true` models
+/// the legacy gather path instead: a "self_gather" stage whose
+/// bytes_loaded is the per-layer prefix copy (num_heads x 2 x kv_len x
+/// head_dim), rolled into report.bytes_loaded across layers —
+/// cross-checked against the executed fallback counter in
+/// tests/test_generation.cpp.
 PerfReport estimate_decode_step_performance(const AccelConfig& config,
                                             const ref::ModelConfig& model,
                                             uint32_t pos,
-                                            uint32_t memory_len);
+                                            uint32_t memory_len,
+                                            bool kv_gather_fallback = false);
 
 /// Self-K/V memory model for a sequence of `rows` cached target rows:
 /// the dense layout reserves the full programmed capacity
@@ -109,6 +120,16 @@ struct KvFootprint {
   uint64_t dense_bytes = 0;  // per-slot dense reservation (capacity rows)
   uint64_t paged_bytes = 0;  // blocks needed for `rows` rows
   uint32_t blocks = 0;       // ceil(rows / block_rows)
+  /// Bytes the legacy gather fallback copies out of the block table per
+  /// decode step at this prefix length (row_bytes x rows — every head of
+  /// every layer re-gathers its 2 x rows x head_dim prefix). The
+  /// block-strided default moves zero; matches the executed per-step
+  /// EngineStats::gathered_bytes delta of a fallback session.
+  uint64_t gather_bytes_per_step = 0;
+  /// Peak per-head workspace the gather fallback holds for its contiguous
+  /// K/V staging views (2 x rows x head_dim) — scratch the block-strided
+  /// path eliminates entirely (spans read the pool in place).
+  uint64_t gather_scratch_bytes = 0;
 };
 
 KvFootprint estimate_kv_footprint(const ref::ModelConfig& model,

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "accel/softmax_unit.hpp"
 #include "numeric/dsp48.hpp"
 #include "tensor/qgemm.hpp"
 
@@ -192,6 +193,64 @@ void run_qk_engine(tensor::ConstMatrixViewI8 q, tensor::ConstMatrixViewI8 k,
   ws.rewind(m);
 }
 
+void run_qk_engine(tensor::ConstMatrixViewI8 q,
+                   const tensor::RowSpanListI8& k,
+                   const numeric::RequantParams& rq_logit,
+                   tensor::MatrixViewI8 logits, runtime::WorkspaceArena& ws,
+                   EngineStats* stats, util::ThreadPool* pool) {
+  if (q.cols() != k.cols) {
+    throw std::invalid_argument("run_qk_engine: head dim mismatch");
+  }
+  const size_t sl_q = q.rows();
+  const size_t sl_k = k.rows;
+  const size_t dk = q.cols();
+  check_out_shape(logits, sl_q, sl_k, "run_qk_engine");
+
+  const auto m = ws.mark();
+  auto acc = ws.matrix_i32(sl_q, sl_k);
+  auto pack = ws.span_i8(tensor::qgemm_pack_elems(sl_k));
+  tensor::qgemm_bt_spans_into(q, k, acc, pack, pool);
+  for (size_t i = 0; i < sl_q; ++i) {
+    for (size_t j = 0; j < sl_k; ++j) {
+      logits(i, j) = requant8(acc(i, j), rq_logit);
+    }
+  }
+  if (stats != nullptr) {
+    stats->macs += sl_q * sl_k * dk;
+    stats->span_runs += k.runs.size();
+  }
+  ws.rewind(m);
+}
+
+void run_qk_softmax_engine(tensor::ConstMatrixViewI8 q,
+                           const tensor::RowSpanListI8& k,
+                           const numeric::RequantParams& rq_logit,
+                           const SoftmaxUnit& softmax, size_t row_offset,
+                           tensor::MatrixViewI8 weights,
+                           runtime::WorkspaceArena& ws, EngineStats* stats,
+                           util::ThreadPool* pool) {
+  if (q.cols() != k.cols) {
+    throw std::invalid_argument("run_qk_softmax_engine: head dim mismatch");
+  }
+  const size_t sl_q = q.rows();
+  const size_t sl_k = k.rows;
+  const size_t dk = q.cols();
+  check_out_shape(weights, sl_q, sl_k, "run_qk_softmax_engine");
+
+  const auto m = ws.mark();
+  auto acc = ws.matrix_i32(sl_q, sl_k);
+  auto pack = ws.span_i8(tensor::qgemm_pack_elems(sl_k));
+  tensor::qgemm_bt_spans_into(q, k, acc, pack, pool);
+  // The fused pass requantizes straight off the accumulator tile — the
+  // int8 logits matrix (and its write + two reads) never exists.
+  softmax.run_causal_fused_into(acc, rq_logit, weights, row_offset);
+  if (stats != nullptr) {
+    stats->macs += sl_q * sl_k * dk;
+    stats->span_runs += k.runs.size();
+  }
+  ws.rewind(m);
+}
+
 void run_qk_engine(const tensor::MatrixI8& q, const tensor::MatrixI8& k,
                    const numeric::RequantParams& rq_logit,
                    tensor::MatrixI8& logits, EngineStats* stats) {
@@ -226,6 +285,35 @@ void run_sv_engine(tensor::ConstMatrixViewI8 attn_weights,
     }
   }
   if (stats != nullptr) stats->macs += sl * dk * inner;
+  ws.rewind(m);
+}
+
+void run_sv_engine(tensor::ConstMatrixViewI8 attn_weights,
+                   const tensor::RowSpanListI8& v,
+                   const numeric::RequantParams& rq_sv,
+                   tensor::MatrixViewI8 scores, runtime::WorkspaceArena& ws,
+                   EngineStats* stats, util::ThreadPool* pool) {
+  if (attn_weights.cols() != v.rows) {
+    throw std::invalid_argument("run_sv_engine: shape mismatch");
+  }
+  const size_t sl = attn_weights.rows();
+  const size_t dk = v.cols;
+  const size_t inner = v.rows;
+  check_out_shape(scores, sl, dk, "run_sv_engine");
+
+  const auto m = ws.mark();
+  auto acc = ws.matrix_i32(sl, dk);
+  auto pack = ws.span_i8(tensor::qgemm_pack_elems(dk));
+  tensor::qgemm_spans_into(attn_weights, v, acc, pack, pool);
+  for (size_t i = 0; i < sl; ++i) {
+    for (size_t j = 0; j < dk; ++j) {
+      scores(i, j) = requant8(acc(i, j), rq_sv);
+    }
+  }
+  if (stats != nullptr) {
+    stats->macs += sl * dk * inner;
+    stats->span_runs += v.runs.size();
+  }
   ws.rewind(m);
 }
 

@@ -52,6 +52,14 @@ struct EngineStats {
   /// 0 for dense caches).
   uint64_t kv_blocks_in_use = 0;
   uint64_t kv_blocks_peak = 0;
+  /// Bytes memcpy'd out of the paged KV cache by prefix gathers (the
+  /// pre-block-strided reference path, 2 x rows x head_dim per head per
+  /// layer per step). The block-strided decode path reports 0 — pinned
+  /// in tests/test_generation.cpp.
+  uint64_t gathered_bytes = 0;
+  /// Block-table runs streamed by the span-accepting QK/SV engines (one
+  /// per contiguous run per engine call; grows as block_rows shrinks).
+  uint64_t span_runs = 0;
 };
 
 /// Algorithm 1. `x` is the full (SL x d_model) int8 input; outputs are
@@ -101,6 +109,34 @@ void run_qk_engine(const tensor::MatrixI8& q, const tensor::MatrixI8& k,
                    const numeric::RequantParams& rq_logit,
                    tensor::MatrixI8& logits, EngineStats* stats = nullptr);
 
+class SoftmaxUnit;
+
+/// Algorithm 2 over a block-strided K operand: `k` is a RowSpanListI8
+/// walking a paged KV block table in place (tensor/qgemm span packing),
+/// so the decode path pays no gather copy. Bit-identical to gathering
+/// first — int32 accumulation is exact and packing order is immaterial.
+void run_qk_engine(tensor::ConstMatrixViewI8 q,
+                   const tensor::RowSpanListI8& k,
+                   const numeric::RequantParams& rq_logit,
+                   tensor::MatrixViewI8 logits, runtime::WorkspaceArena& ws,
+                   EngineStats* stats = nullptr,
+                   util::ThreadPool* pool = nullptr);
+
+/// Algorithm 2 fused with the causal softmax for the cached decode path:
+/// computes the QK int32 accumulator over the span-list K operand and
+/// hands the tile straight to `softmax`'s fused dequant→softmax→requant
+/// pass (SoftmaxUnit::run_causal_fused_into) — the int8 logits matrix is
+/// never materialized. `row_offset` is the cached-prefix causal offset;
+/// `weights` receives the requantized attention weights (scale 1/127).
+void run_qk_softmax_engine(tensor::ConstMatrixViewI8 q,
+                           const tensor::RowSpanListI8& k,
+                           const numeric::RequantParams& rq_logit,
+                           const SoftmaxUnit& softmax, size_t row_offset,
+                           tensor::MatrixViewI8 weights,
+                           runtime::WorkspaceArena& ws,
+                           EngineStats* stats = nullptr,
+                           util::ThreadPool* pool = nullptr);
+
 /// Algorithm 3. scores = requant(attn_weights x V).
 void run_sv_engine(tensor::ConstMatrixViewI8 attn_weights,
                    tensor::ConstMatrixViewI8 v,
@@ -112,6 +148,14 @@ void run_sv_engine(const tensor::MatrixI8& attn_weights,
                    const tensor::MatrixI8& v,
                    const numeric::RequantParams& rq_sv,
                    tensor::MatrixI8& scores, EngineStats* stats = nullptr);
+
+/// Algorithm 3 over a block-strided V operand (see the span QK engine).
+void run_sv_engine(tensor::ConstMatrixViewI8 attn_weights,
+                   const tensor::RowSpanListI8& v,
+                   const numeric::RequantParams& rq_sv,
+                   tensor::MatrixViewI8 scores, runtime::WorkspaceArena& ws,
+                   EngineStats* stats = nullptr,
+                   util::ThreadPool* pool = nullptr);
 
 enum class FfnActivation { kNone, kRelu, kGeluLut };
 

@@ -73,6 +73,42 @@ void SoftmaxUnit::run_causal_into(tensor::ConstMatrixViewI8 logits,
   }
 }
 
+void SoftmaxUnit::run_causal_fused_into(tensor::ConstMatrixViewI32 acc,
+                                        const numeric::RequantParams& rq,
+                                        tensor::MatrixViewI8 out,
+                                        size_t row_offset) const {
+  if (out.rows() != acc.rows() || out.cols() != acc.cols()) {
+    throw std::invalid_argument("SoftmaxUnit: output shape mismatch");
+  }
+  out.fill(0);
+  for (size_t r = 0; r < acc.rows(); ++r) {
+    const auto row = acc.row(r);
+    const size_t valid = std::min(row_offset + r + 1, row.size());
+    auto out_row = out.row(r);
+    // Requantize each live lane exactly once, staged in the output row —
+    // the emit pass below overwrites the staged logits with the weights
+    // (lane c's weight only reads lane c's logit, so in place is safe).
+    for (size_t c = 0; c < valid; ++c) {
+      out_row[c] = static_cast<int8_t>(
+          numeric::requantize(int64_t{row[c]}, rq, -128, 127));
+    }
+    int32_t q_max = -128;
+    for (size_t c = 0; c < valid; ++c) {
+      q_max = std::max<int32_t>(q_max, out_row[c]);
+    }
+    uint64_t sum = 0;
+    for (size_t c = 0; c < valid; ++c) {
+      sum += exp_table_[static_cast<size_t>(q_max - int32_t{out_row[c]})];
+    }
+    for (size_t c = 0; c < valid; ++c) {
+      const uint64_t e =
+          exp_table_[static_cast<size_t>(q_max - int32_t{out_row[c]})];
+      const uint64_t w = (e * 127u + sum / 2) / sum;
+      out_row[c] = static_cast<int8_t>(std::min<uint64_t>(w, 127));
+    }
+  }
+}
+
 tensor::MatrixI8 SoftmaxUnit::run(const tensor::MatrixI8& logits) const {
   tensor::MatrixI8 out(logits.rows(), logits.cols());
   run_into(logits, out);

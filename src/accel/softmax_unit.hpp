@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 
+#include "numeric/requantize.hpp"
 #include "tensor/matrix.hpp"
 
 namespace protea::accel {
@@ -50,6 +51,20 @@ class SoftmaxUnit {
   void run_causal_into(tensor::ConstMatrixViewI8 logits,
                        tensor::MatrixViewI8 out,
                        size_t row_offset = 0) const;
+
+  /// Fused dequant→softmax→requant for the cached decode path: consumes
+  /// the QK engine's int32 accumulator tile directly, requantizing each
+  /// lane exactly once with `rq` (the logit requant constants) into the
+  /// output row, then running the max/sum/emit LUT passes in place while
+  /// the row is cache-hot — no separate int8 logits tile is ever
+  /// materialized. The staged logit values equal what the standalone QK
+  /// engine would have written, so the result is bit-identical to
+  /// requantize-then-run_causal_into. Same causal-mask semantics as
+  /// run_causal_into.
+  void run_causal_fused_into(tensor::ConstMatrixViewI32 acc,
+                             const numeric::RequantParams& rq,
+                             tensor::MatrixViewI8 out,
+                             size_t row_offset = 0) const;
 
   /// Table entry for a shift of `delta` = q_max - q (delta in [0, 255]):
   /// round(exp(-delta * scale) * 2^16).

@@ -72,6 +72,12 @@ struct GenerationOptions {
   /// prefill() runs the prompt in passes of at most this many rows
   /// (0 = one pass). Outputs are bit-identical for any chunk size.
   size_t prefill_chunk = 0;
+  /// Paged caches only: route cached self-attention through the legacy
+  /// gather path (copy the prefix into contiguous workspace views) instead
+  /// of the block-strided span engines. Bit-identical to the default;
+  /// kept as the measured-against reference and surfaces its copy volume
+  /// via EngineStats::gathered_bytes.
+  bool kv_gather_fallback = false;
 };
 
 class GenerationSession {

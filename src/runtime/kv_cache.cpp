@@ -755,6 +755,50 @@ void KvCache::gather_self(size_t layer, size_t head, size_t rows,
   }
 }
 
+tensor::RowSpanListI8 KvCache::self_spans(
+    size_t layer, size_t head, size_t which, size_t rows,
+    std::span<tensor::RowSpanI8> runs) const {
+  if (!paged()) {
+    throw std::logic_error("KvCache::self_spans: dense layout");
+  }
+  if (layer >= layers_.size() || head >= num_heads_ || which > 1) {
+    throw std::invalid_argument("KvCache::self_spans: bad index");
+  }
+  if (rows > reserved_rows()) {
+    throw std::logic_error("KvCache::self_spans: rows not reserved");
+  }
+  const size_t stride = row_bytes();
+  size_t count = 0;
+  for (size_t row = 0; row < rows;) {
+    const size_t in_block =
+        std::min(block_rows_ - row % block_rows_, rows - row);
+    const int8_t* base = self_row_ptr(row, layer, head, which);
+    if (count > 0 &&
+        runs[count - 1].base + runs[count - 1].rows * stride == base) {
+      // Adjacent pool blocks are contiguous in the pool arena: extend.
+      runs[count - 1].rows += in_block;
+    } else {
+      if (count == runs.size()) {
+        throw std::invalid_argument(
+            "KvCache::self_spans: run buffer too small");
+      }
+      runs[count++] = {base, in_block};
+    }
+    row += in_block;
+  }
+  return {.runs = runs.first(count),
+          .rows = rows,
+          .cols = head_dim_,
+          .row_stride = stride};
+}
+
+size_t KvCache::max_self_span_runs(size_t rows) const {
+  if (!paged()) {
+    throw std::logic_error("KvCache::max_self_span_runs: dense layout");
+  }
+  return util::ceil_div(rows, block_rows_);
+}
+
 void KvCache::begin_sequence(size_t memory_len) {
   if (!configured()) {
     throw std::logic_error("KvCache::begin_sequence: not configured");

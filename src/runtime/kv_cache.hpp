@@ -447,10 +447,28 @@ class KvCache {
   void scatter_self(size_t layer, size_t head, size_t pos,
                     tensor::ConstMatrixViewI8 k, tensor::ConstMatrixViewI8 v);
   /// Copies rows [0, rows) of (layer, head) K and V into the contiguous
-  /// (rows x head_dim) views `k_dst` / `v_dst` (paged mode only).
+  /// (rows x head_dim) views `k_dst` / `v_dst` (paged mode only). Kept as
+  /// the bit-exact reference for the gather-free span path below.
   void gather_self(size_t layer, size_t head, size_t rows,
                    tensor::MatrixViewI8 k_dst,
                    tensor::MatrixViewI8 v_dst) const;
+
+  /// Block-strided read view of rows [0, rows) of (layer, head) self K
+  /// (`which` = 0) or V (1): fills `runs` with (base, rows) runs walking
+  /// the block table directly — adjacent pool blocks merge into one run —
+  /// and returns the span-list operand (row stride = the pooled token-row
+  /// bytes) the span-accepting engines consume in place. `runs` must hold
+  /// max_self_span_runs(rows) entries. COW-safe by construction: reading
+  /// never privatizes a block, so a fork sibling can stream a still-shared
+  /// prefix while scatter_self's write-triggered copies keep divergent
+  /// appends out of it — the spans a sequence takes always resolve
+  /// through its OWN table, never a sibling's post-divergence writes.
+  tensor::RowSpanListI8 self_spans(size_t layer, size_t head, size_t which,
+                                   size_t rows,
+                                   std::span<tensor::RowSpanI8> runs) const;
+  /// Worst-case run count self_spans can produce for `rows` rows (one per
+  /// block before merging; paged mode only).
+  size_t max_self_span_runs(size_t rows) const;
 
   // --- sequence bookkeeping -------------------------------------------------
 

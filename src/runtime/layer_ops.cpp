@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "accel/layernorm_unit.hpp"
@@ -20,6 +21,15 @@ tensor::MatrixViewI8 prefix_rows(tensor::MatrixViewI8 m, size_t rows) {
 tensor::MatrixViewI8 append_rows(tensor::MatrixViewI8 m, size_t pos,
                                  size_t n) {
   return {m.data() + pos * m.cols(), n, m.cols()};
+}
+
+/// Row-wise copy of a head's (n x dk) scores into its column slice of the
+/// strided concat view (one memcpy per row, not one store per element).
+void emit_head_scores(tensor::MatrixViewI8 concat, size_t head, size_t dk,
+                      tensor::ConstMatrixViewI8 scores) {
+  for (size_t i = 0; i < scores.rows(); ++i) {
+    std::memcpy(concat.row(i).data() + head * dk, scores.row(i).data(), dk);
+  }
 }
 
 /// Decoder-layer descriptor builders for the projection/FFN blocks,
@@ -166,11 +176,7 @@ void run_attention_block(const LayerOpContext& ctx,
     accel::run_sv_engine(weights, v, *desc.rq_sv, scores, ctx.ws,
                          ctx.stats, ctx.gemm_pool);
 
-    for (size_t i = 0; i < sl; ++i) {
-      for (size_t c = 0; c < dk; ++c) {
-        concat(i, head * dk + c) = scores(i, c);
-      }
-    }
+    emit_head_scores(concat, head, dk, scores);
     if (traces != nullptr) {
       HeadTrace& t = (*traces)[head];
       t.q = tensor::to_matrix(tensor::ConstMatrixViewI8(q));
@@ -384,9 +390,46 @@ void run_self_attention_cached(const LayerOpContext& ctx,
   LayerKv& kv = cache.layer(layer_index);
 
   const accel::SoftmaxUnit softmax(desc.logit_scale);
+  const bool strided = cache.paged() && !ctx.kv_gather_fallback;
   for (size_t head = 0; head < h; ++head) {
     const auto m = ctx.ws.mark();
     auto q = ctx.ws.matrix_i8(n, dk);
+    auto weights = ctx.ws.matrix_i8(n, total);
+    auto scores = ctx.ws.matrix_i8(n, dk);
+    if (strided) {
+      // Paged, block-strided (the default): project into workspace
+      // scratch, scatter the new rows through the block table, then run
+      // QK/SV straight over the block table via span-list operands —
+      // the prefix is never copied and the fused softmax consumes the
+      // QK accumulator tile in place of a materialized logits matrix.
+      // Scatter respects copy-on-write forking: a target block still
+      // shared with a forked sibling is made private before the first
+      // write (the head-0 scatter of a layer pays the block copy; later
+      // heads see refcount 1), and since reads never privatize, the
+      // spans below always resolve through this sequence's own table.
+      auto k_new = ctx.ws.matrix_i8(n, dk);
+      auto v_new = ctx.ws.matrix_i8(n, dk);
+      accel::run_qkv_engine(x, desc.self_heads[head], ctx.ts_mha,
+                            *desc.rq_q, *desc.rq_k, *desc.rq_v, q, k_new,
+                            v_new, ctx.ws, ctx.stats, ctx.gemm_pool);
+      cache.scatter_self(layer_index, head, pos, k_new, v_new);
+      const size_t max_runs = cache.max_self_span_runs(total);
+      auto k_runs = ctx.ws.span_of<tensor::RowSpanI8>(max_runs);
+      auto v_runs = ctx.ws.span_of<tensor::RowSpanI8>(max_runs);
+      const tensor::RowSpanListI8 k_spans =
+          cache.self_spans(layer_index, head, 0, total, k_runs);
+      const tensor::RowSpanListI8 v_spans =
+          cache.self_spans(layer_index, head, 1, total, v_runs);
+      accel::run_qk_softmax_engine(q, k_spans, *desc.rq_logit, softmax,
+                                   /*row_offset=*/pos, weights, ctx.ws,
+                                   ctx.stats, ctx.gemm_pool);
+      accel::run_sv_engine(weights, v_spans, *desc.rq_sv, scores, ctx.ws,
+                           ctx.stats, ctx.gemm_pool);
+      emit_head_scores(concat, head, dk, scores);
+      ctx.ws.rewind(m);
+      continue;
+    }
+
     tensor::ConstMatrixViewI8 k_all, v_all;
     if (!cache.paged()) {
       // Dense: the QKV engine writes the new K/V rows straight into the
@@ -399,15 +442,12 @@ void run_self_attention_cached(const LayerOpContext& ctx,
       k_all = prefix_rows(kv.self_k[head], total);
       v_all = prefix_rows(kv.self_v[head], total);
     } else {
-      // Paged: project into workspace scratch, scatter the new rows
-      // through the block table, then gather the whole cached prefix
-      // into contiguous views for the layout-blind QK/SV engines. The
-      // copies are exact, so paged == dense bit for bit. Scatter also
-      // respects copy-on-write forking: a target block still shared
-      // with a forked sibling is made private before the first write
-      // (the head-0 scatter of a layer pays the block copy; later heads
-      // see refcount 1), so the gather below always reads this
-      // sequence's own prefix.
+      // Paged gather fallback (ctx.kv_gather_fallback): scatter like the
+      // strided path, then copy the whole cached prefix into contiguous
+      // views for the layout-blind contiguous engines — the pre-span
+      // reference the block-strided path is measured (and bit-compared)
+      // against. The copies are exact, so all three paths agree bit for
+      // bit.
       auto k_new = ctx.ws.matrix_i8(n, dk);
       auto v_new = ctx.ws.matrix_i8(n, dk);
       accel::run_qkv_engine(x, desc.self_heads[head], ctx.ts_mha,
@@ -417,23 +457,20 @@ void run_self_attention_cached(const LayerOpContext& ctx,
       auto k_gather = ctx.ws.matrix_i8(total, dk);
       auto v_gather = ctx.ws.matrix_i8(total, dk);
       cache.gather_self(layer_index, head, total, k_gather, v_gather);
+      if (ctx.stats != nullptr) {
+        ctx.stats->gathered_bytes += 2 * total * dk;
+      }
       k_all = k_gather;
       v_all = v_gather;
     }
     auto logits = ctx.ws.matrix_i8(n, total);
-    auto weights = ctx.ws.matrix_i8(n, total);
-    auto scores = ctx.ws.matrix_i8(n, dk);
     accel::run_qk_engine(q, k_all, *desc.rq_logit, logits, ctx.ws,
                          ctx.stats, ctx.gemm_pool);
     softmax.run_causal_into(logits, weights, /*row_offset=*/pos);
     accel::run_sv_engine(weights, v_all, *desc.rq_sv, scores, ctx.ws,
                          ctx.stats, ctx.gemm_pool);
 
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t c = 0; c < dk; ++c) {
-        concat(i, head * dk + c) = scores(i, c);
-      }
-    }
+    emit_head_scores(concat, head, dk, scores);
     ctx.ws.rewind(m);
   }
 }
@@ -509,11 +546,7 @@ void run_cross_attention_cached(const LayerOpContext& ctx,
     softmax.run_into(logits, weights);
     accel::run_sv_engine(weights, v, *desc.rq_sv, scores, ctx.ws,
                          ctx.stats, ctx.gemm_pool);
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t c = 0; c < dk; ++c) {
-        concat(i, head * dk + c) = scores(i, c);
-      }
-    }
+    emit_head_scores(concat, head, dk, scores);
     ctx.ws.rewind(m);
   }
 }

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "tensor/matrix.hpp"
@@ -69,6 +70,16 @@ class WorkspaceArena {
   }
   std::span<int32_t> span_i32(size_t count) {
     return {alloc<int32_t>(count), count};
+  }
+  /// Arena-backed array of a trivially-destructible POD (e.g. the
+  /// RowSpanI8 run lists the block-strided attention path builds per
+  /// head). Uninitialized, like every other handout; every allocation
+  /// is kAlign-aligned, which covers any such T.
+  template <typename T>
+  std::span<T> span_of(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                  alignof(T) <= kAlign);
+    return {alloc<T>(count), count};
   }
 
   /// Bytes currently handed out (across all blocks).

@@ -89,6 +89,84 @@ void pack_bt_block(const M& bt, size_t k0, size_t kc, size_t n, T* dst) {
   }
 }
 
+/// Cursor over a RowSpanListI8's rows in ascending order: row() addresses
+/// the current row, advance() steps to the next, crossing run boundaries
+/// without a per-row search. Advancing past the final row is allowed (the
+/// cursor is then never dereferenced).
+struct SpanRowCursor {
+  const RowSpanI8* run = nullptr;
+  size_t offset = 0;  // row within *run
+
+  const int8_t* row(size_t row_stride) const {
+    return run->base + offset * row_stride;
+  }
+  void advance() {
+    if (++offset == run->rows) {
+      offset = 0;
+      ++run;
+    }
+  }
+};
+
+/// Cursor positioned at logical row `row` (< list.rows) of `list`.
+inline SpanRowCursor span_row_cursor(const RowSpanListI8& list, size_t row) {
+  SpanRowCursor cur{list.runs.data(), row};
+  while (cur.offset >= cur.run->rows) {
+    cur.offset -= cur.run->rows;
+    ++cur.run;
+  }
+  return cur;
+}
+
+/// pack_b_block over a span-list operand (list.rows x list.cols = k x n):
+/// B's rows stream straight out of the runs' storage — packing is the
+/// only stage that touches B element-by-element, so reading the runs here
+/// makes the whole GEMM gather-free while the micro-kernel stays put.
+inline void pack_b_block_spans(const RowSpanListI8& b, size_t k0, size_t kc,
+                               size_t n, int8_t* dst) {
+  // Row-major walk: each block-strided source row (potentially a whole
+  // pooled token row away from its neighbor) is touched exactly once and
+  // scattered across every column panel — the panel writes land in the
+  // small dense pack buffer, so the expensive strided traffic stays
+  // single-pass.
+  const size_t col_panels = util::ceil_div(n, kGemmNr);
+  SpanRowCursor cur = span_row_cursor(b, k0);
+  for (size_t p = 0; p < kc; ++p) {
+    const int8_t* src = cur.row(b.row_stride);
+    for (size_t cp = 0; cp < col_panels; ++cp) {
+      const size_t j0 = cp * kGemmNr;
+      const size_t w = std::min(kGemmNr, n - j0);
+      int8_t* panel_row = dst + cp * kc * kGemmNr + p * kGemmNr;
+      for (size_t j = 0; j < w; ++j) panel_row[j] = src[j0 + j];
+      for (size_t j = w; j < kGemmNr; ++j) panel_row[j] = 0;
+    }
+    cur.advance();
+  }
+}
+
+/// pack_bt_block over a span-list operand (list.rows x list.cols = n x k):
+/// packed column j is list row j (K in Q.K^T), transposed during packing
+/// exactly like pack_bt_block. Rows ascend monotonically across the
+/// column panels, so one cursor walk per K block covers the whole pack.
+inline void pack_bt_block_spans(const RowSpanListI8& bt, size_t k0,
+                                size_t kc, size_t n, int8_t* dst) {
+  const size_t col_panels = util::ceil_div(n, kGemmNr);
+  SpanRowCursor cur = span_row_cursor(bt, 0);
+  for (size_t cp = 0; cp < col_panels; ++cp) {
+    const size_t j0 = cp * kGemmNr;
+    const size_t w = std::min(kGemmNr, n - j0);
+    int8_t* panel = dst + cp * kc * kGemmNr;
+    for (size_t j = 0; j < w; ++j) {
+      const int8_t* src = cur.row(bt.row_stride) + k0;
+      for (size_t p = 0; p < kc; ++p) panel[p * kGemmNr + j] = src[p];
+      cur.advance();
+    }
+    for (size_t j = w; j < kGemmNr; ++j) {
+      for (size_t p = 0; p < kc; ++p) panel[p * kGemmNr + j] = 0;
+    }
+  }
+}
+
 /// kGemmMr x kGemmNr register block; operands are widened to Mul before
 /// multiplying.
 template <typename T, typename Mul, typename Acc>

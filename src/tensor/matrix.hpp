@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <type_traits>
@@ -164,6 +165,26 @@ using MatrixViewI32 = MatrixView<int32_t>;
 using ConstMatrixViewF = MatrixView<const float>;
 using ConstMatrixViewI8 = MatrixView<const int8_t>;
 using ConstMatrixViewI32 = MatrixView<const int32_t>;
+
+/// One run of consecutive rows of a block-strided int8 operand: `rows`
+/// rows starting at `base`. Row geometry (element count and stride) is
+/// shared across runs and lives on the RowSpanListI8 that owns the run.
+struct RowSpanI8 {
+  const int8_t* base = nullptr;
+  size_t rows = 0;
+};
+
+/// A logical (rows x cols) int8 matrix stored as a sequence of row runs —
+/// the read view a paged KV block table exposes without gathering into
+/// contiguous scratch. Each row is `cols` contiguous elements; consecutive
+/// rows within a run are `row_stride` elements apart (>= cols, so rows of
+/// a wider record — e.g. a pooled KV token row — can be viewed in place).
+struct RowSpanListI8 {
+  std::span<const RowSpanI8> runs;
+  size_t rows = 0;        // total rows across all runs
+  size_t cols = 0;        // elements per row
+  size_t row_stride = 0;  // elements between consecutive rows in a run
+};
 
 /// Deep copy of a view into a fresh owning Matrix (trace capture).
 template <typename T>

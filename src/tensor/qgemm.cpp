@@ -60,6 +60,19 @@ void check_into_args(ConstMatrixViewI8 a, size_t b_k, size_t b_n,
   }
 }
 
+void check_span_list(const RowSpanListI8& list, const char* name) {
+  size_t total = 0;
+  for (const RowSpanI8& run : list.runs) total += run.rows;
+  if (total != list.rows) {
+    throw std::invalid_argument(std::string(name) +
+                                ": span run rows do not sum to rows");
+  }
+  if (list.rows > 0 && list.row_stride < list.cols) {
+    throw std::invalid_argument(std::string(name) +
+                                ": span row stride below row width");
+  }
+}
+
 }  // namespace
 
 void qgemm_into(ConstMatrixViewI8 a, ConstMatrixViewI8 b, MatrixViewI32 c,
@@ -79,6 +92,30 @@ void qgemm_bt_into(ConstMatrixViewI8 a, ConstMatrixViewI8 bt, MatrixViewI32 c,
       a.data(), a.rows(), a.cols(), bt.rows(), c.data(), pack_buf.data(),
       pool, [&](size_t k0, size_t kc, int8_t* dst) {
         detail::pack_bt_block(bt, k0, kc, bt.rows(), dst);
+      });
+}
+
+void qgemm_spans_into(ConstMatrixViewI8 a, const RowSpanListI8& b,
+                      MatrixViewI32 c, std::span<int8_t> pack_buf,
+                      util::ThreadPool* pool) {
+  check_into_args(a, b.rows, b.cols, c, pack_buf, "qgemm_spans_into");
+  check_span_list(b, "qgemm_spans_into");
+  detail::gemm_driver_into<int8_t, int16_t, int32_t>(
+      a.data(), a.rows(), a.cols(), b.cols, c.data(), pack_buf.data(), pool,
+      [&](size_t k0, size_t kc, int8_t* dst) {
+        detail::pack_b_block_spans(b, k0, kc, b.cols, dst);
+      });
+}
+
+void qgemm_bt_spans_into(ConstMatrixViewI8 a, const RowSpanListI8& bt,
+                         MatrixViewI32 c, std::span<int8_t> pack_buf,
+                         util::ThreadPool* pool) {
+  check_into_args(a, bt.cols, bt.rows, c, pack_buf, "qgemm_bt_spans_into");
+  check_span_list(bt, "qgemm_bt_spans_into");
+  detail::gemm_driver_into<int8_t, int16_t, int32_t>(
+      a.data(), a.rows(), a.cols(), bt.rows, c.data(), pack_buf.data(), pool,
+      [&](size_t k0, size_t kc, int8_t* dst) {
+        detail::pack_bt_block_spans(bt, k0, kc, bt.rows, dst);
       });
 }
 

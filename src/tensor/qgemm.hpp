@@ -58,6 +58,21 @@ void qgemm_bt_into(ConstMatrixViewI8 a, ConstMatrixViewI8 bt, MatrixViewI32 c,
                    std::span<int8_t> pack_buf,
                    util::ThreadPool* pool = nullptr);
 
+/// Block-strided twins: the B operand is a RowSpanListI8 — a logical
+/// matrix stored as row runs resident in (possibly non-contiguous) block
+/// storage, e.g. a paged KV cache's block table. Packing already streams
+/// B panel-by-panel, so the panels read straight from the runs; the
+/// packed layout and micro-kernel are unchanged, making the result
+/// bit-identical to gathering the runs into a contiguous matrix first.
+/// qgemm_spans_into treats the list as the (k x n) B (c = a * b);
+/// qgemm_bt_spans_into as the (n x k) B^T (c = a * bt^T).
+void qgemm_spans_into(ConstMatrixViewI8 a, const RowSpanListI8& b,
+                      MatrixViewI32 c, std::span<int8_t> pack_buf,
+                      util::ThreadPool* pool = nullptr);
+void qgemm_bt_spans_into(ConstMatrixViewI8 a, const RowSpanListI8& bt,
+                         MatrixViewI32 c, std::span<int8_t> pack_buf,
+                         util::ThreadPool* pool = nullptr);
+
 /// Naive triple-loop references (the seed's original loop nests), retained
 /// as the test oracle and the bench speedup baseline.
 void qgemm_naive(const MatrixI8& a, const MatrixI8& b, MatrixI32& c);
