@@ -19,6 +19,7 @@
 #include "ref/weights.hpp"
 #include "runtime/decode_policy.hpp"
 #include "runtime/kv_cache.hpp"
+#include "runtime/prefix_cache.hpp"
 #include "runtime/workspace_arena.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -438,8 +439,8 @@ int main(int argc, char** argv) {
     opts.max_new_tokens = 8;
     opts.kv_block_rows = 4;
     opts.cow = true;
-    runtime::BeamSearchDecoder cow_dec(accel::AccelConfig{}, qd, vocab,
-                                       opts);
+    // cfg outlives the decoder — BeamSearchDecoder binds it by reference.
+    runtime::BeamSearchDecoder cow_dec(cfg, qd, vocab, opts);
     util::Stopwatch cow_watch;
     const auto cow_hyps = cow_dec.generate(prompt, memory);
     const double cow_ms = cow_watch.milliseconds();
@@ -447,8 +448,7 @@ int main(int argc, char** argv) {
 
     runtime::BeamSearchOptions eager_opts = opts;
     eager_opts.cow = false;
-    runtime::BeamSearchDecoder eager_dec(accel::AccelConfig{}, qd, vocab,
-                                         eager_opts);
+    runtime::BeamSearchDecoder eager_dec(cfg, qd, vocab, eager_opts);
     const auto eager_hyps = eager_dec.generate(prompt, memory);
     const auto eager_stats = eager_dec.last_run();
 
@@ -696,6 +696,199 @@ int main(int argc, char** argv) {
       records.push_back({"attn_stage_T128", "stage_speedup",
                          copy_med / span_med, "x"});
     }
+  }
+
+  // --- cross-request prefix cache: shared-document fleet, cold vs warm -----
+  // Six requests share one 12-row document prefix (75% of each 16-row
+  // prompt) over one encoder memory. The cold pass prefills every prompt
+  // from scratch; the warm pass routes the same prompts through a
+  // PrefixCache, so request 0 publishes and requests 1..5 adopt the
+  // document blocks by refcount and reuse the cached cross projections.
+  // Exit gates: warm outputs bit-identical to cold (prefill AND decode),
+  // each adopter's executed cold-minus-warm prefill MAC delta EXACTLY
+  // equals estimate_prefix_cache_savings, aggregate adopter prefill MACs
+  // cut by >= 2x, and a nonzero hit rate.
+  {
+    ref::ModelConfig small;
+    small.name = "decoder-prefix";
+    small.seq_len = 32;
+    small.d_model = 128;
+    small.num_heads = 4;
+    small.num_layers = 2;
+    small.activation = ref::Activation::kRelu;
+    const auto weights = ref::make_random_decoder_weights(small, 51);
+    tensor::MatrixF memory(8, small.d_model);
+    tensor::MatrixF calib(small.seq_len, small.d_model);
+    util::Xoshiro256 rng(52);
+    for (float& x : memory.flat()) x = static_cast<float>(rng.normal());
+    for (float& x : calib.flat()) x = static_cast<float>(rng.normal());
+    const auto qd = accel::prepare_decoder(weights, calib, memory);
+    const accel::AccelConfig hw_cfg;
+
+    constexpr size_t kRequests = 6;
+    constexpr uint32_t kDocRows = 12;   // shared prefix (75% overlap)
+    constexpr uint32_t kTailRows = 4;   // unique per request
+    constexpr uint32_t kPromptRows = kDocRows + kTailRows;
+    constexpr size_t kBlockRows = 4;
+    constexpr size_t kChunk = 3;
+    constexpr uint32_t kDecodeSteps = 2;
+    tensor::MatrixF doc(kDocRows, small.d_model);
+    for (float& x : doc.flat()) x = static_cast<float>(rng.normal());
+    std::vector<tensor::MatrixF> prompts;
+    for (size_t i = 0; i < kRequests; ++i) {
+      tensor::MatrixF p(kPromptRows, small.d_model);
+      for (uint32_t r = 0; r < kDocRows; ++r) {
+        for (size_t c = 0; c < small.d_model; ++c) p(r, c) = doc(r, c);
+      }
+      for (uint32_t r = kDocRows; r < kPromptRows; ++r) {
+        for (size_t c = 0; c < small.d_model; ++c) {
+          p(r, c) = static_cast<float>(rng.normal());
+        }
+      }
+      prompts.push_back(std::move(p));
+    }
+    // Chunked tail feed shared by both passes (same schedule the
+    // scheduler runs, so the MAC model replays it exactly).
+    const auto feed_tail = [&](runtime::GenerationSession& s,
+                               const tensor::MatrixF& prompt, size_t from,
+                               tensor::MatrixF& states) {
+      tensor::MatrixF chunk_out;
+      for (size_t pos = from; pos < prompt.rows();) {
+        const size_t n = kChunk == 0 ? prompt.rows() - pos
+                                     : std::min(kChunk, prompt.rows() - pos);
+        s.prefill_rows(prompt.slice_rows(pos, n), chunk_out);
+        for (size_t r = 0; r < n; ++r) {
+          for (size_t c = 0; c < small.d_model; ++c) {
+            states(pos + r, c) = chunk_out(r, c);
+          }
+        }
+        pos += n;
+      }
+    };
+    const auto next_token = [&](std::span<const float> state,
+                                tensor::MatrixF& next) {
+      if (next.rows() != 1 || next.cols() != small.d_model) {
+        next = tensor::MatrixF(1, small.d_model);
+      }
+      for (size_t c = 0; c < small.d_model; ++c) next(0, c) = 0.5f * state[c];
+    };
+
+    // Cold pass: private sessions, no cache. Per-request prefill MACs.
+    std::vector<tensor::MatrixF> cold_states(kRequests);
+    std::vector<std::vector<tensor::MatrixF>> cold_decodes(kRequests);
+    std::vector<uint64_t> cold_macs(kRequests, 0);
+    for (size_t i = 0; i < kRequests; ++i) {
+      accel::EngineStats st;
+      runtime::GenerationOptions opts;
+      opts.kv_block_rows = kBlockRows;
+      opts.prefill_chunk = kChunk;
+      runtime::GenerationSession s(hw_cfg, qd, &st, opts);
+      cold_states[i] = tensor::MatrixF(kPromptRows, small.d_model);
+      s.prefill_begin(memory);
+      feed_tail(s, prompts[i], 0, cold_states[i]);
+      cold_macs[i] = st.macs;
+      tensor::MatrixF token, state;
+      next_token(cold_states[i].row(kPromptRows - 1), token);
+      for (uint32_t t = 0; t < kDecodeSteps; ++t) {
+        s.decode_step(token, state);
+        cold_decodes[i].push_back(state);
+        next_token(state.row(0), token);
+      }
+      s.end_sequence();
+    }
+
+    // Warm pass: one shared pool + PrefixCache across the fleet.
+    runtime::KvBlockPool pool;
+    pool.configure(/*num_blocks=*/64, kBlockRows,
+                   accel::estimate_kv_footprint(small, 1, 1).row_bytes);
+    runtime::PrefixCache cache;
+    cache.configure(pool, kBlockRows, small.d_model);
+    bool prefix_identical = true;
+    bool model_match = true;
+    uint64_t warm_hit_macs = 0, cold_hit_macs = 0;
+    size_t adopters = 0;
+    for (size_t i = 0; i < kRequests; ++i) {
+      accel::EngineStats st;
+      runtime::GenerationOptions opts;
+      opts.kv_block_rows = kBlockRows;
+      opts.kv_pool = &pool;
+      opts.prefill_chunk = kChunk;
+      runtime::GenerationSession s(hw_cfg, qd, &st, opts);
+      tensor::MatrixF states(kPromptRows, small.d_model);
+      bool cross_hit = false;
+      const size_t adopted = s.prefill_begin_cached(
+          cache, prompts[i], memory, states, nullptr, &cross_hit);
+      feed_tail(s, prompts[i], adopted, states);
+      const uint64_t warm_macs = st.macs;
+      s.publish_prefix(cache, prompts[i], memory, states);
+      prefix_identical = prefix_identical && states == cold_states[i];
+      tensor::MatrixF token, state;
+      next_token(states.row(kPromptRows - 1), token);
+      for (uint32_t t = 0; t < kDecodeSteps; ++t) {
+        s.decode_step(token, state);
+        prefix_identical = prefix_identical && state == cold_decodes[i][t];
+        next_token(state.row(0), token);
+      }
+      s.end_sequence();
+      if (adopted > 0) {
+        ++adopters;
+        warm_hit_macs += warm_macs;
+        cold_hit_macs += cold_macs[i];
+        accel::GenerationCosting costing;
+        costing.prefill_chunk = kChunk;
+        costing.adopted_rows = static_cast<uint32_t>(adopted);
+        costing.cross_cached = cross_hit;
+        const auto sv = accel::estimate_prefix_cache_savings(
+            hw_cfg, small, kPromptRows, /*memory_len=*/8, costing);
+        model_match =
+            model_match && cold_macs[i] - warm_macs == sv.macs_saved;
+      }
+    }
+    const auto ps = cache.stats();
+    cache.clear();
+    const bool pool_drained = pool.used_blocks() == 0;
+    const double mac_reduction =
+        static_cast<double>(cold_hit_macs) /
+        static_cast<double>(std::max<uint64_t>(warm_hit_macs, 1));
+    const uint64_t bytes_saved = ps.bytes_adopted + ps.cross_bytes_reused;
+    const bool hits_ok = adopters == kRequests - 1 &&
+                         ps.prefix_hits == kRequests - 1 &&
+                         ps.cross_hits == kRequests - 1;
+    identical = identical && prefix_identical && model_match && hits_ok &&
+                pool_drained && mac_reduction >= 2.0;
+
+    std::printf(
+        "executed prefix-cache fleet (%zu prompts, %u-row shared doc of "
+        "%u, %zu-row blocks, %zu-row chunks): %llu/%llu prefix hit/miss, "
+        "%llu rows adopted, %llu KV+cross bytes saved, adopter prefill "
+        "MACs %.2fx lower (model match %s), outputs %s\n\n",
+        kRequests, kDocRows, kPromptRows, kBlockRows, kChunk,
+        static_cast<unsigned long long>(ps.prefix_hits),
+        static_cast<unsigned long long>(ps.prefix_misses),
+        static_cast<unsigned long long>(ps.rows_adopted),
+        static_cast<unsigned long long>(bytes_saved), mac_reduction,
+        model_match ? "EXACT" : "DIVERGED",
+        prefix_identical ? "IDENTICAL" : "DIVERGED");
+    records.push_back({"prefix_cache", "prefix_hits",
+                       static_cast<double>(ps.prefix_hits), "hits"});
+    records.push_back({"prefix_cache", "prefix_misses",
+                       static_cast<double>(ps.prefix_misses), "misses"});
+    records.push_back({"prefix_cache", "cross_kv_hits",
+                       static_cast<double>(ps.cross_hits), "hits"});
+    records.push_back({"prefix_cache", "rows_skipped",
+                       static_cast<double>(ps.rows_adopted), "rows"});
+    records.push_back({"prefix_cache", "bytes_saved",
+                       static_cast<double>(bytes_saved), "B"});
+    records.push_back({"prefix_cache", "cold_prefill_macs",
+                       static_cast<double>(cold_hit_macs), "MACs"});
+    records.push_back({"prefix_cache", "warm_prefill_macs",
+                       static_cast<double>(warm_hit_macs), "MACs"});
+    records.push_back(
+        {"prefix_cache", "prefill_mac_reduction", mac_reduction, "x"});
+    records.push_back({"prefix_cache", "model_macs_exact",
+                       model_match ? 1.0 : 0.0, "bool"});
+    records.push_back({"prefix_cache", "outputs_bit_identical",
+                       prefix_identical ? 1.0 : 0.0, "bool"});
   }
 
   bench::write_bench_records("BENCH_generation.json",

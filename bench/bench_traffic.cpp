@@ -103,16 +103,29 @@ struct BuiltRequests {
   std::vector<std::unique_ptr<runtime::TokenStream>> streams;
 };
 
+/// `shared_rows` > 0 selects the storm's shared-prefix mode: items
+/// carrying a shared_prefix_id start with that system prompt's token
+/// block (seeded by the id alone, so every request on the same id embeds
+/// byte-identical prefix rows — the radix cache's hit condition) before
+/// their per-request unique tail.
 BuiltRequests build_requests(const Harness& hx,
-                             const std::vector<runtime::TraceItem>& items) {
+                             const std::vector<runtime::TraceItem>& items,
+                             uint32_t shared_rows = 0) {
   BuiltRequests out;
   out.reqs.reserve(items.size());
   out.streams.reserve(items.size());
   for (const auto& item : items) {
     util::Xoshiro256 rng(item.policy_seed);
     std::vector<uint32_t> prompt(item.prompt_rows);
-    for (uint32_t& t : prompt) {
-      t = static_cast<uint32_t>(rng.bounded(hx.vocab.vocab_size()));
+    size_t row = 0;
+    if (shared_rows > 0 && item.shared_prefix_id != UINT32_MAX) {
+      util::Xoshiro256 srng(0x5EEDF00Dull + item.shared_prefix_id);
+      for (; row < shared_rows && row < prompt.size(); ++row) {
+        prompt[row] = static_cast<uint32_t>(srng.bounded(hx.vocab.vocab_size()));
+      }
+    }
+    for (; row < prompt.size(); ++row) {
+      prompt[row] = static_cast<uint32_t>(rng.bounded(hx.vocab.vocab_size()));
     }
     runtime::DecodePolicy policy;
     if (item.sampled) {
@@ -419,6 +432,181 @@ int main(int argc, char** argv) {
                "beam group was preempted exactly once");
   gate.require(preempted.last_run().replayed_rows > 0,
                "beam restore replayed committed rows");
+
+  // --- shared-prefix storm: radix adoption under the same pressure -----------
+  // A second seeded trace where every request opens with one of four
+  // distinct system prompts (8 shared rows) before its unique tail, run
+  // with TrafficOptions::prefix_cache on over a deliberately undersized
+  // pool with failpoints armed. Gates: completed/cancelled bits still
+  // match the solo references, the threaded run reproduces the stepped
+  // run exactly (prefix counters included), the cache actually fired
+  // (hits, adopted rows, cross reuse, bytes saved), and the storm still
+  // preempted/shed — adoption and LRU reclaim never deadlock admission.
+  uint64_t px_hits = 0, px_rows = 0, px_bytes = 0, px_evictions = 0;
+  size_t px_completed = 0, px_shed = 0;
+  {
+    runtime::TraceConfig pcfg;
+    pcfg.requests = 40;
+    pcfg.mean_interarrival_rounds = 1.0;
+    pcfg.burst_prob = 0.2;
+    pcfg.burst_factor = 5.0;
+    pcfg.heavy_tail_alpha = 1.1;
+    pcfg.min_prompt = 1;  // unique tail rows; the 8 shared rows stack on top
+    pcfg.max_prompt = 4;
+    pcfg.min_new = 1;
+    pcfg.max_new = 8;
+    pcfg.sampled_fraction = 0.3;
+    pcfg.beam_fraction = 0.0;  // engine-only: the cache serves sessions
+    pcfg.interactive_fraction = 0.25;
+    pcfg.batch_fraction = 0.25;
+    pcfg.deadline_fraction = 0.5;
+    pcfg.deadline_slack = 0.8;
+    pcfg.cancel_on_deadline_fraction = 0.1;
+    pcfg.shared_prefix_count = 4;
+    pcfg.shared_prefix_rows = 8;
+    pcfg.seed = 20260808;
+    const auto pitems = runtime::generate_trace(pcfg);
+
+    auto pref_built = build_requests(hx, pitems, pcfg.shared_prefix_rows);
+    std::vector<runtime::GenerationRequest> pref_gens;
+    pref_gens.reserve(pref_built.reqs.size());
+    for (auto& r : pref_built.reqs) pref_gens.push_back(r.gen);
+    runtime::GenerationSchedulerOptions pref_opts;
+    pref_opts.slots = 1;
+    pref_opts.kv_block_rows = 0;
+    const auto pref = ref_sched.run(pref_gens, pref_opts);
+
+    runtime::TrafficOptions popts;
+    popts.slots = 5;
+    popts.prefill_chunk = 2;
+    popts.kv_block_rows = 4;
+    popts.kv_pool_blocks = 16;  // live set + cached prefixes cannot all fit
+    popts.recovery = runtime::PreemptionRecovery::kAuto;
+    popts.swap_slots = 1;
+    popts.shed_queue_depth = 6;
+    popts.stall_limit = 64;
+    popts.prefix_cache = true;
+#ifdef PROTEA_FAILPOINTS
+    popts.fail_skip = 20;
+    popts.fail_count = 8;
+#endif
+    auto pstep_built = build_requests(hx, pitems, pcfg.shared_prefix_rows);
+    const auto pstep = engine.run(pstep_built.reqs, popts);
+    const auto pstep_stats = engine.last_run();
+
+    runtime::TrafficOptions pthr_opts = popts;
+    pthr_opts.threads = 4;
+    pthr_opts.mha_slots = 2;
+    pthr_opts.ffn_slots = 2;
+    auto pthr_built = build_requests(hx, pitems, pcfg.shared_prefix_rows);
+    const auto pthr = engine.run(pthr_built.reqs, pthr_opts);
+    const auto pthr_stats = engine.last_run();
+
+    for (size_t i = 0; i < pstep.size(); ++i) {
+      const auto& res = pstep[i];
+      switch (res.outcome) {
+        case runtime::TrafficOutcome::kCompleted:
+        case runtime::TrafficOutcome::kCompletedLate:
+          px_completed += 1;
+          gate.require(res.steps == pref[i].steps &&
+                           res.states.rows() == pref[i].states.rows() &&
+                           rows_equal(res.states, pref[i].states,
+                                      pref[i].states.rows()),
+                       "shared-prefix completion bit-identical to solo ref");
+          break;
+        case runtime::TrafficOutcome::kCancelled:
+          gate.require(rows_equal(res.states, pref[i].states,
+                                  res.states.rows()),
+                       "shared-prefix cancel returns an exact prefix");
+          break;
+        case runtime::TrafficOutcome::kShedOverload:
+        case runtime::TrafficOutcome::kShedDeadline:
+        case runtime::TrafficOutcome::kShedCapacity:
+          px_shed += 1;
+          break;
+        default:
+          gate.require(false, "shared-prefix request reached terminal state");
+      }
+    }
+
+    bool pmatch = pthr.size() == pstep.size();
+    for (size_t i = 0; pmatch && i < pstep.size(); ++i) {
+      const auto& a = pstep[i];
+      const auto& b = pthr[i];
+      pmatch = a.outcome == b.outcome && a.steps == b.steps &&
+               a.latency_rounds == b.latency_rounds &&
+               a.preemptions == b.preemptions &&
+               a.states.rows() == b.states.rows() &&
+               rows_equal(a.states, b.states, a.states.rows());
+    }
+    pmatch = pmatch && pstep_stats.rounds == pthr_stats.rounds &&
+             pstep_stats.prefix_hits == pthr_stats.prefix_hits &&
+             pstep_stats.prefix_misses == pthr_stats.prefix_misses &&
+             pstep_stats.prefix_rows_adopted ==
+                 pthr_stats.prefix_rows_adopted &&
+             pstep_stats.prefix_bytes_saved ==
+                 pthr_stats.prefix_bytes_saved &&
+             pstep_stats.cross_kv_hits == pthr_stats.cross_kv_hits &&
+             pstep_stats.cross_kv_misses == pthr_stats.cross_kv_misses &&
+             pstep_stats.prefix_evictions == pthr_stats.prefix_evictions &&
+             pstep_stats.replayed_rows == pthr_stats.replayed_rows &&
+             pstep_stats.kv_blocks_peak == pthr_stats.kv_blocks_peak &&
+             pstep_stats.failpoint_trips == pthr_stats.failpoint_trips;
+    gate.require(pmatch,
+                 "shared-prefix threaded run reproduces stepped exactly");
+
+    px_hits = pstep_stats.prefix_hits;
+    px_rows = pstep_stats.prefix_rows_adopted;
+    px_bytes = pstep_stats.prefix_bytes_saved;
+    px_evictions = pstep_stats.prefix_evictions;
+    const uint64_t px_preempt = pstep_stats.total(&CS::preemptions);
+    gate.require(px_completed >= 1, "shared-prefix storm completed a request");
+    gate.require(px_hits >= 1, "shared-prefix storm scored a prefix hit");
+    gate.require(px_rows >= 1, "shared-prefix storm adopted cached rows");
+    gate.require(pstep_stats.cross_kv_hits >= 1,
+                 "shared-prefix storm reused cross projections");
+    gate.require(px_bytes > 0, "shared-prefix storm saved K/V bytes");
+    gate.require(px_preempt + px_shed >= 1,
+                 "shared-prefix storm kept the pool under pressure");
+#ifdef PROTEA_FAILPOINTS
+    gate.require(pstep_stats.failpoint_trips >= 1,
+                 "shared-prefix exhaustion storm fired");
+#endif
+
+    std::printf(
+        "shared-prefix storm (%zu requests, %zu system prompts x %u rows): "
+        "%zu completed, %zu shed, %llu preempted, %llu/%llu prefix "
+        "hit/miss, %llu rows adopted, %llu bytes saved, %llu evictions, "
+        "%llu cross reuses, stepped==threaded %s\n\n",
+        pitems.size(), pcfg.shared_prefix_count, pcfg.shared_prefix_rows,
+        px_completed, px_shed,
+        static_cast<unsigned long long>(px_preempt),
+        static_cast<unsigned long long>(px_hits),
+        static_cast<unsigned long long>(pstep_stats.prefix_misses),
+        static_cast<unsigned long long>(px_rows),
+        static_cast<unsigned long long>(px_bytes),
+        static_cast<unsigned long long>(px_evictions),
+        static_cast<unsigned long long>(pstep_stats.cross_kv_hits),
+        pmatch ? "yes" : "NO");
+
+    const std::string pname =
+        std::string("shared_prefix_storm_") + (ci ? "ci" : "full");
+    const auto pcount = [&](const char* metric, double value,
+                            const char* unit = "count") {
+      records.push_back({pname, metric, value, unit});
+    };
+    pcount("requests", static_cast<double>(pitems.size()));
+    pcount("completed", static_cast<double>(px_completed));
+    pcount("shed", static_cast<double>(px_shed));
+    pcount("preempted", static_cast<double>(px_preempt));
+    pcount("prefix_hits", static_cast<double>(px_hits));
+    pcount("prefix_misses", static_cast<double>(pstep_stats.prefix_misses));
+    pcount("prefix_rows_adopted", static_cast<double>(px_rows), "rows");
+    pcount("prefix_bytes_saved", static_cast<double>(px_bytes), "bytes");
+    pcount("prefix_evictions", static_cast<double>(px_evictions));
+    pcount("cross_kv_hits", static_cast<double>(pstep_stats.cross_kv_hits));
+    pcount("stepped_equals_threaded", pmatch ? 1.0 : 0.0, "bool");
+  }
 
   // --- report ---------------------------------------------------------------
   const double goodput_tok_s =

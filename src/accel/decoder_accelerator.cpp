@@ -1,5 +1,6 @@
 #include "accel/decoder_accelerator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "hw/frequency_model.hpp"
@@ -429,17 +430,163 @@ PerfReport estimate_beam_generation_performance(const AccelConfig& config,
   return report;
 }
 
+PerfReport estimate_prefill_performance(const AccelConfig& config,
+                                        const ref::ModelConfig& model,
+                                        uint32_t prefill_len,
+                                        uint32_t memory_len,
+                                        const GenerationCosting& costing) {
+  config.validate();
+  validate_runtime(config.synth, model);
+  if (prefill_len == 0 || prefill_len > model.seq_len) {
+    throw std::invalid_argument("prefill perf: bad prefill length");
+  }
+  if (memory_len == 0 || memory_len > config.synth.max_seq_len) {
+    throw std::invalid_argument("prefill perf: bad memory length");
+  }
+  if (costing.adopted_rows >= prefill_len) {
+    throw std::invalid_argument(
+        "prefill perf: adopted_rows must leave a tail row");
+  }
+
+  const hw::SynthParams& sp = config.synth;
+  const TimingConstants& tc = config.timing;
+  const uint64_t s_len = memory_len;
+  const uint64_t d = model.d_model;
+  const uint64_t dk = d / model.num_heads;
+  const uint64_t f = model.ffn_hidden();
+  const hw::Cycles depth = tc.pipeline_depth;
+  using util::ceil_div;
+
+  PerfReport report;
+  const uint64_t tiles_d = ceil_div(d, static_cast<uint64_t>(sp.ts_mha));
+  const uint32_t ii_qkv = hw::achieved_ii(4 * sp.ts_mha);
+  const uint32_t ii_proj = hw::achieved_ii(2 * sp.ts_mha);
+  const uint32_t ii_dk = static_cast<uint32_t>(
+      ceil_div(dk, static_cast<uint64_t>(sp.head_dim_max())));
+  const FfnTiling ft = ffn_tiling(config, d, f);
+  const hw::Cycles ln_row =
+      3 * ceil_div(d, static_cast<uint64_t>(tc.ln_lanes)) +
+      tc.ln_row_overhead;
+
+  // Replay the executed pass schedule: rows [adopted_rows, prefill_len)
+  // in chunk-sized passes, each pass's self-attention spanning every row
+  // cached so far (pos + n keys, NOT prefill_len — chunking genuinely
+  // changes the QK/SV totals, which is why the model must walk it).
+  struct Acc {
+    uint64_t inv = 0;
+    hw::Cycles cyc = 0;
+  };
+  Acc self_qkv, self_qk, self_softmax, self_sv, cross_q, cross_qk,
+      cross_softmax, cross_sv, self_proj, cross_proj, ffn_expand,
+      ffn_contract, layernorm;
+  uint64_t layer_macs = 0;  // per layer; scaled by num_layers below
+
+  const uint64_t t_len = prefill_len;
+  const uint64_t start = costing.adopted_rows;
+  const uint64_t chunk =
+      costing.prefill_chunk == 0 ? t_len - start : costing.prefill_chunk;
+  for (uint64_t pos = start; pos < t_len; pos += chunk) {
+    const uint64_t n = std::min(chunk, t_len - pos);
+    const uint64_t kv = pos + n;
+    self_qkv.inv += tiles_d;
+    self_qkv.cyc += tiles_d * n * hw::pipelined_loop(dk, ii_qkv, depth);
+    self_qk.inv += 1;
+    self_qk.cyc += n * hw::pipelined_loop(kv, ii_dk, depth);
+    self_softmax.inv += 1;
+    self_softmax.cyc += n * (2 * kv + tc.softmax_row_overhead);
+    {
+      const uint32_t ii = static_cast<uint32_t>(
+          ceil_div(kv, static_cast<uint64_t>(sp.sl_unroll)));
+      self_sv.inv += 1;
+      self_sv.cyc += n * hw::pipelined_loop(dk, ii, depth);
+    }
+    cross_q.inv += tiles_d;
+    cross_q.cyc += tiles_d * n * hw::pipelined_loop(dk, ii_proj, depth);
+    cross_qk.inv += 1;
+    cross_qk.cyc += n * hw::pipelined_loop(s_len, ii_dk, depth);
+    cross_softmax.inv += 1;
+    cross_softmax.cyc += n * (2 * s_len + tc.softmax_row_overhead);
+    {
+      const uint32_t ii = static_cast<uint32_t>(
+          ceil_div(s_len, static_cast<uint64_t>(sp.sl_unroll)));
+      cross_sv.inv += 1;
+      cross_sv.cyc += n * hw::pipelined_loop(dk, ii, depth);
+    }
+    const hw::Cycles per_access = n * ft.per_access;
+    self_proj.inv += ft.rows_d * ft.cols_d;
+    self_proj.cyc += ft.rows_d * ft.cols_d * per_access;
+    cross_proj.inv += ft.rows_d * ft.cols_d;
+    cross_proj.cyc += ft.rows_d * ft.cols_d * per_access;
+    ffn_expand.inv += ft.rows_d * ft.cols_f;
+    ffn_expand.cyc += ft.rows_d * ft.cols_f * per_access;
+    ffn_contract.inv += ft.rows_f * ft.cols_d;
+    ffn_contract.cyc += ft.rows_f * ft.cols_d * per_access;
+    layernorm.inv += 3;
+    layernorm.cyc += 3 * n * ln_row;
+
+    layer_macs += 3 * n * d * d + 2 * n * kv * d + n * d * d;  // self
+    layer_macs += n * d * d + 2 * n * s_len * d + n * d * d;   // cross
+    layer_macs += 2 * n * d * f;                               // ffn
+  }
+
+  auto add_stage = [&report](const char* name, uint64_t invocations,
+                             hw::Cycles cycles) {
+    report.stages.push_back(StageTiming{
+        .name = name, .invocations = invocations, .compute = cycles,
+        .total = cycles, .bytes_loaded = 0});
+  };
+  add_stage("self_qkv", self_qkv.inv, self_qkv.cyc);
+  add_stage("self_qk", self_qk.inv, self_qk.cyc);
+  add_stage("self_softmax", self_softmax.inv, self_softmax.cyc);
+  add_stage("self_sv", self_sv.inv, self_sv.cyc);
+  add_stage("cross_q", cross_q.inv, cross_q.cyc);
+  if (!costing.cross_cached) {
+    // The one-time memory projection — the stage a cross-cache hit
+    // removes wholesale.
+    add_stage("cross_kv", tiles_d,
+              2 * tiles_d * s_len * hw::pipelined_loop(dk, ii_proj, depth));
+    layer_macs += 2 * s_len * d * d;
+  }
+  add_stage("cross_qk", cross_qk.inv, cross_qk.cyc);
+  add_stage("cross_softmax", cross_softmax.inv, cross_softmax.cyc);
+  add_stage("cross_sv", cross_sv.inv, cross_sv.cyc);
+  add_stage("self_proj", self_proj.inv, self_proj.cyc);
+  add_stage("cross_proj", cross_proj.inv, cross_proj.cyc);
+  add_stage("ffn_expand", ffn_expand.inv, ffn_expand.cyc);
+  add_stage("ffn_contract", ffn_contract.inv, ffn_contract.cyc);
+  add_stage("layernorm", layernorm.inv, layernorm.cyc);
+
+  for (const auto& stage : report.stages) {
+    report.layer_cycles += stage.total;
+  }
+  report.total_cycles = report.layer_cycles * model.num_layers;
+  report.macs = model.num_layers * layer_macs;
+  finalize_report(config, report);
+  return report;
+}
+
 PerfReport estimate_generation_performance(const AccelConfig& config,
                                            const ref::ModelConfig& model,
                                            uint32_t prefill_len,
                                            uint32_t total_len,
                                            uint32_t memory_len) {
+  return estimate_generation_performance(config, model, prefill_len,
+                                         total_len, memory_len,
+                                         GenerationCosting{});
+}
+
+PerfReport estimate_generation_performance(const AccelConfig& config,
+                                           const ref::ModelConfig& model,
+                                           uint32_t prefill_len,
+                                           uint32_t total_len,
+                                           uint32_t memory_len,
+                                           const GenerationCosting& costing) {
   if (prefill_len == 0 || prefill_len > total_len ||
       total_len > model.seq_len) {
     throw std::invalid_argument("generation perf: bad lengths");
   }
-  const PerfReport prefill =
-      estimate_decoder_performance(config, model, prefill_len, memory_len);
+  const PerfReport prefill = estimate_prefill_performance(
+      config, model, prefill_len, memory_len, costing);
 
   PerfReport report;
   hw::Cycles step_cycles = 0;
@@ -465,6 +612,31 @@ PerfReport estimate_generation_performance(const AccelConfig& config,
   report.macs = prefill.macs + step_macs;
   finalize_report(config, report);
   return report;
+}
+
+PrefixCacheSavings estimate_prefix_cache_savings(
+    const AccelConfig& config, const ref::ModelConfig& model,
+    uint32_t prefill_len, uint32_t memory_len,
+    const GenerationCosting& costing) {
+  GenerationCosting cold = costing;
+  cold.adopted_rows = 0;
+  cold.cross_cached = false;
+  const PerfReport cold_r = estimate_prefill_performance(
+      config, model, prefill_len, memory_len, cold);
+  const PerfReport warm_r = estimate_prefill_performance(
+      config, model, prefill_len, memory_len, costing);
+  PrefixCacheSavings s;
+  s.macs_saved = cold_r.macs - warm_r.macs;
+  s.rows_skipped = costing.adopted_rows;
+  const uint64_t row_bytes = uint64_t{model.num_layers} * model.num_heads *
+                             2 * model.head_dim();
+  s.kv_bytes = uint64_t{costing.adopted_rows} * row_bytes;
+  s.cross_bytes = costing.cross_cached
+                      ? uint64_t{model.num_layers} * model.num_heads * 2 *
+                            memory_len * model.head_dim()
+                      : 0;
+  s.ms_saved = cold_r.latency_ms - warm_r.latency_ms;
+  return s;
 }
 
 PreemptionCost estimate_preemption_cost(const AccelConfig& config,

@@ -174,6 +174,35 @@ PerfReport estimate_beam_generation_performance(const AccelConfig& config,
                                                 uint32_t memory_len,
                                                 uint32_t beam_width);
 
+/// Prefill-phase knobs shared by the chunk-/cache-aware estimators,
+/// mirroring what the generation runtime actually executes.
+struct GenerationCosting {
+  /// Prompt rows per prefill pass (0 = one pass). Chunking changes the
+  /// MAC count — each pass's QK/SV spans rows_cached_so_far + pass rows,
+  /// not the final prompt length — so the model replays the schedule.
+  uint32_t prefill_chunk = 0;
+  /// Prompt rows covered by prefix-cache adoption: the passes start at
+  /// this position instead of 0 (must be < prefill_len).
+  uint32_t adopted_rows = 0;
+  /// Cross-K/V projections reused from the cache: the one-time
+  /// 2 x memory_len x d x d per-layer cross_kv stage disappears.
+  bool cross_cached = false;
+};
+
+/// Cycle/MAC model of ONE chunked, cache-assisted prefill — the exact
+/// schedule GenerationSession executes: the cross-K/V projection unless
+/// cross_cached, then stack passes over prompt rows [adopted_rows,
+/// prefill_len) in prefill_chunk-row chunks (0 = one pass), each pass's
+/// self-attention spanning every row cached so far. With all-default
+/// costing this reduces exactly to estimate_decoder_performance. MACs
+/// are exact against the executed EngineStats delta (cross-checked in
+/// tests/test_prefix_cache.cpp).
+PerfReport estimate_prefill_performance(const AccelConfig& config,
+                                        const ref::ModelConfig& model,
+                                        uint32_t prefill_len,
+                                        uint32_t memory_len,
+                                        const GenerationCosting& costing = {});
+
 /// Total cycle model for a KV-cached generation: one full prefill of
 /// `prefill_len` rows (which includes the one-time cross K/V projection)
 /// plus incremental steps for positions [prefill_len, total_len). The
@@ -185,6 +214,36 @@ PerfReport estimate_generation_performance(const AccelConfig& config,
                                            uint32_t prefill_len,
                                            uint32_t total_len,
                                            uint32_t memory_len);
+
+/// Costing-aware overload: the prefill phase follows `costing` (chunked
+/// passes, adopted prefix, cached cross projections) while the decode
+/// phase is unchanged — decode after adoption runs the identical
+/// schedule, that is the whole point. All-default costing matches the
+/// 5-argument overload exactly.
+PerfReport estimate_generation_performance(const AccelConfig& config,
+                                           const ref::ModelConfig& model,
+                                           uint32_t prefill_len,
+                                           uint32_t total_len,
+                                           uint32_t memory_len,
+                                           const GenerationCosting& costing);
+
+/// Modeled per-request savings of the prefix cache: a cold prefill
+/// (adopted_rows = 0, cross_cached = false, same chunking) minus the
+/// warm one. macs_saved is exact against the executed cold-vs-warm
+/// EngineStats delta; kv_bytes/cross_bytes match the runtime's
+/// prefix_bytes_saved accounting term for term.
+struct PrefixCacheSavings {
+  uint64_t macs_saved = 0;
+  uint64_t rows_skipped = 0;  // adopted prompt rows
+  uint64_t kv_bytes = 0;      // self-K/V bytes of the adopted rows
+  uint64_t cross_bytes = 0;   // cross-K/V projection bytes skipped
+  double ms_saved = 0.0;      // modeled prefill latency delta
+};
+
+PrefixCacheSavings estimate_prefix_cache_savings(
+    const AccelConfig& config, const ref::ModelConfig& model,
+    uint32_t prefill_len, uint32_t memory_len,
+    const GenerationCosting& costing);
 
 /// Analytic cost of the traffic engine's two preemption-recovery
 /// strategies (runtime/traffic.hpp) for a victim holding `rows_cached`

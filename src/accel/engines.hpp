@@ -60,6 +60,16 @@ struct EngineStats {
   /// Block-table runs streamed by the span-accepting QK/SV engines (one
   /// per contiguous run per engine call; grows as block_rows shrinks).
   uint64_t span_runs = 0;
+  /// Cross-request prefix cache (mirrored by the generation runtime from
+  /// runtime::PrefixCache outcomes; all 0 when the cache is off).
+  uint64_t prefix_hits = 0;          // prefills that adopted >= 1 cached block
+  uint64_t prefix_misses = 0;        // prefills with no usable cached prefix
+  uint64_t prefix_rows_adopted = 0;  // prompt rows whose prefill was skipped
+  /// Bytes not produced because of the cache: adopted rows x KV row bytes,
+  /// plus cross-K/V projection bytes copied instead of recomputed.
+  uint64_t prefix_bytes_saved = 0;
+  uint64_t cross_kv_hits = 0;    // fill_cross_kv_cache passes skipped
+  uint64_t cross_kv_misses = 0;  // memories that had to be projected
 };
 
 /// Algorithm 1. `x` is the full (SL x d_model) int8 input; outputs are

@@ -10,6 +10,7 @@
 
 #include "numeric/quantizer.hpp"
 #include "runtime/module_gate.hpp"
+#include "runtime/prefix_cache.hpp"
 #include "tensor/qgemm.hpp"
 #include "util/math_util.hpp"
 #include "util/stopwatch.hpp"
@@ -140,7 +141,12 @@ void GenerationSession::prefill_begin(const tensor::MatrixF& memory,
     throw std::invalid_argument("prefill: bad memory length");
   }
   kv_.begin_sequence(memory.rows());
+  fill_cross(memory, gate);
+}
 
+void GenerationSession::fill_cross(const tensor::MatrixF& memory,
+                                   StageGate* gate) {
+  const ref::ModelConfig& cfg = model_->config;
   // One-time cross K/V projection of the quantized encoder memory — the
   // work the full-recompute path redoes on every autoregressive step.
   const auto m = ws_.mark();
@@ -165,6 +171,76 @@ void GenerationSession::prefill_begin(const tensor::MatrixF& memory,
     }
   }
   ws_.rewind(m);
+}
+
+size_t GenerationSession::prefill_begin_cached(
+    PrefixCache& cache, const tensor::MatrixF& prefix,
+    const tensor::MatrixF& memory, tensor::MatrixF& states, StageGate* gate,
+    bool* cross_hit_out) {
+  const ref::ModelConfig& cfg = model_->config;
+  if (memory.cols() != cfg.d_model || prefix.cols() != cfg.d_model) {
+    throw std::invalid_argument("prefill: width mismatch");
+  }
+  if (memory.rows() == 0 || memory.rows() > kv_.memory_capacity()) {
+    throw std::invalid_argument("prefill: bad memory length");
+  }
+  if (prefix.rows() == 0 || prefix.rows() > kv_.capacity()) {
+    throw std::invalid_argument("prefill: bad prefix length");
+  }
+  kv_.begin_sequence(memory.rows());
+
+  bool cross_hit = false;
+  const size_t adopted = cache.adopt(memory, prefix, kv_, states, &cross_hit);
+  if (cross_hit) {
+    ++stats_->cross_kv_hits;
+    // Bytes the skipped projection pass would have written.
+    stats_->prefix_bytes_saved += uint64_t{cfg.num_layers} * cfg.num_heads *
+                                  2 * memory.rows() * cfg.head_dim();
+  } else {
+    ++stats_->cross_kv_misses;
+    fill_cross(memory, gate);
+    cache.publish_cross(memory, kv_);
+  }
+  if (adopted > 0) {
+    ++stats_->prefix_hits;
+    stats_->prefix_rows_adopted += adopted;
+    stats_->prefix_bytes_saved += adopted * kv_.pool()->row_bytes();
+    refresh_kv_stats();
+  } else {
+    ++stats_->prefix_misses;
+  }
+  if (cross_hit_out != nullptr) *cross_hit_out = cross_hit;
+  return adopted;
+}
+
+bool GenerationSession::prefill_begin_cross(PrefixCache& cache,
+                                            const tensor::MatrixF& memory,
+                                            StageGate* gate) {
+  const ref::ModelConfig& cfg = model_->config;
+  if (memory.cols() != cfg.d_model) {
+    throw std::invalid_argument("prefill: width mismatch");
+  }
+  if (memory.rows() == 0 || memory.rows() > kv_.memory_capacity()) {
+    throw std::invalid_argument("prefill: bad memory length");
+  }
+  kv_.begin_sequence(memory.rows());
+  if (cache.cross_into(memory, kv_)) {
+    ++stats_->cross_kv_hits;
+    stats_->prefix_bytes_saved += uint64_t{cfg.num_layers} * cfg.num_heads *
+                                  2 * memory.rows() * cfg.head_dim();
+    return true;
+  }
+  ++stats_->cross_kv_misses;
+  fill_cross(memory, gate);
+  cache.publish_cross(memory, kv_);
+  return false;
+}
+
+void GenerationSession::publish_prefix(PrefixCache& cache,
+                                       const tensor::MatrixF& prefix,
+                                       const tensor::MatrixF& memory,
+                                       const tensor::MatrixF& states) {
+  cache.publish(memory, prefix, states, kv_);
 }
 
 void GenerationSession::prefill_rows(const tensor::MatrixF& rows,
@@ -289,6 +365,7 @@ namespace {
 struct ActiveSeq {
   const GenerationRequest* req = nullptr;
   GenerationResult* result = nullptr;
+  PrefixCache* cache = nullptr;  // shared prefix cache (may be null)
   tensor::MatrixF next;          // next token embedding (from the callback)
   tensor::MatrixF state;         // last decode output (1 x d)
   tensor::MatrixF chunk_states;  // per-chunk prefill outputs
@@ -305,11 +382,18 @@ struct ActiveSeq {
   }
 
   void begin(GenerationSession& session, StageGate* gate) {
-    session.prefill_begin(*req->memory, gate);
     result->states = tensor::MatrixF(
         req->prefix.rows() + req->max_new_tokens, req->prefix.cols());
     result->steps = 0;
-    prefill_pos = 0;
+    if (cache != nullptr) {
+      // Adopted rows land straight in the result states; the prefill
+      // loop below covers only the uncovered tail (>= 1 row always).
+      prefill_pos = session.prefill_begin_cached(
+          *cache, req->prefix, *req->memory, result->states, gate);
+    } else {
+      session.prefill_begin(*req->memory, gate);
+      prefill_pos = 0;
+    }
     prefilling = true;
   }
 
@@ -331,6 +415,10 @@ struct ActiveSeq {
     prefill_pos += n;
     if (prefill_pos < t_rows) return;
     prefilling = false;
+    if (cache != nullptr) {
+      session.publish_prefix(*cache, req->prefix, *req->memory,
+                             result->states);
+    }
     done = req->max_new_tokens == 0 ||
            !req->next_token(result->states.row(t_rows - 1), next);
     if (!done && session.position() >= session.capacity()) done = true;
@@ -398,6 +486,7 @@ void run_stepped(const accel::AccelConfig& config,
                  const accel::QuantizedDecoder& model,
                  const std::vector<GenerationRequest>& requests,
                  const GenerationSchedulerOptions& opts, KvBlockPool* pool,
+                 PrefixCache* pcache,
                  std::vector<GenerationResult>& results,
                  GenerationRunStats& stats) {
   const size_t slots = std::min(opts.slots, requests.size());
@@ -440,6 +529,7 @@ void run_stepped(const accel::AccelConfig& config,
       seats[s] = ActiveSeq{};
       seats[s].req = &req;
       seats[s].result = &results[pending];
+      seats[s].cache = pcache;
       seats[s].result->admitted_at = step;
       ++pending;
       ++in_flight;
@@ -502,6 +592,7 @@ void run_threaded(const accel::AccelConfig& config,
                   const accel::QuantizedDecoder& model,
                   const std::vector<GenerationRequest>& requests,
                   const GenerationSchedulerOptions& opts, KvBlockPool* pool,
+                  PrefixCache* pcache,
                   std::vector<GenerationResult>& results,
                   GenerationRunStats& stats) {
   const size_t workers =
@@ -558,6 +649,7 @@ void run_threaded(const accel::AccelConfig& config,
           ActiveSeq seq;
           seq.req = &requests[i];
           seq.result = &results[i];
+          seq.cache = pcache;
           seq.begin(session, &gate);
           while (seq.prefilling) {
             seq.prefill_step(session, &gate, opts.prefill_chunk);
@@ -636,17 +728,49 @@ std::vector<GenerationResult> GenerationScheduler::run(
     }
   }
 
+  // The prefix cache lives below the pool declaration-wise, so even on a
+  // throw it releases its block references into a still-live pool; the
+  // hook is only ever called from reserve paths, which are quiescent by
+  // the time destructors run.
+  PrefixCache prefix_cache;
+  PrefixCache* pcache = nullptr;
+  if (opts.prefix_cache) {
+    if (pool == nullptr) {
+      throw std::invalid_argument(
+          "GenerationScheduler: prefix_cache requires a shared KV pool "
+          "(kv_pool_blocks > 0)");
+    }
+    prefix_cache.configure(*pool, opts.kv_block_rows, model_.config.d_model);
+    pool->set_reclaim_hook(
+        [&prefix_cache](size_t want) { return prefix_cache.reclaim(want); });
+    pcache = &prefix_cache;
+  }
+
   std::vector<GenerationResult> results(requests.size());
   last_run_ = GenerationRunStats{};
   if (requests.empty()) return results;
 
   if (opts.threads == 1) {
-    run_stepped(config_, model_, requests, opts, pool, results, last_run_);
+    run_stepped(config_, model_, requests, opts, pool, pcache, results,
+                last_run_);
   } else {
-    run_threaded(config_, model_, requests, opts, pool, results, last_run_);
+    run_threaded(config_, model_, requests, opts, pool, pcache, results,
+                 last_run_);
   }
   if (pool != nullptr) {
     last_run_.kv_blocks_peak = pool->peak_used_blocks();
+  }
+  if (pcache != nullptr) {
+    pool->set_reclaim_hook(nullptr);
+    const PrefixCacheStats ps = pcache->stats();
+    last_run_.prefix_hits = ps.prefix_hits;
+    last_run_.prefix_misses = ps.prefix_misses;
+    last_run_.prefix_rows_adopted = ps.rows_adopted;
+    last_run_.prefix_bytes_saved = ps.bytes_adopted + ps.cross_bytes_reused;
+    last_run_.cross_kv_hits = ps.cross_hits;
+    last_run_.cross_kv_misses = ps.cross_misses;
+    last_run_.prefix_evictions = ps.evictions;
+    pcache->clear();
   }
   return results;
 }

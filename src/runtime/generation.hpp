@@ -62,6 +62,8 @@
 
 namespace protea::runtime {
 
+class PrefixCache;
+
 struct GenerationOptions {
   /// Self-K/V tokens per block. 0 selects the dense (PR-3) layout.
   size_t kv_block_rows = 16;
@@ -110,6 +112,37 @@ class GenerationSession {
                      StageGate* gate = nullptr);
   void prefill_rows(const tensor::MatrixF& rows, tensor::MatrixF& states,
                     StageGate* gate = nullptr);
+
+  /// Cache-assisted prefill_begin() (runtime/prefix_cache.hpp): begins
+  /// the sequence, reuses the memory's cached cross projections when
+  /// present (projecting AND publishing them on a miss), and adopts the
+  /// longest cached prefix of `prefix` by refcount — its stored prefill
+  /// outputs land in rows [0, returned) of `states` (resized to
+  /// prefix.rows() x d when smaller). Returns the prompt rows already
+  /// covered; the caller prefill_rows()'s only the tail. Hit/miss/bytes
+  /// counters are mirrored into EngineStats. Decode after adoption is
+  /// bit-identical to a cold prefill of the same prompt.
+  size_t prefill_begin_cached(PrefixCache& cache,
+                              const tensor::MatrixF& prefix,
+                              const tensor::MatrixF& memory,
+                              tensor::MatrixF& states,
+                              StageGate* gate = nullptr,
+                              bool* cross_hit = nullptr);
+
+  /// Cross-only cache-assisted begin, for swap-in restores (self rows
+  /// come back via try_swap_in, so no prefix adoption): cached cross
+  /// projections are copied in on a hit, recomputed and published on a
+  /// miss. Returns true on a hit.
+  bool prefill_begin_cross(PrefixCache& cache, const tensor::MatrixF& memory,
+                           StageGate* gate = nullptr);
+
+  /// Publishes this sequence's completed prompt into `cache`: the
+  /// leading full blocks of the table by refcount plus the prefill
+  /// output `states` rows. Arms the COW guard on this session's table.
+  /// Call once the whole prompt is prefilled (position() >= prefix rows).
+  void publish_prefix(PrefixCache& cache, const tensor::MatrixF& prefix,
+                      const tensor::MatrixF& memory,
+                      const tensor::MatrixF& states);
 
   /// One incremental step: appends `token` (1 x d) at the current
   /// position and attends over the cached prefix. `state` receives the
@@ -165,6 +198,11 @@ class GenerationSession {
   const GenerationOptions& options() const { return options_; }
 
  private:
+  /// Projects the quantized encoder memory into every layer's cross K/V
+  /// cache (the body of prefill_begin(), shared with the cache-miss path
+  /// of the cache-assisted begins).
+  void fill_cross(const tensor::MatrixF& memory, StageGate* gate);
+
   /// Shared stack walker: quantizes `rows` at the first layer's input
   /// scale, runs them through every decoder layer with K/V appended at
   /// the current position, advances the cache and dequantizes into
@@ -258,6 +296,14 @@ struct GenerationSchedulerOptions {
   /// with worst-case blocks reserved at admission (block-exhaustion
   /// backpressure). 0: each slot gets a private full-capacity pool.
   size_t kv_pool_blocks = 0;
+  /// Cross-request prefix cache (runtime/prefix_cache.hpp) over the
+  /// shared pool: completed prompts are published block-by-block and
+  /// later requests adopt matching prefixes by refcount, prefilling only
+  /// the uncovered tail; repeated memories skip the cross-K/V projection.
+  /// Under pool pressure admissions reclaim cold cache blocks before
+  /// waiting. Requires kv_pool_blocks > 0. Outputs stay bit-identical;
+  /// in threaded mode the hit/miss SPLIT may vary with interleaving.
+  bool prefix_cache = false;
 };
 
 struct GenerationRunStats {
@@ -271,6 +317,15 @@ struct GenerationRunStats {
   uint64_t kv_block_waits = 0;
   /// Peak concurrently-held blocks of the shared pool (0 without one).
   uint64_t kv_blocks_peak = 0;
+  /// Prefix-cache counters (all 0 when opts.prefix_cache is off),
+  /// snapshotted from the cache at the end of the run.
+  uint64_t prefix_hits = 0;
+  uint64_t prefix_misses = 0;
+  uint64_t prefix_rows_adopted = 0;
+  uint64_t prefix_bytes_saved = 0;
+  uint64_t cross_kv_hits = 0;
+  uint64_t cross_kv_misses = 0;
+  uint64_t prefix_evictions = 0;
   double wall_ms = 0.0;
 };
 

@@ -145,14 +145,56 @@ bool KvBlockPool::take_locked(size_t n, std::vector<uint32_t>& out,
   return true;
 }
 
+bool KvBlockPool::take_retry_locked(size_t n, std::vector<uint32_t>& out,
+                                    KvPoolCredit* credit, bool skip_zero) {
+  if (n > uncommitted_free_locked()) return false;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(pop_one_locked(credit, skip_zero));
+  }
+  return true;
+}
+
 bool KvBlockPool::try_reserve(size_t n, std::vector<uint32_t>& out,
                               KvPoolCredit* credit, bool skip_zero) {
   if (n == 0) return true;
-  const std::lock_guard lock(mutex_);
-  if (!configured()) {
-    throw std::logic_error("KvBlockPool::try_reserve: not configured");
+  bool honest_shortfall = false;
+  {
+    const std::lock_guard lock(mutex_);
+    if (!configured()) {
+      throw std::logic_error("KvBlockPool::try_reserve: not configured");
+    }
+    if (take_locked(n, out, credit, skip_zero)) return true;
+    // Credited takes never fall through (they succeed or throw), so a
+    // failed take here is uncredited: either an injected failure or a
+    // real shortfall.
+    honest_shortfall = n > uncommitted_free_locked();
   }
-  return take_locked(n, out, credit, skip_zero);
+  if (!honest_shortfall || !reclaim_hook_) return false;
+  // Honest shortfall: ask the cache layer to free cold blocks — outside
+  // the lock, since reclamation releases blocks back into this pool —
+  // and retry the same attempt (no second failpoint decision, no second
+  // exhaustion event).
+  if (reclaim_hook_(n) == 0) return false;
+  const std::lock_guard lock(mutex_);
+  return take_retry_locked(n, out, credit, skip_zero);
+}
+
+void KvBlockPool::wait_for_blocks_locked(std::unique_lock<std::mutex>& lock,
+                                         size_t n) {
+  while (n > uncommitted_free_locked()) {
+    size_t freed = 0;
+    if (reclaim_hook_) {
+      // Drain the reclaim hook before parking: when the shortfall is
+      // backed by cold cache blocks, nobody else would ever free them —
+      // parking would deadlock. Re-checked after every wake too, since a
+      // retiring sequence may hand its blocks to the cache (refcount
+      // drop) rather than the free list.
+      lock.unlock();
+      freed = reclaim_hook_(n);
+      lock.lock();
+    }
+    if (freed == 0) freed_.wait(lock);
+  }
 }
 
 void KvBlockPool::reserve_wait(size_t n, std::vector<uint32_t>& out,
@@ -182,7 +224,8 @@ void KvBlockPool::reserve_wait(size_t n, std::vector<uint32_t>& out,
 #endif
     // Only uncredited takes can fall through (credited ones either
     // succeed or throw); each shortfall was recorded as one event.
-    freed_.wait(lock, [&] { return n <= uncommitted_free_locked(); });
+    // The wait drains the reclaim hook before parking and on every wake.
+    wait_for_blocks_locked(lock, n);
   }
 }
 
@@ -311,19 +354,33 @@ uint32_t KvBlockPool::duplicate(uint32_t block, KvPoolCredit* credit) {
 }
 
 bool KvBlockPool::try_reserve_credit(KvPoolCredit& credit, size_t n) {
-  const std::lock_guard lock(mutex_);
-  if (!configured()) {
-    throw std::logic_error(
-        "KvBlockPool::try_reserve_credit: not configured");
-  }
-  if (credit.limit != 0 || credit.live != 0) {
-    throw std::logic_error(
-        "KvBlockPool::try_reserve_credit: credit already in use");
-  }
-  if (failpoint_hit_locked() || n > uncommitted_free_locked()) {
+  bool honest_shortfall = false;
+  {
+    const std::lock_guard lock(mutex_);
+    if (!configured()) {
+      throw std::logic_error(
+          "KvBlockPool::try_reserve_credit: not configured");
+    }
+    if (credit.limit != 0 || credit.live != 0) {
+      throw std::logic_error(
+          "KvBlockPool::try_reserve_credit: credit already in use");
+    }
+    if (!failpoint_hit_locked() && n <= uncommitted_free_locked()) {
+      credit.limit = n;
+      credit.peak = 0;
+      credit_outstanding_ += n;
+      return true;
+    }
     ++exhaustion_events_;
-    return false;
+    honest_shortfall = n > uncommitted_free_locked();
   }
+  // Same escape valve as try_reserve: cold cache blocks yield to an
+  // admission that would otherwise be refused (no second failpoint
+  // decision, no second exhaustion event on the retry).
+  if (!honest_shortfall || !reclaim_hook_) return false;
+  if (reclaim_hook_(n) == 0) return false;
+  const std::lock_guard lock(mutex_);
+  if (n > uncommitted_free_locked()) return false;
   credit.limit = n;
   credit.peak = 0;
   credit_outstanding_ += n;
@@ -348,7 +405,7 @@ bool KvBlockPool::reserve_credit_wait(KvPoolCredit& credit, size_t n) {
   if (n > uncommitted_free_locked()) {
     waited = true;
     ++exhaustion_events_;  // once per backpressure episode
-    freed_.wait(lock, [&] { return n <= uncommitted_free_locked(); });
+    wait_for_blocks_locked(lock, n);
   }
   credit.limit = n;
   credit.peak = 0;
@@ -673,6 +730,43 @@ void KvCache::fork_from(KvCache& parent, bool eager_copy) {
   forked_lineage_ = true;
   parent.maybe_shared_ = true;
   parent.forked_lineage_ = true;
+}
+
+void KvCache::adopt_prefix(std::span<const uint32_t> blocks, size_t rows) {
+  if (!paged() || pool_ == nullptr) {
+    throw std::logic_error("KvCache::adopt_prefix: paged layout required");
+  }
+  if (len_ != 0) {
+    throw std::logic_error(
+        "KvCache::adopt_prefix: sequence already has cached rows");
+  }
+  if (credit_ != nullptr) {
+    throw std::logic_error(
+        "KvCache::adopt_prefix: credited caches cannot adopt");
+  }
+  if (blocks.empty() || rows == 0 || rows > blocks.size() * block_rows_ ||
+      rows > capacity_) {
+    throw std::invalid_argument("KvCache::adopt_prefix: bad row count");
+  }
+  // Swap the adopted blocks in for any entries already reserved at the
+  // same positions; displaced (private) blocks return to the pool, so
+  // adoption never takes from the free list and strictly reduces
+  // pressure. A table smaller than the chain is dropped entirely — the
+  // caller re-reserves growth beyond the adopted span on demand.
+  if (blocks.size() <= block_table_.size()) {
+    pool_->release(
+        std::span<const uint32_t>(block_table_.data(), blocks.size()));
+    std::copy(blocks.begin(), blocks.end(), block_table_.begin());
+  } else {
+    if (!block_table_.empty()) {
+      pool_->release(block_table_);
+      block_table_.clear();
+    }
+    block_table_.assign(blocks.begin(), blocks.end());
+  }
+  len_ = rows;
+  maybe_shared_ = true;
+  forked_lineage_ = true;
 }
 
 void KvCache::ensure_rows_private(size_t pos, size_t n) {

@@ -46,6 +46,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -193,6 +194,22 @@ class KvBlockPool {
   /// first (credit.live == 0).
   void release_credit(KvPoolCredit& credit);
 
+  /// Backpressure escape valve for a block-level cache layered over this
+  /// pool (runtime/prefix_cache.hpp): when an UNCREDITED all-or-nothing
+  /// reservation finds the pool honestly short (injected failures do not
+  /// fire it), the hook is invoked — with the pool mutex RELEASED — with
+  /// the number of blocks wanted, asking the holder to free cold entries;
+  /// it returns how many blocks it released and the reservation retries.
+  /// Blocking reserves re-run the hook before every park and after every
+  /// wake, so a pool whose free space is entirely held by reclaimable
+  /// cache entries can never wedge a waiter. The hook may call back into
+  /// this pool (release/ref_count); it must NOT reserve. Bind/unbind
+  /// (nullptr) only while no other thread is using the pool, and unbind
+  /// before the hook's owner dies.
+  void set_reclaim_hook(std::function<size_t(size_t blocks_wanted)> hook) {
+    reclaim_hook_ = std::move(hook);
+  }
+
   // --- deterministic fault injection (failpoints) ---------------------------
   //
   // Tests and the traffic stress harness inject pool exhaustion at exact,
@@ -227,6 +244,15 @@ class KvBlockPool {
   uint32_t pop_one_locked(KvPoolCredit* credit, bool skip_zero);
   bool take_locked(size_t n, std::vector<uint32_t>& out,
                    KvPoolCredit* credit, bool skip_zero);
+  /// Post-reclaim retry: like take_locked but consumes no failpoint
+  /// decision and records no exhaustion event — the retry belongs to the
+  /// SAME caller-visible attempt whose shortfall was already counted.
+  bool take_retry_locked(size_t n, std::vector<uint32_t>& out,
+                         KvPoolCredit* credit, bool skip_zero);
+  /// Runs the reclaim loop for a parked blocking reserve: drains the
+  /// hook (unlocking around the call) and parks only when the hook made
+  /// no progress, until `n` uncommitted blocks are free at once.
+  void wait_for_blocks_locked(std::unique_lock<std::mutex>& lock, size_t n);
   size_t uncommitted_free_locked() const {
     return free_list_.size() - credit_outstanding_;
   }
@@ -275,6 +301,7 @@ class KvBlockPool {
   bool force_exhausted_ = false;
   uint64_t failpoint_trips_ = 0;
 #endif
+  std::function<size_t(size_t)> reclaim_hook_;
   mutable std::mutex mutex_;
   std::condition_variable freed_;
 };
@@ -438,6 +465,30 @@ class KvCache {
   /// True when a fork may have left this cache's blocks shared (cleared
   /// when the cache drops its blocks).
   bool maybe_shared() const { return maybe_shared_; }
+
+  /// Prefix-cache adoption (runtime/prefix_cache.hpp): installs `blocks`
+  /// — already fork_ref'd FOR this cache by the caller, whole blocks
+  /// covering `rows` prompt rows — as the leading block-table entries and
+  /// marks the rows cached, moving zero K/V bytes and taking nothing from
+  /// the free list. Table entries already reserved at those positions are
+  /// released (adoption strictly reduces pool pressure); entries beyond
+  /// the adopted span are kept. Requires the paged layout, an empty
+  /// sequence (len() == 0 — call begin_sequence() first) and no admission
+  /// credit (COW live-accounting cannot span a cache the group does not
+  /// own). The table becomes possibly-shared: the COW write guard covers
+  /// later divergence exactly as after fork_from.
+  void adopt_prefix(std::span<const uint32_t> blocks, size_t rows);
+
+  /// Marks the held table possibly-shared without moving anything: the
+  /// prefix cache bumped block refcounts at publish, so divergent writes
+  /// (and in-place sequence reuse) must go through the same COW guard a
+  /// fork arms.
+  void mark_table_shared() {
+    if (!block_table_.empty()) {
+      maybe_shared_ = true;
+      forked_lineage_ = true;
+    }
+  }
 
   /// Copies the new K/V rows [pos, pos + k.rows()) of (layer, head) into
   /// their blocks (paged mode only; rows must be reserved). Writes

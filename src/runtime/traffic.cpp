@@ -8,7 +8,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "accel/decoder_accelerator.hpp"
 #include "runtime/module_gate.hpp"
+#include "runtime/prefix_cache.hpp"
 #include "util/math_util.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -95,6 +97,7 @@ struct Flight {
   bool done = false;
   bool stalled = false;     // inside a growth-wait episode (stat dedup)
   bool unit_ready = false;  // rows reserved for this round's unit
+  bool published = false;   // prompt handed to the prefix cache
   double wall_admit = 0.0;
   std::vector<int8_t> swap_data;  // spilled block bytes while preempted
   size_t swap_rows = 0;
@@ -193,10 +196,14 @@ class Coordinator {
               const accel::QuantizedDecoder& model,
               const std::vector<TrafficRequest>& requests,
               const TrafficOptions& opts, KvBlockPool& pool,
-              std::vector<TrafficResult>& results, SchedulerStats& stats)
-      : requests_(requests),
+              PrefixCache* pcache, std::vector<TrafficResult>& results,
+              SchedulerStats& stats)
+      : config_(config),
+        model_(model),
+        requests_(requests),
         opts_(opts),
         pool_(pool),
+        pcache_(pcache),
         results_(results),
         stats_(stats) {
     const size_t slots = std::min(opts.slots, requests.size());
@@ -262,6 +269,7 @@ class Coordinator {
       admit_and_restore();
       dispatch_units();
       handle_unit_errors();
+      publish_prefixes();
       retire_done();
       track_stall();
       ++round_;
@@ -360,18 +368,70 @@ class Coordinator {
 
   // --- preemption ------------------------------------------------------------
 
-  /// Worst-ranked active strictly worse than `r` (SIZE_MAX: none). A
-  /// seat whose unit rows are already reserved this round is off limits:
-  /// its unit is committed to run (dispatch reserves in rank order, so a
-  /// better-ranked requester always reserves before its victims would).
+  /// Would preempt_seat spill this seat to the side buffer (vs dropping
+  /// and recomputing)? Kept in one place so the victim-cost model and
+  /// the actual eviction can never disagree.
+  bool would_swap(size_t s) const {
+    return opts_.recovery != PreemptionRecovery::kRecompute &&
+           swapped_count_ < opts_.swap_slots &&
+           !sessions_[s]->cache().maybe_shared();
+  }
+
+  /// Modeled cost (ms) of evicting seat `s` and later restoring it,
+  /// priced for the recovery path preempt_seat would actually take.
+  /// Pure arithmetic over deterministic state (cached rows, memory
+  /// length, swap-slot occupancy), so stepped and threaded runs agree.
+  double preemption_cost_of(size_t s) const {
+    const size_t rows = sessions_[s]->position();
+    if (rows == 0) return 0.0;
+    const accel::PreemptionCost c = accel::estimate_preemption_cost(
+        config_, model_.config, static_cast<uint32_t>(rows),
+        static_cast<uint32_t>(seats_[s]->req->gen.memory->rows()),
+        static_cast<uint32_t>(pool_.block_rows()));
+    return would_swap(s) ? c.swap_ms : c.recompute_ms;
+  }
+
+  /// Victim selection (SIZE_MAX: none). Only seats ranked strictly worse
+  /// than `r` qualify; a seat whose unit rows are already reserved this
+  /// round is off limits: its unit is committed to run (dispatch
+  /// reserves in rank order, so a better-ranked requester always
+  /// reserves before its victims would). Among qualifying seats the
+  /// worst SLO class goes first; within one class the tie breaks by
+  /// estimate_preemption_cost — evict the seat that is cheapest to spill
+  /// and restore — and only then by the full (deadline, arrival, index)
+  /// rank order.
   size_t find_victim(const Rank& r, size_t exclude) const {
     size_t victim = SIZE_MAX;
+    double victim_cost = 0.0;
     for (size_t s = 0; s < seats_.size(); ++s) {
       if (s == exclude || seats_[s] == nullptr) continue;
       if (seats_[s]->unit_ready) continue;
       if (!(r < seats_[s]->rank)) continue;  // only strictly worse ranks
-      if (victim == SIZE_MAX || seats_[victim]->rank < seats_[s]->rank) {
+      const double cost = preemption_cost_of(s);
+      if (victim == SIZE_MAX) {
         victim = s;
+        victim_cost = cost;
+        continue;
+      }
+      const Rank& cur = seats_[victim]->rank;
+      const Rank& cand = seats_[s]->rank;
+      if (cand.pri != cur.pri) {
+        if (cand.pri > cur.pri) {
+          victim = s;
+          victim_cost = cost;
+        }
+        continue;
+      }
+      if (cost != victim_cost) {
+        if (cost < victim_cost) {
+          victim = s;
+          victim_cost = cost;
+        }
+        continue;
+      }
+      if (cur < cand) {
+        victim = s;
+        victim_cost = cost;
       }
     }
     return victim;
@@ -385,8 +445,10 @@ class Coordinator {
     Flight& f = *seats_[s];
     GenerationSession& session = *sessions_[s];
     TrafficClassStats& c = cls(f.index);
-    const bool swap = opts_.recovery != PreemptionRecovery::kRecompute &&
-                      swapped_count_ < opts_.swap_slots;
+    // A table the prefix cache shares (adopted or published blocks)
+    // cannot spill byte-wise — swap_out refuses maybe-shared tables —
+    // so those victims always drop and recompute.
+    const bool swap = would_swap(s);
     if (swap) {
       f.swap_rows = session.swap_out(f.swap_data);
       f.swapped = true;
@@ -614,6 +676,18 @@ class Coordinator {
     }
     f->result->admitted_round = round_;
     f->wall_admit = watch_->milliseconds();
+    if (pcache_ != nullptr) {
+      // Coordinator-side adoption: copy cached cross projections (or
+      // project and publish them on a miss), adopt the longest cached
+      // prompt prefix by refcount, and start the prefill cursor past the
+      // adopted rows — all before the flight's first unit runs. Workers
+      // never touch the cache, so the hit/miss sequence is identical in
+      // stepped and threaded modes. begin_sequence keeps the rows just
+      // reserved, and adoption itself never takes pool blocks.
+      f->prefill_pos = session.prefill_begin_cached(
+          *pcache_, req.gen.prefix, *req.gen.memory, f->result->states);
+      f->needs_begin = false;
+    }
     seats_[s] = std::move(f);
     progressed_ = true;
     return true;
@@ -625,7 +699,12 @@ class Coordinator {
   /// except for armed failpoints, which the real take still consults.
   bool reserve_could_succeed(size_t blocks, const Rank& r,
                              size_t exclude) const {
-    if (blocks <= pool_.uncommitted_free_blocks()) return true;
+    // Cold prefix-cache blocks count as available: the pool's reclaim
+    // hook frees them before a take fails, so admission reclaims the
+    // cache before it would shed or preempt live work.
+    const size_t reclaimable =
+        pcache_ != nullptr ? pcache_->reclaimable_blocks() : 0;
+    if (blocks <= pool_.uncommitted_free_blocks() + reclaimable) return true;
     return opts_.preemption && find_victim(r, exclude) != SIZE_MAX;
   }
 
@@ -648,7 +727,13 @@ class Coordinator {
       // misfire on an armed failpoint, which the take below consults.
       const size_t blocks = f.swap_data.size() / pool_.block_bytes();
       if (!reserve_could_succeed(blocks, f.rank, s)) return false;
-      session.prefill_begin(*f.req->gen.memory, nullptr);
+      if (pcache_ != nullptr) {
+        // Swap-in brings the self rows back byte-wise; only the cross
+        // projections are owed, and the cache usually has them.
+        session.prefill_begin_cross(*pcache_, *f.req->gen.memory, nullptr);
+      } else {
+        session.prefill_begin(*f.req->gen.memory, nullptr);
+      }
       // Rescatter the spilled block bytes — byte-exact, including the
       // partial tail block.
       if (!reserve_with_preemption(f.rank, s, [&] {
@@ -673,8 +758,18 @@ class Coordinator {
               f.rank, s, [&] { return session.try_reserve_rows(first); })) {
         return false;
       }
-      session.prefill_begin(*f.req->gen.memory, nullptr);
-      f.prefill_pos = 0;
+      if (pcache_ != nullptr) {
+        // The restart can adopt cached blocks (possibly MORE than the
+        // victim had prefilled before eviction — the published prefix
+        // may have grown since). Adopted states are bit-identical to
+        // the rows already recorded, so overwriting them is a no-op.
+        f.prefill_pos = session.prefill_begin_cached(
+            *pcache_, f.req->gen.prefix, *f.req->gen.memory,
+            f.result->states);
+      } else {
+        session.prefill_begin(*f.req->gen.memory, nullptr);
+        f.prefill_pos = 0;
+      }
     } else {
       // Drop-and-recompute: re-prefill the prompt plus every decode
       // input already fed. Chunk invariance (PR 4) makes the replayed
@@ -685,14 +780,29 @@ class Coordinator {
               f.rank, s, [&] { return session.try_reserve_rows(cached); })) {
         return false;
       }
-      session.prefill_begin(*f.req->gen.memory, nullptr);
+      size_t adopted = 0;
+      if (pcache_ != nullptr) {
+        // Adoption trims the replay to the uncovered prompt tail (the
+        // adopted states are bit-identical to the recorded rows, and
+        // chunk invariance makes the tail replay exact on top of them).
+        adopted = session.prefill_begin_cached(
+            *pcache_, f.req->gen.prefix, *f.req->gen.memory,
+            f.result->states);
+      } else {
+        session.prefill_begin(*f.req->gen.memory, nullptr);
+      }
+      const size_t prefix_rows = f.req->gen.prefix.rows();
       tensor::MatrixF scratch;
-      session.prefill_rows(f.req->gen.prefix, scratch, nullptr);
+      if (adopted < prefix_rows) {
+        session.prefill_rows(
+            f.req->gen.prefix.slice_rows(adopted, prefix_rows - adopted),
+            scratch, nullptr);
+      }
       if (f.result->steps > 0) {
         const auto fed = f.fed.slice_rows(0, f.result->steps);
         session.prefill_rows(fed, scratch, nullptr);
       }
-      stats_.replayed_rows += cached;
+      stats_.replayed_rows += cached - adopted;  // rows actually re-run
     }
     f.needs_begin = false;
     f.stalled = false;
@@ -801,6 +911,24 @@ class Coordinator {
     }
   }
 
+  /// Coordinator-side publication: every prompt that finished prefilling
+  /// this round is handed to the prefix cache in seat order, so the
+  /// radix index grows identically in stepped and threaded runs. Runs
+  /// after unit errors are cleared and before retire_done, so a prompt
+  /// that completes and retires in the same round is still captured
+  /// (its blocks outlive the seat via the cache's references).
+  void publish_prefixes() {
+    if (pcache_ == nullptr) return;
+    for (size_t s = 0; s < seats_.size(); ++s) {
+      if (seats_[s] == nullptr) continue;
+      Flight& f = *seats_[s];
+      if (f.prefilling || f.published) continue;
+      sessions_[s]->publish_prefix(*pcache_, f.req->gen.prefix,
+                                   *f.req->gen.memory, f.result->states);
+      f.published = true;
+    }
+  }
+
   void retire_done() {
     for (size_t s = 0; s < seats_.size(); ++s) {
       if (seats_[s] == nullptr || !seats_[s]->done) continue;
@@ -859,9 +987,12 @@ class Coordinator {
     stall_streak_ = 0;
   }
 
+  const accel::AccelConfig& config_;
+  const accel::QuantizedDecoder& model_;
   const std::vector<TrafficRequest>& requests_;
   const TrafficOptions& opts_;
   KvBlockPool& pool_;
+  PrefixCache* pcache_;  // null when the prefix cache is off
   std::vector<TrafficResult>& results_;
   SchedulerStats& stats_;
 
@@ -929,9 +1060,42 @@ std::vector<TrafficResult> TrafficEngine::run(
   last_run_ = SchedulerStats{};
   if (requests.empty()) return results;
 
-  Coordinator coord(config_, model_, requests, opts, *pool, results,
+  // The cache is declared after any owned pool (destroyed first) and the
+  // guard after the cache (runs first): even on a throwing run the hook
+  // unbinds before the cache dies and cached block refs drop before the
+  // pool does.
+  PrefixCache prefix_cache;
+  struct CacheGuard {
+    KvBlockPool* pool = nullptr;
+    PrefixCache* cache = nullptr;
+    ~CacheGuard() {
+      if (pool != nullptr) pool->set_reclaim_hook(nullptr);
+      if (cache != nullptr) cache->clear();
+    }
+  } cache_guard;
+  PrefixCache* pcache = nullptr;
+  if (opts.prefix_cache) {
+    prefix_cache.configure(*pool, pool->block_rows(), model_.config.d_model);
+    pool->set_reclaim_hook(
+        [&prefix_cache](size_t want) { return prefix_cache.reclaim(want); });
+    cache_guard.pool = pool;
+    cache_guard.cache = &prefix_cache;
+    pcache = &prefix_cache;
+  }
+
+  Coordinator coord(config_, model_, requests, opts, *pool, pcache, results,
                     last_run_);
   coord.run();
+  if (pcache != nullptr) {
+    const PrefixCacheStats ps = pcache->stats();
+    last_run_.prefix_hits = ps.prefix_hits;
+    last_run_.prefix_misses = ps.prefix_misses;
+    last_run_.prefix_rows_adopted = ps.rows_adopted;
+    last_run_.prefix_bytes_saved = ps.bytes_adopted + ps.cross_bytes_reused;
+    last_run_.cross_kv_hits = ps.cross_hits;
+    last_run_.cross_kv_misses = ps.cross_misses;
+    last_run_.prefix_evictions = ps.evictions;
+  }
   return results;
 }
 
@@ -945,6 +1109,10 @@ std::vector<TraceItem> generate_trace(const TraceConfig& config) {
   if (config.mean_interarrival_rounds <= 0.0 || config.burst_factor <= 0.0 ||
       config.heavy_tail_alpha <= 0.0) {
     throw std::invalid_argument("generate_trace: bad rate parameters");
+  }
+  if (config.shared_prefix_count > 0 && config.shared_prefix_rows == 0) {
+    throw std::invalid_argument(
+        "generate_trace: shared_prefix_count needs shared_prefix_rows > 0");
   }
   util::Xoshiro256 rng(config.seed);
 
@@ -973,6 +1141,14 @@ std::vector<TraceItem> generate_trace(const TraceConfig& config) {
     t += -mean * std::log(1.0 - rng.next_double());
     item.arrival_round = static_cast<uint32_t>(t);
     item.prompt_rows = pareto(config.min_prompt, config.max_prompt);
+    if (config.shared_prefix_count > 0) {
+      // Storm mode: a uniformly drawn shared system prompt plus the
+      // bounded-Pareto draw as the UNIQUE tail, so every prompt strictly
+      // extends its shared prefix (adoption always leaves tail rows).
+      item.shared_prefix_id =
+          static_cast<uint32_t>(rng.next() % config.shared_prefix_count);
+      item.prompt_rows += config.shared_prefix_rows;
+    }
     item.max_new = pareto(config.min_new, config.max_new);
     const double pu = rng.next_double();
     item.priority =

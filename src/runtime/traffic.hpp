@@ -140,6 +140,14 @@ struct TrafficOptions {
   /// false disables victim preemption entirely (requests then stall
   /// until blocks free up — the PR-4 behavior, kept for comparison).
   bool preemption = true;
+  /// Cross-request prefix cache (runtime/prefix_cache.hpp): admissions
+  /// adopt cached prompt blocks by refcount and reuse cached cross-K/V
+  /// projections; completed prompts are published back. Every cache
+  /// operation runs in the coordinator, so outputs AND all prefix
+  /// counters stay bit-identical between stepped and threaded runs.
+  /// Under pool pressure cold cache blocks are reclaimed before any live
+  /// sequence is preempted or shed (KvBlockPool::set_reclaim_hook).
+  bool prefix_cache = false;
   /// Overload watermark: when more than this many never-admitted
   /// requests are queued, the worst-ranked are shed with a reason.
   /// 0 = never shed on overload.
@@ -184,6 +192,15 @@ struct SchedulerStats {
   uint64_t swap_bytes = 0;     // bytes spilled to the side buffer
   uint64_t kv_blocks_peak = 0;
   uint64_t failpoint_trips = 0;  // injected failures that fired this run
+  /// Cross-request prefix cache (TrafficOptions::prefix_cache; all 0
+  /// when off). Coordinator-serial, so deterministic in both modes.
+  uint64_t prefix_hits = 0;          // admissions/restores that adopted blocks
+  uint64_t prefix_misses = 0;
+  uint64_t prefix_rows_adopted = 0;  // prefill rows skipped via adoption
+  uint64_t prefix_bytes_saved = 0;   // adopted KV bytes + reused cross bytes
+  uint64_t cross_kv_hits = 0;        // memory projections reused
+  uint64_t cross_kv_misses = 0;
+  uint64_t prefix_evictions = 0;     // cache blocks freed (pressure or caps)
   uint32_t max_active = 0;
   double wall_ms = 0.0;
 
@@ -236,6 +253,10 @@ struct TraceItem {
   bool sampled = false;  // stochastic decode policy (vs greedy)
   bool beam = false;     // beam-search group request
   uint64_t policy_seed = 0;
+  /// Shared-prefix storm mode: index of the shared system prompt this
+  /// request starts with (UINT32_MAX = none; prompt_rows then INCLUDES
+  /// TraceConfig::shared_prefix_rows leading shared rows).
+  uint32_t shared_prefix_id = UINT32_MAX;
 };
 
 /// Seeded synthetic traffic model: bursty Poisson arrivals (exponential
@@ -260,6 +281,13 @@ struct TraceConfig {
   double deadline_slack = 3.0;    // deadline = slack x (prompt + max_new)
   double cancel_on_deadline_fraction = 0.0;
   uint64_t seed = 1;
+  /// Shared-prefix storm mode (0 = off): every request draws one of this
+  /// many distinct system prompts uniformly; its prompt becomes
+  /// shared_prefix_rows shared rows + a bounded-Pareto unique tail of
+  /// [min_prompt, max_prompt] rows (so prompt_rows always exceeds the
+  /// shared span and adoption always leaves a tail to prefill).
+  size_t shared_prefix_count = 0;
+  uint32_t shared_prefix_rows = 0;
 };
 
 std::vector<TraceItem> generate_trace(const TraceConfig& config);
