@@ -231,7 +231,8 @@ PerfReport estimate_decode_step_performance(const AccelConfig& config,
                                             const ref::ModelConfig& model,
                                             uint32_t pos,
                                             uint32_t memory_len,
-                                            bool kv_gather_fallback) {
+                                            bool kv_gather_fallback,
+                                            numeric::KvStorage kv_storage) {
   config.validate();
   validate_runtime(config.synth, model);
   if (pos >= model.seq_len) {
@@ -318,12 +319,30 @@ PerfReport estimate_decode_step_performance(const AccelConfig& config,
   // movement (no engine cycles) — the block-strided default streams the
   // block table in place and moves none of it.
   if (kv_gather_fallback) {
-    report.stages.push_back(
-        StageTiming{.name = "self_gather",
-                    .invocations = model.num_heads,
-                    .compute = 0,
-                    .total = 0,
-                    .bytes_loaded = uint64_t{model.num_heads} * 2 * kv_len * dk});
+    // Quantized storage shrinks the copied bytes to the stored width
+    // (the gather decodes through the codec LUT as it stages — pure
+    // data movement either way).
+    report.stages.push_back(StageTiming{
+        .name = "self_gather",
+        .invocations = model.num_heads,
+        .compute = 0,
+        .total = 0,
+        .bytes_loaded = uint64_t{model.num_heads} *
+                        numeric::kv_storage_bytes(2 * kv_len * dk, kv_storage)});
+  } else if (kv_storage != numeric::KvStorage::kInt8) {
+    // Block-strided path over a quantized cache: the QK/SV pack stage
+    // streams the stored codes and decodes them through the 256-entry
+    // LUT in flight. Zero engine cycles (the LUT rides the existing
+    // pack loop), but the stored prefix bytes are real traffic the
+    // int8 path's in-place reads don't re-count — model them so the
+    // energy/bandwidth side of a quantized run is honest.
+    report.stages.push_back(StageTiming{
+        .name = "kv_dequant",
+        .invocations = model.num_heads,
+        .compute = 0,
+        .total = 0,
+        .bytes_loaded = uint64_t{model.num_heads} *
+                        numeric::kv_storage_bytes(2 * kv_len * dk, kv_storage)});
   }
 
   for (const auto& stage : report.stages) {
@@ -344,14 +363,21 @@ PerfReport estimate_decode_step_performance(const AccelConfig& config,
 }
 
 KvFootprint estimate_kv_footprint(const ref::ModelConfig& model,
-                                  uint32_t rows, uint32_t block_rows) {
+                                  uint32_t rows, uint32_t block_rows,
+                                  numeric::KvStorage storage) {
   if (rows == 0 || rows > model.seq_len || block_rows == 0) {
     throw std::invalid_argument("kv footprint: bad rows/block_rows");
   }
   KvFootprint fp;
+  // Per-head stored width, NOT kv_storage_bytes(row elements): this is
+  // exactly how KvCache/KvBlockPool size their rows, and packed fp4
+  // rounds up per head (odd head_dim is rejected by the runtime).
   fp.row_bytes = uint64_t{model.num_layers} * model.num_heads * 2 *
-                 model.head_dim();
-  fp.dense_bytes = fp.row_bytes * model.seq_len;
+                 numeric::kv_storage_bytes(model.head_dim(), storage);
+  // Dense arena stays 1 byte/element regardless of storage (quantized
+  // formats round-trip in place there; only the paged pool packs).
+  fp.dense_bytes = uint64_t{model.num_layers} * model.num_heads * 2 *
+                   model.head_dim() * model.seq_len;
   fp.blocks = util::ceil_div(rows, block_rows);
   fp.paged_bytes = uint64_t{fp.blocks} * block_rows * fp.row_bytes;
   fp.gather_bytes_per_step = fp.row_bytes * rows;
@@ -363,14 +389,15 @@ ForkedKvFootprint estimate_forked_kv_footprint(const ref::ModelConfig& model,
                                                uint32_t prompt_rows,
                                                uint32_t new_rows,
                                                uint32_t beams,
-                                               uint32_t block_rows) {
+                                               uint32_t block_rows,
+                                               numeric::KvStorage storage) {
   if (prompt_rows == 0 || beams == 0 || block_rows == 0 ||
       prompt_rows + new_rows > model.seq_len) {
     throw std::invalid_argument("forked kv footprint: bad arguments");
   }
   ForkedKvFootprint fp;
   fp.row_bytes = uint64_t{model.num_layers} * model.num_heads * 2 *
-                 model.head_dim();
+                 numeric::kv_storage_bytes(model.head_dim(), storage);
   const uint64_t block_bytes = uint64_t{block_rows} * fp.row_bytes;
   const uint32_t full = util::ceil_div(prompt_rows + new_rows, block_rows);
   fp.shared_blocks = util::ceil_div(prompt_rows, block_rows);
@@ -591,11 +618,13 @@ PerfReport estimate_generation_performance(const AccelConfig& config,
   PerfReport report;
   hw::Cycles step_cycles = 0;
   uint64_t step_macs = 0;
+  uint64_t step_bytes = 0;
   for (uint32_t pos = prefill_len; pos < total_len; ++pos) {
-    const PerfReport step =
-        estimate_decode_step_performance(config, model, pos, memory_len);
+    const PerfReport step = estimate_decode_step_performance(
+        config, model, pos, memory_len, false, costing.kv_storage);
     step_cycles += step.total_cycles;
     step_macs += step.macs;
+    step_bytes += step.bytes_loaded;
   }
   report.stages.push_back(StageTiming{.name = "prefill",
                                       .invocations = 1,
@@ -606,7 +635,8 @@ PerfReport estimate_generation_performance(const AccelConfig& config,
                                       .invocations = total_len - prefill_len,
                                       .compute = step_cycles,
                                       .total = step_cycles,
-                                      .bytes_loaded = 0});
+                                      .bytes_loaded = step_bytes});
+  report.bytes_loaded = step_bytes;
   report.total_cycles = prefill.total_cycles + step_cycles;
   report.layer_cycles = report.total_cycles / model.num_layers;
   report.macs = prefill.macs + step_macs;
@@ -628,8 +658,13 @@ PrefixCacheSavings estimate_prefix_cache_savings(
   PrefixCacheSavings s;
   s.macs_saved = cold_r.macs - warm_r.macs;
   s.rows_skipped = costing.adopted_rows;
-  const uint64_t row_bytes = uint64_t{model.num_layers} * model.num_heads *
-                             2 * model.head_dim();
+  // Adopted rows live in the shared pool, so they count at the stored
+  // width (matching the runtime's prefix_bytes_saved, which multiplies
+  // by the pool's storage-aware row_bytes). Cross projections below
+  // stay 1 byte/element: the cross cache always stores int8 rows.
+  const uint64_t row_bytes =
+      uint64_t{model.num_layers} * model.num_heads * 2 *
+      numeric::kv_storage_bytes(model.head_dim(), costing.kv_storage);
   s.kv_bytes = uint64_t{costing.adopted_rows} * row_bytes;
   s.cross_bytes = costing.cross_cached
                       ? uint64_t{model.num_layers} * model.num_heads * 2 *
@@ -643,15 +678,19 @@ PreemptionCost estimate_preemption_cost(const AccelConfig& config,
                                         const ref::ModelConfig& model,
                                         uint32_t rows_cached,
                                         uint32_t memory_len,
-                                        uint32_t block_rows) {
+                                        uint32_t block_rows,
+                                        numeric::KvStorage storage) {
   if (rows_cached == 0 || rows_cached > model.seq_len || block_rows == 0) {
     throw std::invalid_argument("preemption cost: bad rows/block_rows");
   }
   PreemptionCost cost;
   // Swap moves the victim's whole block-table bytes twice: spill at
   // eviction, rescatter at restore. Partial tail blocks travel whole —
-  // the same bytes KvCache::swap_out actually copies.
-  const KvFootprint fp = estimate_kv_footprint(model, rows_cached, block_rows);
+  // the same bytes KvCache::swap_out actually copies, at the pool's
+  // stored width (quantized storage tilts victim selection toward swap
+  // exactly as the executed spill shrinks).
+  const KvFootprint fp =
+      estimate_kv_footprint(model, rows_cached, block_rows, storage);
   cost.swap_bytes = 2 * fp.paged_bytes;
   const hw::HbmModel hbm;
   const uint32_t channels =

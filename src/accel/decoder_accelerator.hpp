@@ -17,6 +17,7 @@
 #include "accel/decoder_model.hpp"
 #include "accel/engines.hpp"
 #include "accel/perf_model.hpp"
+#include "numeric/fp8.hpp"
 #include "runtime/generation.hpp"
 #include "runtime/workspace_arena.hpp"
 #include "tensor/matrix.hpp"
@@ -102,11 +103,21 @@ PerfReport estimate_decoder_performance(const AccelConfig& config,
 /// head_dim), rolled into report.bytes_loaded across layers —
 /// cross-checked against the executed fallback counter in
 /// tests/test_generation.cpp.
-PerfReport estimate_decode_step_performance(const AccelConfig& config,
-                                            const ref::ModelConfig& model,
-                                            uint32_t pos,
-                                            uint32_t memory_len,
-                                            bool kv_gather_fallback = false);
+///
+/// `kv_storage` models the self-K/V cache format (numeric/fp8.hpp).
+/// int8 leaves every figure untouched (byte-identical reports). A
+/// quantized format adds pure data movement, never cycles — decode is a
+/// 256-entry LUT fused into the GEMM pack stage:
+///   * strided (default): a bytes-only "kv_dequant" stage counts the
+///     stored-code bytes the pack stage streams per step (num_heads x
+///     stored bytes of the 2 x kv_len x head_dim prefix);
+///   * gather fallback: the "self_gather" stage's bytes_loaded shrinks
+///     to the stored width — matching the executed
+///     EngineStats::gathered_bytes of a quantized fallback session.
+PerfReport estimate_decode_step_performance(
+    const AccelConfig& config, const ref::ModelConfig& model, uint32_t pos,
+    uint32_t memory_len, bool kv_gather_fallback = false,
+    numeric::KvStorage kv_storage = numeric::KvStorage::kInt8);
 
 /// Self-K/V memory model for a sequence of `rows` cached target rows:
 /// the dense layout reserves the full programmed capacity
@@ -116,8 +127,16 @@ PerfReport estimate_decode_step_performance(const AccelConfig& config,
 /// block pool buys at equal arena footprint — what
 /// bench_decoder_scaling's paged-vs-dense records measure executed.
 struct KvFootprint {
-  uint64_t row_bytes = 0;    // K+V bytes per token row across the stack
-  uint64_t dense_bytes = 0;  // per-slot dense reservation (capacity rows)
+  /// K+V bytes per token row across the stack, at the POOL's stored
+  /// width: layers x heads x 2 x kv_storage_bytes(head_dim, storage).
+  /// Matches KvCache/KvBlockPool row accounting exactly per format
+  /// (int8 and fp8 are 1 byte/element; fp4-e2m1 packs 2 per byte).
+  uint64_t row_bytes = 0;
+  /// Per-slot dense reservation (capacity rows). The dense layout's
+  /// arena is ALWAYS 1 byte/element — quantized formats round-trip
+  /// values in place there instead of packing — so this term never
+  /// shrinks with storage; only the paged pool does.
+  uint64_t dense_bytes = 0;
   uint64_t paged_bytes = 0;  // blocks needed for `rows` rows
   uint32_t blocks = 0;       // ceil(rows / block_rows)
   /// Bytes the legacy gather fallback copies out of the block table per
@@ -132,8 +151,9 @@ struct KvFootprint {
   uint64_t gather_scratch_bytes = 0;
 };
 
-KvFootprint estimate_kv_footprint(const ref::ModelConfig& model,
-                                  uint32_t rows, uint32_t block_rows);
+KvFootprint estimate_kv_footprint(
+    const ref::ModelConfig& model, uint32_t rows, uint32_t block_rows,
+    numeric::KvStorage storage = numeric::KvStorage::kInt8);
 
 /// Shared-vs-private self-K/V memory model for copy-on-write forking
 /// (runtime/decode_policy.hpp): `beams` branches fork off a
@@ -152,11 +172,10 @@ struct ForkedKvFootprint {
   uint64_t bytes_saved = 0;        // eager_bytes - cow_bytes
 };
 
-ForkedKvFootprint estimate_forked_kv_footprint(const ref::ModelConfig& model,
-                                               uint32_t prompt_rows,
-                                               uint32_t new_rows,
-                                               uint32_t beams,
-                                               uint32_t block_rows);
+ForkedKvFootprint estimate_forked_kv_footprint(
+    const ref::ModelConfig& model, uint32_t prompt_rows, uint32_t new_rows,
+    uint32_t beams, uint32_t block_rows,
+    numeric::KvStorage storage = numeric::KvStorage::kInt8);
 
 /// Cycle model of width-K beam search over the KV-cached engine,
 /// mirroring BeamSearchDecoder's executed schedule: ONE prefill of
@@ -187,6 +206,12 @@ struct GenerationCosting {
   /// Cross-K/V projections reused from the cache: the one-time
   /// 2 x memory_len x d x d per-layer cross_kv stage disappears.
   bool cross_cached = false;
+  /// Self-K/V storage format the runtime is configured with
+  /// (GenerationOptions::kv_storage). Scales the byte-side terms —
+  /// adopted-prefix kv_bytes in estimate_prefix_cache_savings, the
+  /// kv_dequant/self_gather traffic of the decode phase — and nothing
+  /// else: quantized storage never changes cycle or MAC figures.
+  numeric::KvStorage kv_storage = numeric::KvStorage::kInt8;
 };
 
 /// Cycle/MAC model of ONE chunked, cache-assisted prefill — the exact
@@ -267,10 +292,9 @@ struct PreemptionCost {
   bool prefer_swap = false;    // swap_ms < recompute_ms
 };
 
-PreemptionCost estimate_preemption_cost(const AccelConfig& config,
-                                        const ref::ModelConfig& model,
-                                        uint32_t rows_cached,
-                                        uint32_t memory_len,
-                                        uint32_t block_rows);
+PreemptionCost estimate_preemption_cost(
+    const AccelConfig& config, const ref::ModelConfig& model,
+    uint32_t rows_cached, uint32_t memory_len, uint32_t block_rows,
+    numeric::KvStorage storage = numeric::KvStorage::kInt8);
 
 }  // namespace protea::accel

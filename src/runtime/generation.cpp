@@ -33,7 +33,8 @@ GenerationSession::GenerationSession(const accel::AccelConfig& config,
                 model.config.head_dim(), model.config.seq_len,
                 config.synth.max_seq_len,
                 KvCacheOptions{.block_rows = options_.kv_block_rows,
-                               .pool = options_.kv_pool});
+                               .pool = options_.kv_pool,
+                               .storage = options_.kv_storage});
   warm();
 }
 
@@ -473,7 +474,8 @@ GenerationOptions session_options(const GenerationSchedulerOptions& opts,
                                   KvBlockPool* pool) {
   return GenerationOptions{.kv_block_rows = opts.kv_block_rows,
                            .kv_pool = pool,
-                           .prefill_chunk = opts.prefill_chunk};
+                           .prefill_chunk = opts.prefill_chunk,
+                           .kv_storage = opts.kv_storage};
 }
 
 /// Deterministic round-robin step loop: admit pending requests into free
@@ -715,8 +717,13 @@ std::vector<GenerationResult> GenerationScheduler::run(
           "kv_block_rows");
     }
     const ref::ModelConfig& mc = model_.config;
-    shared_pool.configure(opts.kv_pool_blocks, opts.kv_block_rows,
-                          mc.num_layers * mc.num_heads * 2 * mc.head_dim());
+    // Row bytes derive from the storage format, not 1 byte/element —
+    // packed fp4 rows are half as wide, so the same pool budget covers
+    // twice the token rows.
+    shared_pool.configure(
+        opts.kv_pool_blocks, opts.kv_block_rows,
+        mc.num_layers * mc.num_heads * 2 *
+            numeric::kv_storage_bytes(mc.head_dim(), opts.kv_storage));
     pool = &shared_pool;
     for (const GenerationRequest& r : requests) {
       const size_t need =
@@ -740,7 +747,8 @@ std::vector<GenerationResult> GenerationScheduler::run(
           "GenerationScheduler: prefix_cache requires a shared KV pool "
           "(kv_pool_blocks > 0)");
     }
-    prefix_cache.configure(*pool, opts.kv_block_rows, model_.config.d_model);
+    prefix_cache.configure(*pool, opts.kv_block_rows, model_.config.d_model,
+                           PrefixCache::Options{.storage = opts.kv_storage});
     pool->set_reclaim_hook(
         [&prefix_cache](size_t want) { return prefix_cache.reclaim(want); });
     pcache = &prefix_cache;

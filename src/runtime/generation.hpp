@@ -80,6 +80,15 @@ struct GenerationOptions {
   /// kept as the measured-against reference and surfaces its copy volume
   /// via EngineStats::gathered_bytes.
   bool kv_gather_fallback = false;
+  /// Self-K/V storage format (numeric/fp8.hpp): int8 verbatim (the
+  /// bit-exact reference), fp8 re-encoded per element with dequant fused
+  /// into the span pack stage, or packed fp4 at half the block bytes
+  /// (gather reads; head_dim must be even). Deterministic for any
+  /// format — decode output depends only on the storage choice, not on
+  /// paging/fork/swap/adoption history. A shared kv_pool must be
+  /// configured for the matching row width (see
+  /// accel::estimate_kv_footprint's storage parameter).
+  numeric::KvStorage kv_storage = numeric::KvStorage::kInt8;
 };
 
 class GenerationSession {
@@ -304,6 +313,11 @@ struct GenerationSchedulerOptions {
   /// waiting. Requires kv_pool_blocks > 0. Outputs stay bit-identical;
   /// in threaded mode the hit/miss SPLIT may vary with interleaving.
   bool prefix_cache = false;
+  /// Self-K/V storage format for every slot (and the shared pool's row
+  /// width) — see GenerationOptions::kv_storage. With kv_pool_blocks
+  /// fixed, fp4 halves each sequence's block bytes, which is what lets
+  /// one pool budget serve ~2x the concurrent sequences.
+  numeric::KvStorage kv_storage = numeric::KvStorage::kInt8;
 };
 
 struct GenerationRunStats {

@@ -487,10 +487,14 @@ void KvCache::configure(size_t num_layers, size_t num_heads,
     throw std::invalid_argument(
         "KvCache::configure: pool given but block_rows = 0 (dense)");
   }
+  if (opts.storage == numeric::KvStorage::kFp4E2M1 && head_dim % 2 != 0) {
+    throw std::invalid_argument(
+        "KvCache::configure: packed fp4 storage needs an even head_dim");
+  }
   if (configured() && layers_.size() == num_layers &&
       num_heads_ == num_heads && head_dim_ == head_dim &&
       capacity_ == capacity && memory_capacity_ == memory_capacity &&
-      block_rows_ == opts.block_rows &&
+      block_rows_ == opts.block_rows && storage_ == opts.storage &&
       (opts.pool == nullptr ? owned_pool_ != nullptr || !paged
                             : pool_ == opts.pool)) {
     return;  // identical geometry and layout: keep storage and state
@@ -501,6 +505,9 @@ void KvCache::configure(size_t num_layers, size_t num_heads,
   arena_.reset();  // no live views by contract once layers_ is cleared
   num_heads_ = num_heads;
   head_dim_ = head_dim;
+  storage_ = opts.storage;
+  codec_ = numeric::kv_codec(storage_);
+  head_bytes_ = numeric::kv_storage_bytes(head_dim, storage_);
   capacity_ = capacity;
   memory_capacity_ = memory_capacity;
   len_ = 0;
@@ -689,6 +696,13 @@ void KvCache::fork_from(KvCache& parent, bool eager_copy) {
       block_rows_ != parent.block_rows_) {
     throw std::invalid_argument("KvCache::fork_from: geometry mismatch");
   }
+  if (storage_ != parent.storage_) {
+    // Same row_bytes does not mean same meaning: an int8 cache reading a
+    // fork parent's fp8 codes (or vice versa) would silently decode
+    // garbage. Refuse loudly, like the prefix cache does for adoption.
+    throw std::invalid_argument(
+        "KvCache::fork_from: KV storage format mismatch");
+  }
   release_blocks();
   len_ = parent.len_;
   memory_len_ = parent.memory_len_;
@@ -790,14 +804,63 @@ int8_t* KvCache::self_row_ptr(size_t row, size_t layer, size_t head,
                               size_t which) {
   const uint32_t block = block_table_[row / block_rows_];
   return pool_->row_data(block, row % block_rows_) +
-         ((layer * num_heads_ + head) * 2 + which) * head_dim_;
+         ((layer * num_heads_ + head) * 2 + which) * head_bytes_;
 }
 
 const int8_t* KvCache::self_row_ptr(size_t row, size_t layer, size_t head,
                                     size_t which) const {
   const uint32_t block = block_table_[row / block_rows_];
   return pool_->row_data(block, row % block_rows_) +
-         ((layer * num_heads_ + head) * 2 + which) * head_dim_;
+         ((layer * num_heads_ + head) * 2 + which) * head_bytes_;
+}
+
+namespace {
+
+/// Encodes one head_dim-wide int8 row into its stored form (fp8: one
+/// code byte per element; fp4: two nibbles per byte, low = even).
+void encode_row(const numeric::KvCodec& codec, const int8_t* src,
+                size_t head_dim, int8_t* dst) {
+  const uint8_t* enc = codec.encode.data();
+  if (codec.storage == numeric::KvStorage::kFp4E2M1) {
+    for (size_t j = 0; j < head_dim; j += 2) {
+      const uint8_t lo = enc[static_cast<uint8_t>(src[j]) ^ 0x80u];
+      const uint8_t hi = enc[static_cast<uint8_t>(src[j + 1]) ^ 0x80u];
+      dst[j / 2] = static_cast<int8_t>(lo | (hi << 4));
+    }
+  } else {
+    for (size_t j = 0; j < head_dim; ++j) {
+      dst[j] = static_cast<int8_t>(enc[static_cast<uint8_t>(src[j]) ^ 0x80u]);
+    }
+  }
+}
+
+/// Decodes one stored row back to int8 (the inverse read of encode_row).
+void decode_row(const numeric::KvCodec& codec, const int8_t* src,
+                size_t head_dim, int8_t* dst) {
+  const int8_t* dec = codec.decode.data();
+  if (codec.storage == numeric::KvStorage::kFp4E2M1) {
+    for (size_t j = 0; j < head_dim; j += 2) {
+      const auto byte = static_cast<uint8_t>(src[j / 2]);
+      dst[j] = dec[byte & 0x0f];
+      dst[j + 1] = dec[byte >> 4];
+    }
+  } else {
+    for (size_t j = 0; j < head_dim; ++j) {
+      dst[j] = dec[static_cast<uint8_t>(src[j])];
+    }
+  }
+}
+
+}  // namespace
+
+void KvCache::storage_roundtrip(tensor::MatrixViewI8 rows) const {
+  if (codec_ == nullptr) return;
+  const int8_t* rt = codec_->roundtrip.data();
+  int8_t* data = rows.data();
+  const size_t n = rows.rows() * rows.cols();
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = rt[static_cast<uint8_t>(data[i]) ^ 0x80u];
+  }
 }
 
 void KvCache::scatter_self(size_t layer, size_t head, size_t pos,
@@ -819,6 +882,15 @@ void KvCache::scatter_self(size_t layer, size_t head, size_t pos,
   // (layer, head) writes of the same rows see refcount 1 and scatter in
   // place.
   ensure_rows_private(pos, k.rows());
+  if (codec_ != nullptr) {
+    for (size_t r = 0; r < k.rows(); ++r) {
+      encode_row(*codec_, k.row(r).data(), head_dim_,
+                 self_row_ptr(pos + r, layer, head, 0));
+      encode_row(*codec_, v.row(r).data(), head_dim_,
+                 self_row_ptr(pos + r, layer, head, 1));
+    }
+    return;
+  }
   for (size_t r = 0; r < k.rows(); ++r) {
     std::memcpy(self_row_ptr(pos + r, layer, head, 0), k.row(r).data(),
                 head_dim_);
@@ -841,6 +913,15 @@ void KvCache::gather_self(size_t layer, size_t head, size_t rows,
   if (rows > reserved_rows()) {
     throw std::logic_error("KvCache::gather_self: rows not reserved");
   }
+  if (codec_ != nullptr) {
+    for (size_t r = 0; r < rows; ++r) {
+      decode_row(*codec_, self_row_ptr(r, layer, head, 0), head_dim_,
+                 k_dst.row(r).data());
+      decode_row(*codec_, self_row_ptr(r, layer, head, 1), head_dim_,
+                 v_dst.row(r).data());
+    }
+    return;
+  }
   for (size_t r = 0; r < rows; ++r) {
     std::memcpy(k_dst.row(r).data(), self_row_ptr(r, layer, head, 0),
                 head_dim_);
@@ -860,6 +941,11 @@ tensor::RowSpanListI8 KvCache::self_spans(
   }
   if (rows > reserved_rows()) {
     throw std::logic_error("KvCache::self_spans: rows not reserved");
+  }
+  if (!span_readable()) {
+    throw std::logic_error(
+        "KvCache::self_spans: packed fp4 rows are not span-readable "
+        "(use gather_self)");
   }
   const size_t stride = row_bytes();
   size_t count = 0;
@@ -883,7 +969,10 @@ tensor::RowSpanListI8 KvCache::self_spans(
   return {.runs = runs.first(count),
           .rows = rows,
           .cols = head_dim_,
-          .row_stride = stride};
+          .row_stride = stride,
+          // fp8 rows carry their dequant table: the GEMM pack stage
+          // decodes the stored codes while packing (fused dequant).
+          .decode = codec_ != nullptr ? codec_->decode.data() : nullptr};
 }
 
 size_t KvCache::max_self_span_runs(size_t rows) const {

@@ -53,6 +53,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "numeric/fp8.hpp"
 #include "runtime/workspace_arena.hpp"
 #include "tensor/matrix.hpp"
 
@@ -368,6 +369,18 @@ struct KvCacheOptions {
   /// sized at one full-capacity sequence (same worst-case footprint as
   /// dense, but allocated block-by-block on demand).
   KvBlockPool* pool = nullptr;
+  /// Self-K/V storage format (numeric/fp8.hpp). kInt8 stores quantized
+  /// rows verbatim — the bit-exact reference. The fp8 formats re-encode
+  /// each int8 value on scatter and decode on read (1 byte/element, so
+  /// row_bytes is unchanged; the read side fuses the dequant table into
+  /// the GEMM pack stage via RowSpanListI8::decode). fp4 e2m1 packs TWO
+  /// elements per byte — head_dim must be even — halving row_bytes and
+  /// block_bytes; its rows are not span-readable, so attention reads go
+  /// through gather_self (the runtime falls back automatically). All
+  /// non-int8 paths are deterministic: the stored code is a pure table
+  /// function of the int8 value and reads back identically on every
+  /// access (see KvCodec).
+  numeric::KvStorage storage = numeric::KvStorage::kInt8;
 };
 
 class KvCache {
@@ -402,6 +415,26 @@ class KvCache {
 
   bool paged() const { return block_rows_ > 0; }
   size_t block_rows() const { return block_rows_; }
+  /// Self-K/V storage format (KvCacheOptions::storage).
+  numeric::KvStorage storage() const { return storage_; }
+  /// True when stored rows can be read in place through self_spans():
+  /// int8 and the byte-wide fp8 formats qualify; packed fp4 does not
+  /// (two elements per byte — reads must decode through gather_self).
+  bool span_readable() const {
+    return storage_ != numeric::KvStorage::kFp4E2M1;
+  }
+  /// Pool-side bytes held by `elems` cached elements under this cache's
+  /// storage format (identity for the byte-wide formats, halved for
+  /// fp4) — the conversion executed byte counters apply so they match
+  /// the storage-aware estimators.
+  size_t storage_bytes(size_t elems) const {
+    return numeric::kv_storage_bytes(elems, storage_);
+  }
+  /// Applies the storage round-trip (encode then decode) to `rows` in
+  /// place — what the DENSE layout does after appending rows, so a
+  /// dense sequence sees exactly the values a paged sequence reads back
+  /// through its encoded blocks. No-op for int8.
+  void storage_roundtrip(tensor::MatrixViewI8 rows) const;
   KvBlockPool* pool() { return pool_; }
   const KvBlockPool* pool() const { return pool_; }
   /// Rows the current block table can hold (capacity() in dense mode).
@@ -491,15 +524,19 @@ class KvCache {
   }
 
   /// Copies the new K/V rows [pos, pos + k.rows()) of (layer, head) into
-  /// their blocks (paged mode only; rows must be reserved). Writes
-  /// respect forking: a target block shared with another cache is first
-  /// made private (write-triggered copy), so a fork never scribbles on
-  /// its siblings' prefix.
+  /// their blocks (paged mode only; rows must be reserved), re-encoding
+  /// through the storage codec when the format is not int8 (fp8: one
+  /// code byte per element; fp4: two nibbles packed per byte, low
+  /// nibble = even element). Writes respect forking: a target block
+  /// shared with another cache is first made private (write-triggered
+  /// copy), so a fork never scribbles on its siblings' prefix.
   void scatter_self(size_t layer, size_t head, size_t pos,
                     tensor::ConstMatrixViewI8 k, tensor::ConstMatrixViewI8 v);
   /// Copies rows [0, rows) of (layer, head) K and V into the contiguous
-  /// (rows x head_dim) views `k_dst` / `v_dst` (paged mode only). Kept as
-  /// the bit-exact reference for the gather-free span path below.
+  /// (rows x head_dim) views `k_dst` / `v_dst` (paged mode only),
+  /// decoding stored codes back to int8 for non-int8 storage. Kept as
+  /// the bit-exact reference for the gather-free span path below, and
+  /// the only read path for packed fp4 rows.
   void gather_self(size_t layer, size_t head, size_t rows,
                    tensor::MatrixViewI8 k_dst,
                    tensor::MatrixViewI8 v_dst) const;
@@ -514,6 +551,11 @@ class KvCache {
   /// prefix while scatter_self's write-triggered copies keep divergent
   /// appends out of it — the spans a sequence takes always resolve
   /// through its OWN table, never a sibling's post-divergence writes.
+  /// For fp8 storage the returned list carries the codec's dequant
+  /// table (RowSpanListI8::decode) — the GEMM pack stage decodes the
+  /// stored bytes while packing, so the consumer never sees codes.
+  /// Packed fp4 rows are not span-readable (throws std::logic_error;
+  /// check span_readable() and fall back to gather_self).
   tensor::RowSpanListI8 self_spans(size_t layer, size_t head, size_t which,
                                    size_t rows,
                                    std::span<tensor::RowSpanI8> runs) const;
@@ -550,15 +592,21 @@ class KvCache {
   int8_t* self_row_ptr(size_t row, size_t layer, size_t head, size_t which);
   const int8_t* self_row_ptr(size_t row, size_t layer, size_t head,
                              size_t which) const;
-  /// Bytes per pooled token row: K and V for every (layer, head).
+  /// Bytes per pooled token row: K and V for every (layer, head), at
+  /// the storage format's width (head_bytes_ per K or V segment).
   size_t row_bytes() const {
-    return layers_.size() * num_heads_ * 2 * head_dim_;
+    return layers_.size() * num_heads_ * 2 * head_bytes_;
   }
 
   WorkspaceArena arena_;
   std::vector<LayerKv> layers_;
   size_t num_heads_ = 0;
   size_t head_dim_ = 0;
+  /// Stored bytes per (layer, head) K or V row segment:
+  /// kv_storage_bytes(head_dim_, storage_).
+  size_t head_bytes_ = 0;
+  numeric::KvStorage storage_ = numeric::KvStorage::kInt8;
+  const numeric::KvCodec* codec_ = nullptr;  // nullptr for int8
   size_t capacity_ = 0;
   size_t memory_capacity_ = 0;
   size_t len_ = 0;

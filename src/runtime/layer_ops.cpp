@@ -390,7 +390,11 @@ void run_self_attention_cached(const LayerOpContext& ctx,
   LayerKv& kv = cache.layer(layer_index);
 
   const accel::SoftmaxUnit softmax(desc.logit_scale);
-  const bool strided = cache.paged() && !ctx.kv_gather_fallback;
+  // Packed fp4 rows cannot be read in place (two elements per byte), so
+  // that storage format always takes the gather path regardless of the
+  // fallback switch; fp8 rows stay span-readable via the fused dequant.
+  const bool strided =
+      cache.paged() && !ctx.kv_gather_fallback && cache.span_readable();
   for (size_t head = 0; head < h; ++head) {
     const auto m = ctx.ws.mark();
     auto q = ctx.ws.matrix_i8(n, dk);
@@ -439,6 +443,11 @@ void run_self_attention_cached(const LayerOpContext& ctx,
       accel::run_qkv_engine(x, desc.self_heads[head], ctx.ts_mha,
                             *desc.rq_q, *desc.rq_k, *desc.rq_v, q, k_new,
                             v_new, ctx.ws, ctx.stats, ctx.gemm_pool);
+      // Quantized storage: snap the fresh rows to what an encoded block
+      // would read back, so dense and paged sequences stay bit-identical
+      // under non-int8 storage (no-op for int8).
+      cache.storage_roundtrip(k_new);
+      cache.storage_roundtrip(v_new);
       k_all = prefix_rows(kv.self_k[head], total);
       v_all = prefix_rows(kv.self_v[head], total);
     } else {
@@ -458,7 +467,9 @@ void run_self_attention_cached(const LayerOpContext& ctx,
       auto v_gather = ctx.ws.matrix_i8(total, dk);
       cache.gather_self(layer_index, head, total, k_gather, v_gather);
       if (ctx.stats != nullptr) {
-        ctx.stats->gathered_bytes += 2 * total * dk;
+        // Pool-side bytes actually streamed: packed fp4 rows hold half
+        // the bytes the decoded elements occupy in scratch.
+        ctx.stats->gathered_bytes += cache.storage_bytes(2 * total * dk);
       }
       k_all = k_gather;
       v_all = v_gather;

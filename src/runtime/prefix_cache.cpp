@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace protea::runtime {
 
@@ -43,6 +44,17 @@ void PrefixCache::configure(KvBlockPool& pool, size_t block_rows,
   opts_ = opts;
   tick_ = 0;
   stats_ = PrefixCacheStats{};
+}
+
+void PrefixCache::check_storage(const KvCache& kv, const char* what) const {
+  if (kv.storage() != opts_.storage) {
+    throw std::logic_error(
+        std::string("PrefixCache::") + what +
+        ": KV storage format mismatch (cache keyed to " +
+        numeric::kv_storage_name(opts_.storage) + ", sequence uses " +
+        numeric::kv_storage_name(kv.storage()) +
+        ") — a block's bytes only decode under the format that wrote them");
+  }
 }
 
 PrefixCache::MemoryEntry* PrefixCache::find_entry_locked(
@@ -162,6 +174,7 @@ size_t PrefixCache::adopt(const tensor::MatrixF& memory,
   if (prompt.rows() == 0 || prompt.cols() != d_model_) {
     throw std::invalid_argument("PrefixCache::adopt: bad prompt shape");
   }
+  check_storage(kv, "adopt");
   const std::lock_guard lock(mutex_);
   ++tick_;
   if (cross_hit != nullptr) *cross_hit = false;
@@ -239,6 +252,7 @@ bool PrefixCache::cross_into(const tensor::MatrixF& memory, KvCache& kv) {
   if (!configured()) {
     throw std::logic_error("PrefixCache::cross_into: not configured");
   }
+  check_storage(kv, "cross_into");
   const std::lock_guard lock(mutex_);
   ++tick_;
   MemoryEntry* e = find_entry_locked(memory);
@@ -257,6 +271,7 @@ void PrefixCache::publish_cross(const tensor::MatrixF& memory,
   if (!configured()) {
     throw std::logic_error("PrefixCache::publish_cross: not configured");
   }
+  check_storage(kv, "publish_cross");
   const std::lock_guard lock(mutex_);
   ++tick_;
   ensure_entry_locked(memory, kv).last_used = tick_;
@@ -274,6 +289,7 @@ void PrefixCache::publish(const tensor::MatrixF& memory,
   if (!kv.paged() || kv.pool() != pool_) {
     throw std::logic_error("PrefixCache::publish: sequence not on this pool");
   }
+  check_storage(kv, "publish");
   if (kv.credit() != nullptr) {
     throw std::logic_error(
         "PrefixCache::publish: credited sequences cannot publish");

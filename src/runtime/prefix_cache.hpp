@@ -77,6 +77,14 @@ class PrefixCache {
     /// Distinct memory entries kept (LRU-evicted past this when cold;
     /// a new entry whose LRU victims are all live simply exceeds the cap).
     size_t max_memories = 32;
+    /// Self-K/V storage format every published/adopting cache must use.
+    /// A published block's bytes only mean what its codec says they
+    /// mean: two caches can share a pool row width yet store different
+    /// codes (int8 rows and fp8 codes are both 1 byte/element), so
+    /// adoption across formats would silently decode garbage. The cache
+    /// is keyed to ONE format at configure and refuses publish/adopt
+    /// from any cache whose storage() differs (std::logic_error).
+    numeric::KvStorage storage = numeric::KvStorage::kInt8;
   };
 
   PrefixCache() = default;
@@ -175,6 +183,10 @@ class PrefixCache {
   /// Frees one LRU refcount-1 leaf (cascading exposure of its parent to
   /// later calls); returns false when nothing is reclaimable.
   bool evict_one_leaf_locked();
+
+  /// Throws std::logic_error unless `kv`'s storage matches opts_.storage
+  /// (see Options::storage — the mixed-format adoption guard).
+  void check_storage(const KvCache& kv, const char* what) const;
 
   KvBlockPool* pool_ = nullptr;
   size_t block_rows_ = 0;

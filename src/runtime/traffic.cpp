@@ -210,7 +210,8 @@ class Coordinator {
     const GenerationOptions session_opts{
         .kv_block_rows = pool.block_rows(),
         .kv_pool = &pool,
-        .prefill_chunk = opts.prefill_chunk};
+        .prefill_chunk = opts.prefill_chunk,
+        .kv_storage = opts.kv_storage};
     sessions_.reserve(slots);
     for (size_t s = 0; s < slots; ++s) {
       sessions_.push_back(std::make_unique<GenerationSession>(
@@ -387,7 +388,7 @@ class Coordinator {
     const accel::PreemptionCost c = accel::estimate_preemption_cost(
         config_, model_.config, static_cast<uint32_t>(rows),
         static_cast<uint32_t>(seats_[s]->req->gen.memory->rows()),
-        static_cast<uint32_t>(pool_.block_rows()));
+        static_cast<uint32_t>(pool_.block_rows()), opts_.kv_storage);
     return would_swap(s) ? c.swap_ms : c.recompute_ms;
   }
 
@@ -1048,8 +1049,12 @@ std::vector<TrafficResult> TrafficEngine::run(
   KvBlockPool* pool = opts.kv_pool;
   if (pool == nullptr) {
     const ref::ModelConfig& mc = model_.config;
-    owned_pool.configure(opts.kv_pool_blocks, opts.kv_block_rows,
-                         mc.num_layers * mc.num_heads * 2 * mc.head_dim());
+    // Storage-aware row width (packed fp4 rows are half as wide); must
+    // match what each seat's KvCache derives for the same format.
+    owned_pool.configure(
+        opts.kv_pool_blocks, opts.kv_block_rows,
+        mc.num_layers * mc.num_heads * 2 *
+            numeric::kv_storage_bytes(mc.head_dim(), opts.kv_storage));
     pool = &owned_pool;
   }
   if (!pool->configured()) {
@@ -1075,7 +1080,8 @@ std::vector<TrafficResult> TrafficEngine::run(
   } cache_guard;
   PrefixCache* pcache = nullptr;
   if (opts.prefix_cache) {
-    prefix_cache.configure(*pool, pool->block_rows(), model_.config.d_model);
+    prefix_cache.configure(*pool, pool->block_rows(), model_.config.d_model,
+                           PrefixCache::Options{.storage = opts.kv_storage});
     pool->set_reclaim_hook(
         [&prefix_cache](size_t want) { return prefix_cache.reclaim(want); });
     cache_guard.pool = pool;

@@ -161,6 +161,11 @@ struct TrafficOptions {
   /// Consecutive no-progress rounds before the engine force-sheds the
   /// worst-ranked request (liveness backstop under forced exhaustion).
   size_t stall_limit = 4096;
+  /// Self-K/V storage format for every seat, the owned pool's row width
+  /// and the preemption-cost model's swap-byte estimates (see
+  /// GenerationOptions::kv_storage). An external kv_pool must be
+  /// configured for the matching row width.
+  numeric::KvStorage kv_storage = numeric::KvStorage::kInt8;
 };
 
 struct TrafficClassStats {

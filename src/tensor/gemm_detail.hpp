@@ -167,6 +167,101 @@ inline void pack_bt_block_spans(const RowSpanListI8& bt, size_t k0,
   }
 }
 
+/// pack_b_block_spans with a fused 256-entry dequant table: the spanned
+/// bytes are stored codes (fp8 KV rows) and become int8 values during
+/// the one pass that already touches each byte — the micro-kernel and
+/// everything downstream see plain int8, so the quantized-storage GEMM
+/// is the int8 GEMM with a table lookup folded into packing. Zero
+/// padding stays literal 0: padded lanes are synthesized in the DECODED
+/// domain, exactly like the int8 pack.
+inline void pack_b_block_spans_lut(const RowSpanListI8& b, size_t k0,
+                                   size_t kc, size_t n, const int8_t* lut,
+                                   int8_t* dst) {
+  const size_t col_panels = util::ceil_div(n, kGemmNr);
+  SpanRowCursor cur = span_row_cursor(b, k0);
+  for (size_t p = 0; p < kc; ++p) {
+    const int8_t* src = cur.row(b.row_stride);
+    for (size_t cp = 0; cp < col_panels; ++cp) {
+      const size_t j0 = cp * kGemmNr;
+      const size_t w = std::min(kGemmNr, n - j0);
+      int8_t* panel_row = dst + cp * kc * kGemmNr + p * kGemmNr;
+      for (size_t j = 0; j < w; ++j) {
+        panel_row[j] = lut[static_cast<uint8_t>(src[j0 + j])];
+      }
+      for (size_t j = w; j < kGemmNr; ++j) panel_row[j] = 0;
+    }
+    cur.advance();
+  }
+}
+
+/// pack_bt_block_spans with the same fused dequant table.
+inline void pack_bt_block_spans_lut(const RowSpanListI8& bt, size_t k0,
+                                    size_t kc, size_t n, const int8_t* lut,
+                                    int8_t* dst) {
+  const size_t col_panels = util::ceil_div(n, kGemmNr);
+  SpanRowCursor cur = span_row_cursor(bt, 0);
+  for (size_t cp = 0; cp < col_panels; ++cp) {
+    const size_t j0 = cp * kGemmNr;
+    const size_t w = std::min(kGemmNr, n - j0);
+    int8_t* panel = dst + cp * kc * kGemmNr;
+    for (size_t j = 0; j < w; ++j) {
+      const int8_t* src = cur.row(bt.row_stride) + k0;
+      for (size_t p = 0; p < kc; ++p) {
+        panel[p * kGemmNr + j] = lut[static_cast<uint8_t>(src[p])];
+      }
+      cur.advance();
+    }
+    for (size_t j = w; j < kGemmNr; ++j) {
+      for (size_t p = 0; p < kc; ++p) panel[p * kGemmNr + j] = 0;
+    }
+  }
+}
+
+/// Dense pack_b_block with a fused dequant table — the FP8-weight GEMM
+/// path: B holds stored codes, the pack decodes them, and accumulation
+/// stays int16/int32 widening exactly like the int8 kernel.
+template <typename M>
+void pack_b_block_lut(const M& b, size_t k0, size_t kc, size_t n,
+                      const int8_t* lut, int8_t* dst) {
+  const size_t ldb = b.cols();
+  const size_t col_panels = util::ceil_div(n, kGemmNr);
+  for (size_t cp = 0; cp < col_panels; ++cp) {
+    const size_t j0 = cp * kGemmNr;
+    const size_t w = std::min(kGemmNr, n - j0);
+    int8_t* panel = dst + cp * kc * kGemmNr;
+    const int8_t* src = b.data() + k0 * ldb + j0;
+    for (size_t p = 0; p < kc; ++p) {
+      for (size_t j = 0; j < w; ++j) {
+        panel[p * kGemmNr + j] = lut[static_cast<uint8_t>(src[j])];
+      }
+      for (size_t j = w; j < kGemmNr; ++j) panel[p * kGemmNr + j] = 0;
+      src += ldb;
+    }
+  }
+}
+
+/// Dense pack_bt_block with a fused dequant table.
+template <typename M>
+void pack_bt_block_lut(const M& bt, size_t k0, size_t kc, size_t n,
+                       const int8_t* lut, int8_t* dst) {
+  const size_t ldb = bt.cols();
+  const size_t col_panels = util::ceil_div(n, kGemmNr);
+  for (size_t cp = 0; cp < col_panels; ++cp) {
+    const size_t j0 = cp * kGemmNr;
+    const size_t w = std::min(kGemmNr, n - j0);
+    int8_t* panel = dst + cp * kc * kGemmNr;
+    for (size_t j = 0; j < w; ++j) {
+      const int8_t* src = bt.data() + (j0 + j) * ldb + k0;
+      for (size_t p = 0; p < kc; ++p) {
+        panel[p * kGemmNr + j] = lut[static_cast<uint8_t>(src[p])];
+      }
+    }
+    for (size_t j = w; j < kGemmNr; ++j) {
+      for (size_t p = 0; p < kc; ++p) panel[p * kGemmNr + j] = 0;
+    }
+  }
+}
+
 /// kGemmMr x kGemmNr register block; operands are widened to Mul before
 /// multiplying.
 template <typename T, typename Mul, typename Acc>

@@ -184,6 +184,12 @@ struct RowSpanListI8 {
   size_t rows = 0;        // total rows across all runs
   size_t cols = 0;        // elements per row
   size_t row_stride = 0;  // elements between consecutive rows in a run
+  /// Optional 256-entry dequant table: when set, the spanned bytes are
+  /// stored codes (e.g. fp8) and every element reads as
+  /// `decode[uint8_t(byte)]`. The GEMM pack stage applies it while
+  /// packing, fusing dequant into the one pass that already touches
+  /// each byte; nullptr means the bytes ARE int8 values.
+  const int8_t* decode = nullptr;
 };
 
 /// Deep copy of a view into a fresh owning Matrix (trace capture).

@@ -103,7 +103,11 @@ void qgemm_spans_into(ConstMatrixViewI8 a, const RowSpanListI8& b,
   detail::gemm_driver_into<int8_t, int16_t, int32_t>(
       a.data(), a.rows(), a.cols(), b.cols, c.data(), pack_buf.data(), pool,
       [&](size_t k0, size_t kc, int8_t* dst) {
-        detail::pack_b_block_spans(b, k0, kc, b.cols, dst);
+        if (b.decode != nullptr) {
+          detail::pack_b_block_spans_lut(b, k0, kc, b.cols, b.decode, dst);
+        } else {
+          detail::pack_b_block_spans(b, k0, kc, b.cols, dst);
+        }
       });
 }
 
@@ -115,7 +119,40 @@ void qgemm_bt_spans_into(ConstMatrixViewI8 a, const RowSpanListI8& bt,
   detail::gemm_driver_into<int8_t, int16_t, int32_t>(
       a.data(), a.rows(), a.cols(), bt.rows, c.data(), pack_buf.data(), pool,
       [&](size_t k0, size_t kc, int8_t* dst) {
-        detail::pack_bt_block_spans(bt, k0, kc, bt.rows, dst);
+        if (bt.decode != nullptr) {
+          detail::pack_bt_block_spans_lut(bt, k0, kc, bt.rows, bt.decode,
+                                          dst);
+        } else {
+          detail::pack_bt_block_spans(bt, k0, kc, bt.rows, dst);
+        }
+      });
+}
+
+void qgemm_lut_into(ConstMatrixViewI8 a, ConstMatrixViewI8 b,
+                    const int8_t* lut, MatrixViewI32 c,
+                    std::span<int8_t> pack_buf, util::ThreadPool* pool) {
+  check_into_args(a, b.rows(), b.cols(), c, pack_buf, "qgemm_lut_into");
+  if (lut == nullptr) {
+    throw std::invalid_argument("qgemm_lut_into: null dequant table");
+  }
+  detail::gemm_driver_into<int8_t, int16_t, int32_t>(
+      a.data(), a.rows(), a.cols(), b.cols(), c.data(), pack_buf.data(),
+      pool, [&](size_t k0, size_t kc, int8_t* dst) {
+        detail::pack_b_block_lut(b, k0, kc, b.cols(), lut, dst);
+      });
+}
+
+void qgemm_bt_lut_into(ConstMatrixViewI8 a, ConstMatrixViewI8 bt,
+                       const int8_t* lut, MatrixViewI32 c,
+                       std::span<int8_t> pack_buf, util::ThreadPool* pool) {
+  check_into_args(a, bt.cols(), bt.rows(), c, pack_buf, "qgemm_bt_lut_into");
+  if (lut == nullptr) {
+    throw std::invalid_argument("qgemm_bt_lut_into: null dequant table");
+  }
+  detail::gemm_driver_into<int8_t, int16_t, int32_t>(
+      a.data(), a.rows(), a.cols(), bt.rows(), c.data(), pack_buf.data(),
+      pool, [&](size_t k0, size_t kc, int8_t* dst) {
+        detail::pack_bt_block_lut(bt, k0, kc, bt.rows(), lut, dst);
       });
 }
 

@@ -73,6 +73,23 @@ void qgemm_bt_spans_into(ConstMatrixViewI8 a, const RowSpanListI8& bt,
                          MatrixViewI32 c, std::span<int8_t> pack_buf,
                          util::ThreadPool* pool = nullptr);
 
+/// Quantized-weight twins: the B operand holds stored codes (e.g. fp8
+/// bytes — see numeric/fp8.hpp's KvCodec) and `lut` is the 256-entry
+/// code -> int8 dequant table, applied while packing. Accumulation stays
+/// int16/int32 widening, so the result is bit-identical to decoding B
+/// into an int8 matrix first and running qgemm_into on it — the fused
+/// path just never materializes the decoded matrix. The span variants
+/// above dispatch to the same fused packs when RowSpanListI8::decode is
+/// set.
+void qgemm_lut_into(ConstMatrixViewI8 a, ConstMatrixViewI8 b,
+                    const int8_t* lut, MatrixViewI32 c,
+                    std::span<int8_t> pack_buf,
+                    util::ThreadPool* pool = nullptr);
+void qgemm_bt_lut_into(ConstMatrixViewI8 a, ConstMatrixViewI8 bt,
+                       const int8_t* lut, MatrixViewI32 c,
+                       std::span<int8_t> pack_buf,
+                       util::ThreadPool* pool = nullptr);
+
 /// Naive triple-loop references (the seed's original loop nests), retained
 /// as the test oracle and the bench speedup baseline.
 void qgemm_naive(const MatrixI8& a, const MatrixI8& b, MatrixI32& c);

@@ -1,0 +1,235 @@
+// Property tests for the Q31 requantization layer (numeric/requantize.hpp),
+// with the multiplier-normalization edge as the centerpiece: when the
+// mantissa of the input ratio rounds up to exactly 1.0, llround produces
+// 2^31 — one past the int32 Q31 range — and make_requant_params must
+// renormalize (multiplier /= 2, shift -= 1) instead of wrapping negative.
+// This suite was written to corner that edge; the audit found the seed's
+// normalization handles it correctly, so these tests pin the behavior
+// (and the wider contract) against regressions rather than fix a defect:
+//
+//   * make_requant_params: multiplier always lands in [2^30, 2^31), and
+//     multiplier * 2^-shift reconstructs the ratio to within half a Q31
+//     ULP — across exact powers of two, ratios a hair below/above them
+//     (the normalization trigger), and a log-uniform random sweep;
+//   * requantize == an independent divide/remainder round-half-away
+//     reference on the full (acc, params) grid — the implementation's
+//     add-half-then-shift trick never disagrees with exact arithmetic;
+//   * requantize == llround(acc * ratio) EXACTLY for dyadic ratios, and
+//     within 1 output ULP of the real-valued product for arbitrary ones;
+//   * int8 saturation boundary: values that round to 128 / -129 clamp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "numeric/requantize.hpp"
+#include "util/rng.hpp"
+
+namespace protea::numeric {
+namespace {
+
+/// Independent reference: exact integer divide/remainder with explicit
+/// round-half-away-from-zero — no shared machinery with the
+/// implementation's add-half-then-arithmetic-shift path.
+int64_t ref_requantize_unclamped(int64_t acc, RequantParams p) {
+  const __int128 num = static_cast<__int128>(acc) * p.multiplier;
+  if (p.shift <= 0) {
+    return static_cast<int64_t>(num << -p.shift);
+  }
+  const __int128 den = static_cast<__int128>(1) << p.shift;
+  __int128 q = num / den;  // truncates toward zero
+  __int128 r = num % den;
+  if (r < 0) r = -r;
+  if (2 * r >= den) q += (num >= 0 ? 1 : -1);
+  return static_cast<int64_t>(q);
+}
+
+int32_t ref_requantize(int64_t acc, RequantParams p, int32_t qmin,
+                       int32_t qmax) {
+  const int64_t v = ref_requantize_unclamped(acc, p);
+  if (v > qmax) return qmax;
+  if (v < qmin) return qmin;
+  return static_cast<int32_t>(v);
+}
+
+/// The ratio grid: every power of two across the realistic requant range,
+/// ratios one double-ULP-ish below and above each (the below-pow2 ones
+/// are exactly the mantissas that round up to 1.0 and trigger the
+/// normalization edge), and near-1 ratios at several gap widths.
+std::vector<double> ratio_grid() {
+  std::vector<double> ratios;
+  for (int e = -40; e <= 20; ++e) {
+    const double p2 = std::ldexp(1.0, e);
+    ratios.push_back(p2);
+    ratios.push_back(p2 * (1.0 - std::ldexp(1.0, -40)));  // edge trigger
+    ratios.push_back(p2 * (1.0 - std::ldexp(1.0, -20)));
+    ratios.push_back(p2 * (1.0 + std::ldexp(1.0, -40)));
+    ratios.push_back(p2 * (1.0 + std::ldexp(1.0, -20)));
+  }
+  for (int k = 2; k <= 52; k += 5) {
+    ratios.push_back(1.0 - std::ldexp(1.0, -k));
+    ratios.push_back(1.0 + std::ldexp(1.0, -k));
+  }
+  return ratios;
+}
+
+TEST(MakeRequantParams, MultiplierAlwaysNormalizedAndRatioReconstructs) {
+  util::Xoshiro256 rng(1234);
+  auto ratios = ratio_grid();
+  for (int i = 0; i < 2000; ++i) {  // log-uniform sweep over 2^[-40, 20]
+    const double e = -40.0 + 60.0 * (static_cast<double>(rng.bounded(1u << 30)) /
+                                     static_cast<double>(1u << 30));
+    ratios.push_back(std::exp2(e));
+  }
+  for (const double ratio : ratios) {
+    const RequantParams p = make_requant_params(ratio);
+    // The Q31 normalization invariant — mantissa in [0.5, 1.0): a
+    // multiplier of exactly 2^31 would have wrapped to INT32_MIN.
+    EXPECT_GE(p.multiplier, int32_t{1} << 30) << "ratio " << ratio;
+    EXPECT_LE(p.multiplier, std::numeric_limits<int32_t>::max())
+        << "ratio " << ratio;
+    // multiplier * 2^-shift must reproduce the ratio to half a Q31 ULP.
+    const double reconstructed = p.multiplier * std::ldexp(1.0, -p.shift);
+    EXPECT_NEAR(reconstructed / ratio, 1.0, std::ldexp(1.0, -31))
+        << "ratio " << ratio;
+  }
+}
+
+TEST(MakeRequantParams, NormalizationEdgePinned) {
+  // 1 - 2^-40: frexp yields mantissa 1 - 2^-40 (in [0.5, 1)), and
+  // llround((1 - 2^-40) * 2^31) = llround(2^31 - 2^-9) = 2^31 — the
+  // overflow the normalization branch exists for. It must fold to
+  // multiplier 2^30 with the exponent bumped, NOT wrap negative.
+  const RequantParams p = make_requant_params(1.0 - std::ldexp(1.0, -40));
+  EXPECT_EQ(p.multiplier, int32_t{1} << 30);
+  EXPECT_EQ(p.shift, 30);
+  // With the ratio within 2^-40 of 1, moderate accumulators requantize
+  // to themselves exactly.
+  for (const int64_t acc : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{100},
+                            int64_t{-100}, int64_t{123456}, int64_t{-123456}}) {
+    EXPECT_EQ(requantize(acc, p, std::numeric_limits<int32_t>::min(),
+                         std::numeric_limits<int32_t>::max()),
+              acc)
+        << "acc " << acc;
+  }
+  // The same edge at other binades: the reconstruction stays a clean
+  // power of two and the multiplier stays normalized.
+  for (int e = -20; e <= 20; e += 5) {
+    const RequantParams q =
+        make_requant_params(std::ldexp(1.0, e) * (1.0 - std::ldexp(1.0, -40)));
+    EXPECT_EQ(q.multiplier, int32_t{1} << 30) << "binade " << e;
+    EXPECT_EQ(q.shift, 30 - e) << "binade " << e;
+  }
+}
+
+TEST(MakeRequantParams, RejectsNonPositiveAndNonFinite) {
+  EXPECT_THROW(make_requant_params(0.0), std::invalid_argument);
+  EXPECT_THROW(make_requant_params(-1.0), std::invalid_argument);
+  EXPECT_THROW(make_requant_params(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(make_requant_params(std::nan("")), std::invalid_argument);
+}
+
+TEST(Requantize, MatchesExactIntegerReferenceOnGrid) {
+  util::Xoshiro256 rng(5678);
+  std::vector<int64_t> accs = {0, 1, -1, 2, -2, 127, -128, 128, -129};
+  for (int b = 2; b <= 40; b += 3) {
+    const int64_t p2 = int64_t{1} << b;
+    accs.push_back(p2);
+    accs.push_back(p2 - 1);
+    accs.push_back(p2 + 1);
+    accs.push_back(-p2);
+    accs.push_back(-p2 + 1);
+    accs.push_back(-p2 - 1);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const int64_t r = static_cast<int64_t>(rng.next() >> 23);  // ~2^41
+    accs.push_back(r);
+    accs.push_back(-r);
+  }
+  const int32_t kMin = std::numeric_limits<int32_t>::min();
+  const int32_t kMax = std::numeric_limits<int32_t>::max();
+  for (const double ratio : ratio_grid()) {
+    const RequantParams p = make_requant_params(ratio);
+    for (const int64_t acc : accs) {
+      ASSERT_EQ(requantize(acc, p, kMin, kMax),
+                ref_requantize(acc, p, kMin, kMax))
+          << "ratio " << ratio << " acc " << acc;
+      ASSERT_EQ(requantize(acc, p, -128, 127),
+                ref_requantize(acc, p, -128, 127))
+          << "int8 ratio " << ratio << " acc " << acc;
+    }
+  }
+}
+
+TEST(Requantize, ExactForDyadicRatiosAndWithinOneUlpOtherwise) {
+  util::Xoshiro256 rng(9012);
+  const int32_t kMin = std::numeric_limits<int32_t>::min();
+  const int32_t kMax = std::numeric_limits<int32_t>::max();
+  // Dyadic ratios are represented exactly in Q31 x 2^-shift, so the
+  // fixed-point path must equal llround (round half away from zero —
+  // the same tie rule) on every accumulator.
+  for (int e = -20; e <= 10; ++e) {
+    const double ratio = std::ldexp(1.0, e);
+    const RequantParams p = make_requant_params(ratio);
+    for (int i = 0; i < 300; ++i) {
+      const int64_t acc =
+          static_cast<int64_t>(rng.next() >> 30) - (int64_t{1} << 33);
+      const double real = static_cast<double>(acc) * ratio;
+      if (std::abs(real) > 2e9) continue;  // keep clear of int32 clamps
+      EXPECT_EQ(requantize(acc, p, kMin, kMax), std::llround(real))
+          << "2^" << e << " acc " << acc;
+    }
+  }
+  // Arbitrary ratios carry up to half a Q31 ULP of representation error,
+  // so the result may differ from the real-valued product by at most one
+  // output step.
+  for (const double ratio : ratio_grid()) {
+    const RequantParams p = make_requant_params(ratio);
+    for (int i = 0; i < 50; ++i) {
+      const int64_t acc =
+          static_cast<int64_t>(rng.next() >> 30) - (int64_t{1} << 33);
+      const double real = static_cast<double>(acc) * ratio;
+      if (std::abs(real) > 2e9) continue;
+      const int64_t got = requantize(acc, p, kMin, kMax);
+      EXPECT_LE(std::abs(got - std::llround(real)), 1)
+          << "ratio " << ratio << " acc " << acc;
+    }
+  }
+}
+
+TEST(Requantize, Int8SaturationBoundary) {
+  const RequantParams unit = make_requant_params(1.0);
+  EXPECT_EQ(requantize(127, unit, -128, 127), 127);
+  EXPECT_EQ(requantize(128, unit, -128, 127), 127);   // first clamp above
+  EXPECT_EQ(requantize(-128, unit, -128, 127), -128);
+  EXPECT_EQ(requantize(-129, unit, -128, 127), -128); // first clamp below
+  EXPECT_EQ(requantize(1 << 20, unit, -128, 127), 127);
+  EXPECT_EQ(requantize(-(1 << 20), unit, -128, 127), -128);
+
+  // Half-step boundary under a 0.5 ratio: 255 * 0.5 = 127.5 rounds away
+  // from zero to 128, which must clamp; 253 * 0.5 = 126.5 -> 127 stays.
+  const RequantParams half = make_requant_params(0.5);
+  EXPECT_EQ(requantize(255, half, -128, 127), 127);
+  EXPECT_EQ(requantize(253, half, -128, 127), 127);
+  EXPECT_EQ(requantize(-255, half, -128, 127), -128);  // -127.5 -> -128
+  EXPECT_EQ(requantize(-253, half, -128, 127), -127);
+}
+
+TEST(RequantizePow2, TieBreaksToEvenAndSaturates) {
+  // The pure-shift variant rounds half TO EVEN (it feeds the shift-only
+  // datapath) — pin the difference from requantize's half-away rule.
+  EXPECT_EQ(requantize_pow2(3, 1, -128, 127), 2);    // 1.5 -> 2 (even)
+  EXPECT_EQ(requantize_pow2(5, 1, -128, 127), 2);    // 2.5 -> 2 (even)
+  EXPECT_EQ(requantize_pow2(7, 1, -128, 127), 4);    // 3.5 -> 4 (even)
+  EXPECT_EQ(requantize_pow2(-3, 1, -128, 127), -2);  // -1.5 -> -2
+  EXPECT_EQ(requantize_pow2(1024, 2, -128, 127), 127);
+  EXPECT_EQ(requantize_pow2(-1024, 2, -128, 127), -128);
+  EXPECT_EQ(requantize_pow2(3, -2, -128, 127), 12);  // negative = left shift
+}
+
+}  // namespace
+}  // namespace protea::numeric
