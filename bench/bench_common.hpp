@@ -1,6 +1,7 @@
 // Shared helpers for the table/figure regeneration binaries.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -9,10 +10,35 @@
 #include "accel/perf_model.hpp"
 #include "ref/model_config.hpp"
 #include "util/csv.hpp"
+#include "util/stopwatch.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
 namespace protea::bench {
+
+/// Median of timing samples — medians shrug off the scheduler hiccups
+/// that corrupt a mean. Samples are util::Stopwatch readings, so every
+/// bench stamp shares the telemetry layer's clock (util::monotonic_ns).
+inline double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Median wall time of `reps` invocations of `fn`, in milliseconds, on
+/// the shared monotonic clock.
+template <typename Fn>
+double median_time_ms(int reps, const Fn& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps > 0 ? reps : 0));
+  util::Stopwatch watch;
+  for (int i = 0; i < reps; ++i) {
+    watch.reset();
+    fn();
+    samples.push_back(watch.milliseconds());
+  }
+  return median(std::move(samples));
+}
 
 /// The paper's GOPS columns use a more generous operation-counting
 /// convention than ops_total(): across every Table I row where both

@@ -21,6 +21,7 @@
 #include "runtime/decode_policy.hpp"
 #include "runtime/kv_cache.hpp"
 #include "runtime/prefix_cache.hpp"
+#include "runtime/telemetry.hpp"
 #include "runtime/workspace_arena.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -54,9 +55,27 @@ int main(int argc, char** argv) {
   // --ci marks the gated CI invocation (mirroring bench_traffic): the
   // workload is identical — same seeds, same bit-identity gates — and
   // small enough to run on every push; the flag only tags the output.
+  // --trace <path> arms runtime telemetry on the executed scheduler mix
+  // and writes its Chrome trace-event JSON there.
   bool ci = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--ci") ci = true;
+    if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
+
+  runtime::Telemetry telemetry;  // unconfigured = inert
+  if (!trace_path.empty()) {
+#ifdef PROTEA_TELEMETRY
+    telemetry.configure();
+#else
+    std::fprintf(
+        stderr,
+        "bench_decoder_scaling: --trace ignored (PROTEA_TELEMETRY off)\n");
+    trace_path.clear();
+#endif
   }
 
   const accel::AccelConfig cfg;
@@ -321,6 +340,7 @@ int main(int argc, char** argv) {
     // Equal self-KV budget: (4 slots x 32 rows) / 4-row blocks.
     paged.kv_pool_blocks = dense.slots * small.seq_len / paged.kv_block_rows;
     paged.slots = paged.kv_pool_blocks;  // let the pool be the limiter
+    paged.telemetry = &telemetry;  // inert unless --trace configured it
     const auto paged_results = scheduler.run(requests, paged);
     const auto paged_stats = scheduler.last_run();
     const uint64_t paged_bytes =
@@ -356,6 +376,25 @@ int main(int argc, char** argv) {
                        "blocks"});
     records.push_back({"paged_concurrency", "outputs_bit_identical",
                        paged_identical ? 1.0 : 0.0, "bool"});
+    // Telemetry from the paged run: full lifecycle recorded, histogram
+    // percentiles folded into the same record file, Chrome trace to
+    // --trace. The stepped loop stamps events with its scheduler step.
+    if (telemetry.enabled()) {
+      using TE = runtime::TraceEventType;
+      identical = identical &&
+                  telemetry.trace.count(TE::kAdmit) == requests.size() &&
+                  telemetry.trace.count(TE::kComplete) == requests.size();
+      for (const auto& s : runtime::metric_samples(telemetry)) {
+        records.push_back(
+            {"paged_concurrency", s.name + "_" + s.metric, s.value, s.unit});
+      }
+      if (!trace_path.empty()) {
+        const auto events = telemetry.trace.snapshot();
+        runtime::write_chrome_trace(trace_path, events);
+        std::printf("bench_decoder_scaling: wrote %zu trace events to %s\n",
+                    events.size(), trace_path.c_str());
+      }
+    }
   }
 
   // --- quantized KV storage: fp8 determinism + fp4-packed concurrency ------
@@ -702,13 +741,8 @@ int main(int argc, char** argv) {
       strided_samples.push_back(watch.milliseconds());
       strided_identical = strided_identical && state == gstate;
     }
-    // Medians shrug off scheduler hiccups that would corrupt a mean.
-    const auto median = [](std::vector<double> v) {
-      std::sort(v.begin(), v.end());
-      return v[v.size() / 2];
-    };
-    const double gather_ms = median(gather_samples);
-    const double strided_ms = median(strided_samples);
+    const double gather_ms = bench::median(gather_samples);
+    const double strided_ms = bench::median(strided_samples);
     const uint64_t gathered = gather_stats.gathered_bytes - gathered_before;
     const uint64_t span_runs = strided_stats.span_runs - runs_before;
     const bool zero_gather = strided_stats.gathered_bytes == 0;
@@ -815,8 +849,8 @@ int main(int argc, char** argv) {
         strided_identical = strided_identical &&
                             weights == weights_ref && scores == scores_ref;
       }
-      const double span_med = median(span_us);
-      const double copy_med = median(copy_us);
+      const double span_med = bench::median(span_us);
+      const double copy_med = bench::median(copy_us);
       identical = identical && strided_identical;
       std::printf(
           "isolated attention stage (1 head, %u cached rows, dk=%u, "

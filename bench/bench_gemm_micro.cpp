@@ -169,9 +169,7 @@ template <typename Fn>
 JsonResult time_kernel(const std::string& kernel, size_t m, size_t k,
                        size_t n, size_t threads, int reps, const Fn& fn) {
   fn();  // warm-up
-  util::Stopwatch watch;
-  for (int i = 0; i < reps; ++i) fn();
-  const double ms = watch.milliseconds() / reps;
+  const double ms = bench::median_time_ms(reps, fn);
   const double gmacs = static_cast<double>(m) * static_cast<double>(k) *
                        static_cast<double>(n) / (ms * 1e-3) / 1e9;
   return {kernel, m, k, n, threads, ms, gmacs};

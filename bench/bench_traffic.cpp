@@ -36,6 +36,7 @@
 #include "ref/weights.hpp"
 #include "runtime/decode_policy.hpp"
 #include "runtime/generation.hpp"
+#include "runtime/telemetry.hpp"
 #include "runtime/traffic.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -193,9 +194,32 @@ int main(int argc, char** argv) {
   // --ci tags the emitted records for the CI stress job; the trace is
   // small enough (sub-second in Release, seconds under sanitizers) that
   // the workload itself is identical — same seed, same gates.
+  // --trace <path> arms runtime telemetry on the storms and writes the
+  // merged Chrome trace-event JSON there (chrome://tracing / Perfetto).
   bool ci = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--ci") ci = true;
+    if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
+
+  // Unconfigured bundles are inert, so the engines can take the
+  // pointers unconditionally; configure() only runs when tracing was
+  // requested (it throws by contract when PROTEA_TELEMETRY is off).
+  runtime::Telemetry tel_stepped, tel_threaded, tel_pstep, tel_pthr;
+  if (!trace_path.empty()) {
+#ifdef PROTEA_TELEMETRY
+    tel_stepped.configure();
+    tel_threaded.configure();
+    tel_pstep.configure();
+    tel_pthr.configure();
+#else
+    std::fprintf(stderr,
+                 "bench_traffic: --trace ignored (PROTEA_TELEMETRY off)\n");
+    trace_path.clear();
+#endif
   }
 
   Harness hx;
@@ -255,6 +279,8 @@ int main(int argc, char** argv) {
   overload.fail_count = 12;
 #endif
 
+  overload.telemetry = &tel_stepped;
+
   runtime::TrafficEngine engine(hx.acfg, hx.qd);
   auto stepped_built = build_requests(hx, engine_items);
   const auto stepped = engine.run(stepped_built.reqs, overload);
@@ -264,9 +290,27 @@ int main(int argc, char** argv) {
   threaded_opts.threads = 4;
   threaded_opts.mha_slots = 2;
   threaded_opts.ffn_slots = 2;
+  threaded_opts.telemetry = &tel_threaded;
   auto threaded_built = build_requests(hx, engine_items);
   const auto threaded = engine.run(threaded_built.reqs, threaded_opts);
   const auto threaded_stats = engine.last_run();
+
+  // Telemetry gate: the recorded virtual-time event sequence is
+  // bit-identical between the modes (wall_ns is a non-compared
+  // annotation), and the storm left every lifecycle stage in the trace.
+  if (tel_stepped.enabled()) {
+    gate.require(runtime::virtual_equal(tel_stepped.trace.snapshot(),
+                                        tel_threaded.trace.snapshot()),
+                 "storm virtual-time trace identical stepped vs threaded");
+    using TE = runtime::TraceEventType;
+    for (const TE t : {TE::kAdmit, TE::kShed, TE::kPreempt, TE::kSwapOut,
+                       TE::kSwapIn, TE::kRestore, TE::kDeadlineMiss,
+                       TE::kComplete, TE::kPoolOccupancy}) {
+      const std::string what =
+          std::string("storm trace covers ") + runtime::trace_event_name(t);
+      gate.require(tel_stepped.trace.count(t) >= 1, what.c_str());
+    }
+  }
 
   // Gate 1: completed bits match the solo references; cancelled requests
   // return an exact prefix of them.
@@ -349,6 +393,7 @@ int main(int argc, char** argv) {
   // the bits still match the solo references.
   runtime::TrafficOptions recompute_opts = overload;
   recompute_opts.recovery = runtime::PreemptionRecovery::kRecompute;
+  recompute_opts.telemetry = nullptr;  // keep tel_stepped's ring storm-only
   auto recompute_built = build_requests(hx, engine_items);
   const auto recomputed = engine.run(recompute_built.reqs, recompute_opts);
   const auto recompute_stats = engine.last_run();
@@ -486,6 +531,7 @@ int main(int argc, char** argv) {
     popts.shed_queue_depth = 6;
     popts.stall_limit = 64;
     popts.prefix_cache = true;
+    popts.telemetry = &tel_pstep;
 #ifdef PROTEA_FAILPOINTS
     popts.fail_skip = 20;
     popts.fail_count = 8;
@@ -498,6 +544,7 @@ int main(int argc, char** argv) {
     pthr_opts.threads = 4;
     pthr_opts.mha_slots = 2;
     pthr_opts.ffn_slots = 2;
+    pthr_opts.telemetry = &tel_pthr;
     auto pthr_built = build_requests(hx, pitems, pcfg.shared_prefix_rows);
     const auto pthr = engine.run(pthr_built.reqs, pthr_opts);
     const auto pthr_stats = engine.last_run();
@@ -589,23 +636,32 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(pstep_stats.cross_kv_hits),
         pmatch ? "yes" : "NO");
 
+    // Telemetry gate: adoption, publication and eviction events are
+    // part of the deterministic virtual-time sequence too.
+    if (tel_pstep.enabled()) {
+      gate.require(runtime::virtual_equal(tel_pstep.trace.snapshot(),
+                                          tel_pthr.trace.snapshot()),
+                   "prefix-storm virtual-time trace identical stepped vs "
+                   "threaded");
+      gate.require(
+          tel_pstep.trace.count(runtime::TraceEventType::kPrefixAdopt) >= 1,
+          "prefix-storm trace covers prefix-adopt");
+      gate.require(
+          tel_pstep.trace.count(runtime::TraceEventType::kPrefixPublish) >= 1,
+          "prefix-storm trace covers prefix-publish");
+    }
+
+    // SchedulerStats go through the shared flattener (the same samples
+    // scheduler_stats_json serializes) instead of hand-picked fields.
     const std::string pname =
         std::string("shared_prefix_storm_") + (ci ? "ci" : "full");
-    const auto pcount = [&](const char* metric, double value,
-                            const char* unit = "count") {
-      records.push_back({pname, metric, value, unit});
-    };
-    pcount("requests", static_cast<double>(pitems.size()));
-    pcount("completed", static_cast<double>(px_completed));
-    pcount("shed", static_cast<double>(px_shed));
-    pcount("preempted", static_cast<double>(px_preempt));
-    pcount("prefix_hits", static_cast<double>(px_hits));
-    pcount("prefix_misses", static_cast<double>(pstep_stats.prefix_misses));
-    pcount("prefix_rows_adopted", static_cast<double>(px_rows), "rows");
-    pcount("prefix_bytes_saved", static_cast<double>(px_bytes), "bytes");
-    pcount("prefix_evictions", static_cast<double>(px_evictions));
-    pcount("cross_kv_hits", static_cast<double>(pstep_stats.cross_kv_hits));
-    pcount("stepped_equals_threaded", pmatch ? 1.0 : 0.0, "bool");
+    records.push_back(
+        {pname, "requests", static_cast<double>(pitems.size()), "count"});
+    for (const auto& s : runtime::flatten_stats(pstep_stats)) {
+      records.push_back({pname, s.metric, s.value, s.unit});
+    }
+    records.push_back(
+        {pname, "stepped_equals_threaded", pmatch ? 1.0 : 0.0, "bool"});
   }
 
   // --- report ---------------------------------------------------------------
@@ -643,31 +699,29 @@ int main(int argc, char** argv) {
   table.row({"stepped == threaded", modes_match ? "yes" : "NO"});
   std::printf("%s\n", table.to_string().c_str());
 
+  // One line of machine-readable storm stats (the shared serializer
+  // the JSON records below are flattened from).
+  std::printf("storm stats: %s\n\n",
+              runtime::scheduler_stats_json(stepped_stats).c_str());
+
   const std::string name = std::string("traffic_storm_") + mode;
   const auto count = [&](const char* metric, double value,
                          const char* unit = "count") {
     records.push_back({name, metric, value, unit});
   };
+  // Every SchedulerStats counter — aggregate and per-class — lands in
+  // the records through the shared flattener; only derived metrics
+  // (latencies, goodput, gate verdicts) are emitted by hand.
   count("requests", static_cast<double>(engine_items.size()));
-  count("completed", static_cast<double>(completed));
-  count("completed_late", static_cast<double>(late));
-  count("shed", static_cast<double>(shed));
-  count("cancelled", static_cast<double>(cancelled));
-  count("preempted", static_cast<double>(preemptions));
-  count("swap_outs", static_cast<double>(swap_outs));
-  count("recomputes", static_cast<double>(recomputes));
-  count("recompute_storm_preempted",
-        static_cast<double>(recompute_stats.total(&CS::preemptions)));
-  count("recompute_storm_replayed_rows",
-        static_cast<double>(recompute_stats.replayed_rows), "rows");
-  count("deadline_misses", static_cast<double>(deadline_misses));
-  count("failpoint_trips",
-        static_cast<double>(stepped_stats.failpoint_trips));
-  count("kv_blocks_peak", static_cast<double>(stepped_stats.kv_blocks_peak),
-        "blocks");
-  count("swap_bytes", static_cast<double>(stepped_stats.swap_bytes), "bytes");
-  count("replayed_rows", static_cast<double>(stepped_stats.replayed_rows),
-        "rows");
+  for (const auto& s : runtime::flatten_stats(stepped_stats)) {
+    records.push_back({name, s.metric, s.value, s.unit});
+  }
+  {
+    const std::string rname = std::string("recompute_storm_") + mode;
+    for (const auto& s : runtime::flatten_stats(recompute_stats)) {
+      records.push_back({rname, s.metric, s.value, s.unit});
+    }
+  }
   count("latency_p50", percentile(lat_rounds, 50), "rounds");
   count("latency_p99", percentile(lat_rounds, 99), "rounds");
   count("latency_ms_p50", percentile(lat_ms, 50), "ms");
@@ -682,6 +736,28 @@ int main(int argc, char** argv) {
                      "replayed_rows",
                      static_cast<double>(preempted.last_run().replayed_rows),
                      "rows"});
+
+  // Telemetry folds into the same record file: every registered
+  // histogram's p50/p95/p99/mean/count plus the counters, under the
+  // storm's record name. The merged Chrome trace (overload storm +
+  // shared-prefix storm, the latter's sequences offset onto their own
+  // span tracks) goes to --trace.
+  if (tel_stepped.enabled()) {
+    for (const auto& s : runtime::metric_samples(tel_stepped)) {
+      records.push_back({name, s.name + "_" + s.metric, s.value, s.unit});
+    }
+  }
+  if (!trace_path.empty() && tel_stepped.enabled()) {
+    auto events = tel_stepped.trace.snapshot();
+    auto pe = tel_pstep.trace.snapshot();
+    for (auto& e : pe) {
+      if (e.seq != runtime::kNoTraceSeq) e.seq += 1000;
+    }
+    events.insert(events.end(), pe.begin(), pe.end());
+    runtime::write_chrome_trace(trace_path, events);
+    std::printf("bench_traffic: wrote %zu trace events to %s\n",
+                events.size(), trace_path.c_str());
+  }
 
   const bool wrote =
       bench::write_bench_records("BENCH_traffic.json", "bench_traffic",

@@ -11,6 +11,7 @@
 #include "numeric/quantizer.hpp"
 #include "runtime/module_gate.hpp"
 #include "runtime/prefix_cache.hpp"
+#include "runtime/telemetry.hpp"
 #include "tensor/qgemm.hpp"
 #include "util/math_util.hpp"
 #include "util/stopwatch.hpp"
@@ -478,6 +479,30 @@ GenerationOptions session_options(const GenerationSchedulerOptions& opts,
                            .kv_storage = opts.kv_storage};
 }
 
+/// Arms the pool's and prefix cache's telemetry hooks for the duration
+/// of a serving loop. Construct AFTER the sessions (and destruct before
+/// them): session construction warms arenas and teardown releases
+/// blocks, neither of which belongs in the trace. Inert when `tel` is
+/// null or unconfigured.
+struct TraceArm {
+  KvBlockPool* pool;
+  PrefixCache* pcache;
+  TraceRecorder* trace;
+  TraceArm(Telemetry* tel, KvBlockPool* pool, PrefixCache* pcache)
+      : pool(pool),
+        pcache(pcache),
+        trace(tel != nullptr && tel->enabled() ? &tel->trace : nullptr) {
+    if (trace == nullptr) return;
+    if (pool != nullptr) pool->set_trace(trace);
+    if (pcache != nullptr) pcache->set_trace(trace);
+  }
+  ~TraceArm() {
+    if (trace == nullptr) return;
+    if (pool != nullptr) pool->set_trace(nullptr);
+    if (pcache != nullptr) pcache->set_trace(nullptr);
+  }
+};
+
 /// Deterministic round-robin step loop: admit pending requests into free
 /// slots (FCFS, deferred while the shared block pool cannot cover the
 /// head-of-line request's worst case), advance every active sequence one
@@ -501,14 +526,38 @@ void run_stepped(const accel::AccelConfig& config,
   // Sessions (and their worst-case arena warm-ups) are up; time only the
   // serving work itself.
   util::Stopwatch watch;
+  Telemetry* const tel =
+      opts.telemetry != nullptr && opts.telemetry->enabled()
+          ? opts.telemetry
+          : nullptr;
+  TraceArm trace_arm(tel, pool, pcache);
 
   std::vector<ActiveSeq> seats(slots);
+  std::vector<uint8_t> ttft_pending(slots, 0);
   size_t pending = 0;
   size_t wait_counted = SIZE_MAX;  // request whose deferral was recorded
   uint32_t in_flight = 0;
   uint32_t step = 0;
+  const auto seq_of = [&](size_t s) {
+    return static_cast<uint32_t>(seats[s].req - requests.data());
+  };
+  // Every seat event carries the request's index as its sequence id;
+  // TTFT is the step whose prefill pass completed the prompt (requests
+  // all arrive at step 0, so queue wait is the admission step itself).
+  const auto note_prefill = [&](size_t s) {
+    if (tel == nullptr) return;
+    tel->trace.record(TraceEventType::kPrefillChunk, seq_of(s),
+                      seats[s].prefill_pos, 0);
+    if (!seats[s].prefilling && ttft_pending[s] != 0) {
+      ttft_pending[s] = 0;
+      tel->ttft_rounds->observe(step);
+      tel->ttft_us->observe(
+          static_cast<uint64_t>(watch.milliseconds() * 1e3));
+    }
+  };
   while (pending < requests.size() || in_flight > 0) {
     bool progressed = false;
+    if (tel != nullptr) tel->trace.set_round(step);
     // Admit in request order into the lowest free seats. A retiring
     // sequence freed its seat (and blocks) last step, so short sequences
     // hand their slot to the queue while long ones keep decoding. When
@@ -536,9 +585,16 @@ void run_stepped(const accel::AccelConfig& config,
       ++pending;
       ++in_flight;
       ++stats.prefills;
+      if (tel != nullptr) {
+        tel->trace.record(TraceEventType::kAdmit, seq_of(s), step,
+                          req.prefix.rows());
+        tel->queue_wait_rounds->observe(step);
+        ttft_pending[s] = 1;
+      }
       seats[s].begin(*sessions[s], nullptr);
       seats[s].prefill_step(*sessions[s], nullptr, opts.prefill_chunk);
       ++stats.prefill_chunks;
+      note_prefill(s);
       progressed = true;
     }
     stats.max_active = std::max(stats.max_active, in_flight);
@@ -550,9 +606,14 @@ void run_stepped(const accel::AccelConfig& config,
       if (seats[s].prefilling) {
         seats[s].prefill_step(*sessions[s], nullptr, opts.prefill_chunk);
         ++stats.prefill_chunks;
+        note_prefill(s);
       } else {
         seats[s].step(*sessions[s], nullptr);
         ++stats.decode_steps;
+        if (tel != nullptr) {
+          tel->trace.record(TraceEventType::kDecodeStep, seq_of(s),
+                            seats[s].result->steps, 0);
+        }
       }
       progressed = true;
     }
@@ -561,6 +622,10 @@ void run_stepped(const accel::AccelConfig& config,
     for (size_t s = 0; s < slots; ++s) {
       if (seats[s].req != nullptr && seats[s].done) {
         seats[s].result->retired_at = step;
+        if (tel != nullptr) {
+          tel->trace.record(TraceEventType::kComplete, seq_of(s), 0,
+                            step - seats[s].result->admitted_at);
+        }
         seats[s].finalize();
         sessions[s]->end_sequence();
         seats[s] = ActiveSeq{};
@@ -614,6 +679,16 @@ void run_threaded(const accel::AccelConfig& config,
         config, model, nullptr, session_options(opts, pool)));
   }
   util::Stopwatch watch;
+  // Threaded mode has no global step clock: events keep the recorder's
+  // round 0 and their order follows wall time (the recorder itself is
+  // mutex-guarded). Histograms are engine-serial by contract, so worker
+  // observations funnel through tel_mutex.
+  Telemetry* const tel =
+      opts.telemetry != nullptr && opts.telemetry->enabled()
+          ? opts.telemetry
+          : nullptr;
+  TraceArm trace_arm(tel, pool, pcache);
+  std::mutex tel_mutex;
 
   std::atomic<size_t> next{0};
   std::atomic<uint64_t> prefills{0};
@@ -652,18 +727,42 @@ void run_threaded(const accel::AccelConfig& config,
           seq.req = &requests[i];
           seq.result = &results[i];
           seq.cache = pcache;
+          const uint32_t sid = static_cast<uint32_t>(i);
+          const double t_admit =
+              tel != nullptr ? watch.milliseconds() : 0.0;
+          if (tel != nullptr) {
+            tel->trace.record(TraceEventType::kAdmit, sid, 0,
+                              requests[i].prefix.rows());
+          }
           seq.begin(session, &gate);
           while (seq.prefilling) {
             seq.prefill_step(session, &gate, opts.prefill_chunk);
             ++prefill_chunks;
+            if (tel != nullptr) {
+              tel->trace.record(TraceEventType::kPrefillChunk, sid,
+                                seq.prefill_pos, 0);
+            }
           }
           ++prefills;
+          if (tel != nullptr) {
+            const uint64_t ttft_us = static_cast<uint64_t>(
+                (watch.milliseconds() - t_admit) * 1e3);
+            const std::lock_guard lock(tel_mutex);
+            tel->ttft_us->observe(ttft_us);
+          }
           while (!seq.done) {
             seq.step(session, &gate);
             ++decode_steps;
+            if (tel != nullptr) {
+              tel->trace.record(TraceEventType::kDecodeStep, sid,
+                                seq.result->steps, 0);
+            }
           }
           seq.finalize();
           session.end_sequence();
+          if (tel != nullptr) {
+            tel->trace.record(TraceEventType::kComplete, sid, 0, 0);
+          }
           active.fetch_sub(1);
         }
       } catch (...) {

@@ -63,6 +63,7 @@
 namespace protea::runtime {
 
 class PrefixCache;
+class Telemetry;  // runtime/telemetry.hpp
 
 struct GenerationOptions {
   /// Self-K/V tokens per block. 0 selects the dense (PR-3) layout.
@@ -318,6 +319,15 @@ struct GenerationSchedulerOptions {
   /// fixed, fp4 halves each sequence's block bytes, which is what lets
   /// one pool budget serve ~2x the concurrent sequences.
   numeric::KvStorage kv_storage = numeric::KvStorage::kInt8;
+  /// Runtime telemetry sink (runtime/telemetry.hpp): when non-null AND
+  /// configured, the scheduler records the request lifecycle — admit,
+  /// prefill chunks, decode steps, complete — plus pool occupancy, and
+  /// observes queue-wait and time-to-first-token histograms. Stepped
+  /// mode stamps every event with the scheduler step (deterministic);
+  /// threaded mode has no global step clock, so its events keep round 0
+  /// and their ORDER follows wall time. An unconfigured Telemetry is
+  /// inert; must outlive the run. Never perturbs outputs or schedule.
+  Telemetry* telemetry = nullptr;
 };
 
 struct GenerationRunStats {

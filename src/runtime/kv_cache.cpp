@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "runtime/telemetry.hpp"
 #include "util/math_util.hpp"
 
 namespace protea::runtime {
@@ -135,13 +136,18 @@ bool KvBlockPool::take_locked(size_t n, std::vector<uint32_t>& out,
       throw std::logic_error(
           "KvBlockPool: credited take exceeds its admission bound");
     }
-  } else if (failpoint_hit_locked() || n > uncommitted_free_locked()) {
-    ++exhaustion_events_;
-    return false;
+  } else {
+    const bool trip = failpoint_hit_locked();
+    if (trip) note_failpoint_locked();
+    if (trip || n > uncommitted_free_locked()) {
+      ++exhaustion_events_;
+      return false;
+    }
   }
   for (size_t i = 0; i < n; ++i) {
     out.push_back(pop_one_locked(credit, skip_zero));
   }
+  note_occupancy_locked();
   return true;
 }
 
@@ -151,6 +157,7 @@ bool KvBlockPool::take_retry_locked(size_t n, std::vector<uint32_t>& out,
   for (size_t i = 0; i < n; ++i) {
     out.push_back(pop_one_locked(credit, skip_zero));
   }
+  note_occupancy_locked();
   return true;
 }
 
@@ -261,6 +268,7 @@ void KvBlockPool::release(std::span<const uint32_t> blocks) {
       throw std::logic_error("KvBlockPool::release: double free");
     }
     for (uint32_t b : blocks) in_span_[b] = 0;
+    bool freed_any = false;
     for (uint32_t b : blocks) {
       if (ref_count_[b] == 0 && !is_free_[b]) {  // last holder let go
         is_free_[b] = 1;
@@ -271,8 +279,10 @@ void KvBlockPool::release(std::span<const uint32_t> blocks) {
           ++credit_outstanding_;  // headroom returns to the group
         }
         free_list_.push_back(b);
+        freed_any = true;
       }
     }
+    if (freed_any) note_occupancy_locked();
   }
   freed_.notify_all();
 }
@@ -305,14 +315,19 @@ uint32_t KvBlockPool::duplicate_locked(uint32_t block,
       throw std::logic_error(
           "KvBlockPool: credited take exceeds its admission bound");
     }
-  } else if (failpoint_hit_locked() || uncommitted_free_locked() == 0) {
-    ++exhaustion_events_;
-    throw KvBlockExhausted(
-        "KvBlockPool: no free block to back the copy-on-write");
+  } else {
+    const bool trip = failpoint_hit_locked();
+    if (trip) note_failpoint_locked();
+    if (trip || uncommitted_free_locked() == 0) {
+      ++exhaustion_events_;
+      throw KvBlockExhausted(
+          "KvBlockPool: no free block to back the copy-on-write");
+    }
   }
   const uint32_t fresh = pop_one_locked(credit, /*skip_zero=*/true);
   std::memcpy(data_ + size_t{fresh} * block_bytes(),
               data_ + size_t{block} * block_bytes(), block_bytes());
+  note_occupancy_locked();
   return fresh;
 }
 
@@ -365,7 +380,9 @@ bool KvBlockPool::try_reserve_credit(KvPoolCredit& credit, size_t n) {
       throw std::logic_error(
           "KvBlockPool::try_reserve_credit: credit already in use");
     }
-    if (!failpoint_hit_locked() && n <= uncommitted_free_locked()) {
+    const bool trip = failpoint_hit_locked();
+    if (trip) note_failpoint_locked();
+    if (!trip && n <= uncommitted_free_locked()) {
       credit.limit = n;
       credit.peak = 0;
       credit_outstanding_ += n;
@@ -411,6 +428,27 @@ bool KvBlockPool::reserve_credit_wait(KvPoolCredit& credit, size_t n) {
   credit.peak = 0;
   credit_outstanding_ += n;
   return waited;
+}
+
+void KvBlockPool::set_trace(TraceRecorder* trace) {
+  const std::lock_guard lock(mutex_);
+  trace_ = trace;
+}
+
+void KvBlockPool::note_occupancy_locked() {
+  if (trace_ != nullptr) {
+    trace_->record(TraceEventType::kPoolOccupancy, kNoTraceSeq,
+                   num_blocks_ - free_list_.size(), free_list_.size());
+  }
+}
+
+void KvBlockPool::note_failpoint_locked() {
+#ifdef PROTEA_FAILPOINTS
+  if (trace_ != nullptr) {
+    trace_->record(TraceEventType::kFailpointTrip, kNoTraceSeq,
+                   failpoint_trips_, 0);
+  }
+#endif
 }
 
 #ifdef PROTEA_FAILPOINTS

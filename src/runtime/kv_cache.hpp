@@ -59,6 +59,8 @@
 
 namespace protea::runtime {
 
+class TraceRecorder;  // runtime/telemetry.hpp
+
 /// Thrown when a paged cache cannot get a block from its pool. Schedulers
 /// catch-or-avoid this by reserving at admission (backpressure: the
 /// request waits instead of corrupting a neighbor's rows).
@@ -211,6 +213,16 @@ class KvBlockPool {
     reclaim_hook_ = std::move(hook);
   }
 
+  /// Telemetry hook (runtime/telemetry.hpp): when bound, the pool emits
+  /// kPoolOccupancy events on every take/release and kFailpointTrip on
+  /// every injected failure, stamped with the recorder's current virtual
+  /// round. The engines arm this AFTER session construction (mirroring
+  /// the failpoint schedule) so warm-up takes are not recorded, and
+  /// disarm it (nullptr) before the run returns. The recorder must
+  /// outlive the binding. A no-op pointer store when telemetry is
+  /// compiled out (record() is then a no-op anyway).
+  void set_trace(TraceRecorder* trace);
+
   // --- deterministic fault injection (failpoints) ---------------------------
   //
   // Tests and the traffic stress harness inject pool exhaustion at exact,
@@ -258,6 +270,10 @@ class KvBlockPool {
     return free_list_.size() - credit_outstanding_;
   }
   uint32_t duplicate_locked(uint32_t block, KvPoolCredit* credit);
+  /// Telemetry emitters (no-ops while trace_ is unbound; defined in the
+  /// .cpp so this header needs only the forward declaration).
+  void note_occupancy_locked();
+  void note_failpoint_locked();
   /// Consumes one failpoint decision for an uncredited take attempt.
 #ifdef PROTEA_FAILPOINTS
   bool failpoint_hit_locked() {
@@ -303,6 +319,7 @@ class KvBlockPool {
   uint64_t failpoint_trips_ = 0;
 #endif
   std::function<size_t(size_t)> reclaim_hook_;
+  TraceRecorder* trace_ = nullptr;  // telemetry sink, see set_trace()
   mutable std::mutex mutex_;
   std::condition_variable freed_;
 };

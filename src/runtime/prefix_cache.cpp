@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "runtime/telemetry.hpp"
+
 namespace protea::runtime {
 
 namespace {
@@ -160,6 +162,10 @@ PrefixCache::MemoryEntry& PrefixCache::ensure_entry_locked(
     for (const auto& c : entries_[victim]->children) collect(collect, *c);
     if (!blocks.empty()) pool_->release(blocks);
     stats_.evictions += blocks.size();
+    if (trace_ != nullptr && !blocks.empty()) {
+      trace_->record(TraceEventType::kPrefixEvict, kNoTraceSeq,
+                     blocks.size(), 0);
+    }
     entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(victim));
   }
   return created;
@@ -245,6 +251,10 @@ size_t PrefixCache::adopt(const tensor::MatrixF& memory,
   ++stats_.prefix_hits;
   stats_.rows_adopted += pos;
   stats_.bytes_adopted += pos * pool_->row_bytes();
+  if (trace_ != nullptr) {
+    trace_->record(TraceEventType::kPrefixAdopt, kNoTraceSeq, pos,
+                   chain.size());
+  }
   return pos;
 }
 
@@ -309,7 +319,7 @@ void PrefixCache::publish(const tensor::MatrixF& memory,
   const size_t nblocks = prompt.rows() / block_rows_;  // full blocks only
   const std::span<const uint32_t> table = kv.block_table();
   auto* children = &e.children;
-  bool published_new = false;
+  size_t new_blocks = 0;
   for (size_t k = 0; k < nblocks; ++k) {
     const size_t pos = k * block_rows_;
     const uint64_t h = fnv1a(prompt.row(pos).data(), row_bytes_f);
@@ -331,19 +341,23 @@ void PrefixCache::publish(const tensor::MatrixF& memory,
       pool_->fork_ref(std::span<const uint32_t>(&b, 1));
       node->block = b;
       ++stats_.inserts;
-      published_new = true;
+      ++new_blocks;
       children->push_back(std::move(node));
       match = children->back().get();
     }
     match->last_used = tick_;
     children = &match->children;
   }
-  if (published_new) {
+  if (new_blocks > 0) {
     // The donor's leading blocks are now shared with the cache: arm its
     // COW guard (it only ever writes beyond the published prefix, but
     // in-place sequence reuse and swap-out must see the sharing).
     kv.mark_table_shared();
     note_blocks_locked();
+    if (trace_ != nullptr) {
+      trace_->record(TraceEventType::kPrefixPublish, kNoTraceSeq,
+                     nblocks * block_rows_, new_blocks);
+    }
   }
 }
 
@@ -375,6 +389,9 @@ bool PrefixCache::evict_one_leaf_locked() {
   pool_->release(std::span<const uint32_t>(&b, 1));
   best_vec->erase(best_vec->begin() + static_cast<ptrdiff_t>(best_idx));
   ++stats_.evictions;
+  if (trace_ != nullptr) {
+    trace_->record(TraceEventType::kPrefixEvict, kNoTraceSeq, 1, 0);
+  }
   return true;
 }
 
@@ -444,6 +461,11 @@ PrefixCacheStats PrefixCache::stats() const {
   PrefixCacheStats out = stats_;
   out.blocks_held = count_blocks_locked();
   return out;
+}
+
+void PrefixCache::set_trace(TraceRecorder* trace) {
+  const std::lock_guard lock(mutex_);
+  trace_ = trace;
 }
 
 }  // namespace protea::runtime

@@ -152,6 +152,14 @@ class PrefixCache {
   size_t block_rows() const { return block_rows_; }
   KvBlockPool* pool() { return pool_; }
 
+  /// Telemetry hook (runtime/telemetry.hpp): when bound, the cache emits
+  /// kPrefixAdopt on every adoption hit, kPrefixPublish on every publish
+  /// that inserted new nodes and kPrefixEvict whenever nodes are freed
+  /// (LRU cap or pool-pressure reclaim). Same contract as
+  /// KvBlockPool::set_trace: armed by the engines after warm-up,
+  /// disarmed before the run returns, recorder outlives the binding.
+  void set_trace(TraceRecorder* trace);
+
  private:
   /// One cached block: `rows_bytes` are the exact prompt-embedding rows
   /// it covers (verification key), `states` their prefill outputs.
@@ -195,6 +203,7 @@ class PrefixCache {
   uint64_t tick_ = 0;  // deterministic LRU clock (one tick per operation)
   std::vector<std::unique_ptr<MemoryEntry>> entries_;
   PrefixCacheStats stats_;
+  TraceRecorder* trace_ = nullptr;  // telemetry sink, see set_trace()
   mutable std::mutex mutex_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <exception>
 #include <limits>
 #include <numeric>
@@ -11,6 +12,7 @@
 #include "accel/decoder_accelerator.hpp"
 #include "runtime/module_gate.hpp"
 #include "runtime/prefix_cache.hpp"
+#include "runtime/telemetry.hpp"
 #include "util/math_util.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -99,6 +101,12 @@ struct Flight {
   bool unit_ready = false;  // rows reserved for this round's unit
   bool published = false;   // prompt handed to the prefix cache
   double wall_admit = 0.0;
+  // Telemetry bookkeeping (written only when a sink is bound; never read
+  // by the scheduling logic, so telemetry cannot perturb the schedule).
+  uint32_t preempt_round = 0;    // round of the last eviction
+  uint32_t last_decode_round = 0;
+  bool has_decoded = false;      // last_decode_round is valid
+  bool ttft_recorded = false;    // first-token latency observed once
   std::vector<int8_t> swap_data;  // spilled block bytes while preempted
   size_t swap_rows = 0;
   bool swapped = false;
@@ -205,7 +213,10 @@ class Coordinator {
         pool_(pool),
         pcache_(pcache),
         results_(results),
-        stats_(stats) {
+        stats_(stats),
+        tel_(opts.telemetry != nullptr && opts.telemetry->enabled()
+                 ? opts.telemetry
+                 : nullptr) {
     const size_t slots = std::min(opts.slots, requests.size());
     const GenerationOptions session_opts{
         .kv_block_rows = pool.block_rows(),
@@ -260,11 +271,29 @@ class Coordinator {
       ~ClearFaults() { pool.clear_failures(); }
     } clear_faults{pool_};
 
+    // Arm the trace on the pool and prefix cache AFTER session
+    // construction for the same reason as the failpoints: warm-up takes
+    // are not part of the run. Disarm before the coordinator (and its
+    // sessions, whose teardown releases blocks) is destroyed.
+    struct ClearTrace {  // exception-safe disarm
+      KvBlockPool& pool;
+      PrefixCache* pcache;
+      ~ClearTrace() {
+        pool.set_trace(nullptr);
+        if (pcache != nullptr) pcache->set_trace(nullptr);
+      }
+    } clear_trace{pool_, pcache_};
+    if (tel_ != nullptr) {
+      pool_.set_trace(&tel_->trace);
+      if (pcache_ != nullptr) pcache_->set_trace(&tel_->trace);
+    }
+
     util::Stopwatch watch;
     watch_ = &watch;
     while (finished_ < requests_.size()) {
       progressed_ = false;
-      absorb_arrivals();
+      if (tel_ != nullptr) tel_->trace.set_round(round_);
+      absorb_arrivals();  // re-syncs the recorder after an idle jump
       expire_and_cancel();
       shed_overload();
       admit_and_restore();
@@ -273,6 +302,9 @@ class Coordinator {
       publish_prefixes();
       retire_done();
       track_stall();
+      if (tel_ != nullptr) {
+        tel_->pool_occupancy_blocks->observe(pool_.used_blocks());
+      }
       ++round_;
     }
     stats_.rounds = round_;
@@ -327,6 +359,14 @@ class Coordinator {
     r.shed_reason = std::move(reason);
     r.retired_round = round_;
     r.latency_rounds = round_ - requests_[index].arrival_round;
+    if (tel_ != nullptr) {
+      const bool completed = outcome == TrafficOutcome::kCompleted ||
+                             outcome == TrafficOutcome::kCompletedLate;
+      tel_->trace.record(completed ? TraceEventType::kComplete
+                                   : TraceEventType::kShed,
+                         index, static_cast<uint64_t>(outcome),
+                         completed ? r.latency_rounds : 0);
+    }
     if (f != nullptr) {
       finalize_states(*f);
       r.latency_ms = watch_->milliseconds() - f->wall_admit;
@@ -450,6 +490,7 @@ class Coordinator {
     // cannot spill byte-wise — swap_out refuses maybe-shared tables —
     // so those victims always drop and recompute.
     const bool swap = would_swap(s);
+    const size_t cached_rows = session.position();
     if (swap) {
       f.swap_rows = session.swap_out(f.swap_data);
       f.swapped = true;
@@ -459,6 +500,15 @@ class Coordinator {
     } else {
       session.end_sequence();
       ++c.recomputes;
+    }
+    if (tel_ != nullptr) {
+      tel_->trace.record(TraceEventType::kPreempt, f.index, swap ? 1 : 0,
+                         cached_rows);
+      if (swap) {
+        tel_->trace.record(TraceEventType::kSwapOut, f.index,
+                           f.swap_data.size(), f.swap_rows);
+      }
+      f.preempt_round = round_;
     }
     f.needs_begin = true;  // cross K/V must be re-projected either way
     f.stalled = false;
@@ -493,6 +543,7 @@ class Coordinator {
         next_arrival_ < arrival_order_.size()) {
       round_ = std::max(
           round_, requests_[arrival_order_[next_arrival_]].arrival_round);
+      if (tel_ != nullptr) tel_->trace.set_round(round_);
     }
     while (next_arrival_ < arrival_order_.size() &&
            requests_[arrival_order_[next_arrival_]].arrival_round <= round_) {
@@ -534,6 +585,10 @@ class Coordinator {
         if (!results_[w.index].deadline_missed) {
           results_[w.index].deadline_missed = true;
           ++cls(w.index).deadline_misses;
+          if (tel_ != nullptr) {
+            tel_->trace.record(TraceEventType::kDeadlineMiss, w.index,
+                               deadline_of(w.index), 0);
+          }
         }
         if (f == nullptr) {  // expired before it ever ran
           retire(w.index, TrafficOutcome::kShedDeadline,
@@ -565,6 +620,10 @@ class Coordinator {
         if (!f.result->deadline_missed) {
           f.result->deadline_missed = true;
           ++cls(f.index).deadline_misses;
+          if (tel_ != nullptr) {
+            tel_->trace.record(TraceEventType::kDeadlineMiss, f.index,
+                               f.deadline_round, 0);
+          }
         }
         if (f.req->cancel_on_deadline) {
           retire(f.index, TrafficOutcome::kCancelled,
@@ -677,6 +736,11 @@ class Coordinator {
     }
     f->result->admitted_round = round_;
     f->wall_admit = watch_->milliseconds();
+    if (tel_ != nullptr) {
+      const uint32_t wait = round_ - req.arrival_round;
+      tel_->trace.record(TraceEventType::kAdmit, index, wait, prefix);
+      tel_->queue_wait_rounds->observe(wait);
+    }
     if (pcache_ != nullptr) {
       // Coordinator-side adoption: copy cached cross projections (or
       // project and publish them on a miss), adopt the longest cached
@@ -715,6 +779,7 @@ class Coordinator {
     // re-touched (by index) for the final hand-off.
     Flight& f = *waiting_[best].flight;
     GenerationSession& session = *sessions_[s];
+    uint64_t restore_path = 0;  // 0 swap-in, 1 re-prefill, 2 replay
     // The cross K/V is a pure function of the encoder memory: recompute
     // it fresh (deterministic, so bit-identical to the original). It is
     // also the expensive part of a restore attempt — a full projection
@@ -742,11 +807,16 @@ class Coordinator {
           })) {
         return false;
       }
+      if (tel_ != nullptr) {
+        tel_->trace.record(TraceEventType::kSwapIn, f.index,
+                           f.swap_data.size(), f.swap_rows);
+      }
       f.swapped = false;
       --swapped_count_;
       f.swap_data.clear();
       f.swap_data.shrink_to_fit();
     } else if (f.prefilling) {
+      restore_path = 1;
       // Drop-and-recompute of a mid-prefill victim: restart the prompt
       // (rows are rewritten identically — chunked prefill is exact).
       // Reserving before prefill_begin is safe here: begin_sequence
@@ -772,6 +842,7 @@ class Coordinator {
         f.prefill_pos = 0;
       }
     } else {
+      restore_path = 2;
       // Drop-and-recompute: re-prefill the prompt plus every decode
       // input already fed. Chunk invariance (PR 4) makes the replayed
       // K/V bytes identical to the incremental original; the pending
@@ -808,6 +879,12 @@ class Coordinator {
     f.needs_begin = false;
     f.stalled = false;
     ++cls(f.index).restores;
+    if (tel_ != nullptr) {
+      const uint32_t downtime = round_ - f.preempt_round;
+      tel_->trace.record(TraceEventType::kRestore, f.index, downtime,
+                         restore_path);
+      tel_->preempt_downtime_rounds->observe(downtime);
+    }
     seats_[s] = std::move(waiting_[best].flight);
     progressed_ = true;
     return true;
@@ -862,8 +939,21 @@ class Coordinator {
       runnable_[ready++] = s;
       if (f.prefilling) {
         ++stats_.prefill_chunks;
+        if (tel_ != nullptr) {
+          tel_->trace.record(TraceEventType::kPrefillChunk, f.index, target,
+                             0);
+        }
       } else {
         ++stats_.decode_steps;
+        if (tel_ != nullptr) {
+          tel_->trace.record(TraceEventType::kDecodeStep, f.index,
+                             f.result->steps, 0);
+          if (f.has_decoded) {
+            tel_->token_gap_rounds->observe(round_ - f.last_decode_round);
+          }
+          f.has_decoded = true;
+          f.last_decode_round = round_;
+        }
       }
     }
     runnable_.resize(ready);
@@ -883,7 +973,20 @@ class Coordinator {
       }
       workers_->wait_idle();
     }
-    for (const size_t s : runnable_) seats_[s]->unit_ready = false;
+    for (const size_t s : runnable_) {
+      Flight& f = *seats_[s];
+      f.unit_ready = false;
+      // TTFT: prefilling flips true -> false exactly once per request (a
+      // mid-prefill recompute keeps it true, post-prefill paths never
+      // reset it), at the unit that computed the last prompt row — the
+      // state the first generated token is drawn from.
+      if (tel_ != nullptr && !f.prefilling && !f.ttft_recorded) {
+        f.ttft_recorded = true;
+        tel_->ttft_rounds->observe(round_ - f.req->arrival_round);
+        tel_->ttft_us->observe(static_cast<uint64_t>(
+            (watch_->milliseconds() - f.wall_admit) * 1e3));
+      }
+    }
   }
 
   void handle_unit_errors() {
@@ -996,6 +1099,7 @@ class Coordinator {
   PrefixCache* pcache_;  // null when the prefix cache is off
   std::vector<TrafficResult>& results_;
   SchedulerStats& stats_;
+  Telemetry* tel_;  // null when unset or unconfigured (inert)
 
   std::vector<std::unique_ptr<GenerationSession>> sessions_;
   std::vector<std::unique_ptr<Flight>> seats_;
@@ -1017,6 +1121,93 @@ class Coordinator {
 };
 
 }  // namespace
+
+// --- SchedulerStats serialization --------------------------------------------
+
+namespace {
+
+struct ClassField {
+  const char* name;
+  uint64_t TrafficClassStats::* ptr;
+};
+
+constexpr ClassField kClassFields[] = {
+    {"submitted", &TrafficClassStats::submitted},
+    {"completed", &TrafficClassStats::completed},
+    {"completed_late", &TrafficClassStats::completed_late},
+    {"shed_overload", &TrafficClassStats::shed_overload},
+    {"shed_deadline", &TrafficClassStats::shed_deadline},
+    {"shed_capacity", &TrafficClassStats::shed_capacity},
+    {"cancelled", &TrafficClassStats::cancelled},
+    {"failed", &TrafficClassStats::failed},
+    {"preemptions", &TrafficClassStats::preemptions},
+    {"swap_outs", &TrafficClassStats::swap_outs},
+    {"recomputes", &TrafficClassStats::recomputes},
+    {"restores", &TrafficClassStats::restores},
+    {"deadline_misses", &TrafficClassStats::deadline_misses},
+    {"kv_block_waits", &TrafficClassStats::kv_block_waits},
+};
+
+}  // namespace
+
+std::vector<StatSample> flatten_stats(const SchedulerStats& stats) {
+  std::vector<StatSample> out;
+  out.reserve(std::size(kClassFields) * (kTrafficClasses + 1) + 16);
+  const auto push = [&](std::string metric, double value,
+                        const char* unit = "count") {
+    out.push_back(StatSample{std::move(metric), value, unit});
+  };
+  for (const ClassField& f : kClassFields) {
+    push(f.name, static_cast<double>(stats.total(f.ptr)));
+  }
+  for (size_t c = 0; c < kTrafficClasses; ++c) {
+    const std::string prefix =
+        std::string(traffic_priority_name(static_cast<TrafficPriority>(c))) +
+        ".";
+    for (const ClassField& f : kClassFields) {
+      push(prefix + f.name,
+           static_cast<double>(stats.per_class[c].*(f.ptr)));
+    }
+  }
+  push("rounds", static_cast<double>(stats.rounds), "rounds");
+  push("decode_steps", static_cast<double>(stats.decode_steps));
+  push("prefill_chunks", static_cast<double>(stats.prefill_chunks));
+  push("replayed_rows", static_cast<double>(stats.replayed_rows), "rows");
+  push("swap_bytes", static_cast<double>(stats.swap_bytes), "bytes");
+  push("kv_blocks_peak", static_cast<double>(stats.kv_blocks_peak), "blocks");
+  push("failpoint_trips", static_cast<double>(stats.failpoint_trips));
+  push("prefix_hits", static_cast<double>(stats.prefix_hits));
+  push("prefix_misses", static_cast<double>(stats.prefix_misses));
+  push("prefix_rows_adopted", static_cast<double>(stats.prefix_rows_adopted),
+       "rows");
+  push("prefix_bytes_saved", static_cast<double>(stats.prefix_bytes_saved),
+       "bytes");
+  push("cross_kv_hits", static_cast<double>(stats.cross_kv_hits));
+  push("cross_kv_misses", static_cast<double>(stats.cross_kv_misses));
+  push("prefix_evictions", static_cast<double>(stats.prefix_evictions));
+  push("max_active", static_cast<double>(stats.max_active));
+  push("wall_ms", stats.wall_ms, "ms");
+  return out;
+}
+
+std::string scheduler_stats_json(const SchedulerStats& stats) {
+  std::string out = "{";
+  bool first = true;
+  char buf[64];
+  for (const StatSample& s : flatten_stats(stats)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + s.metric + "\":";
+    if (s.value == std::floor(s.value) && std::abs(s.value) < 9.0e15) {
+      std::snprintf(buf, sizeof buf, "%.0f", s.value);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.6g", s.value);
+    }
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
 
 // --- TrafficEngine -----------------------------------------------------------
 

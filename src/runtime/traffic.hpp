@@ -55,6 +55,8 @@
 
 namespace protea::runtime {
 
+class Telemetry;  // runtime/telemetry.hpp
+
 /// Priority classes, best first. The rank order is strict: an
 /// interactive request can preempt a standard or batch one, never the
 /// reverse.
@@ -166,6 +168,18 @@ struct TrafficOptions {
   /// GenerationOptions::kv_storage). An external kv_pool must be
   /// configured for the matching row width.
   numeric::KvStorage kv_storage = numeric::KvStorage::kInt8;
+  /// Runtime telemetry sink (runtime/telemetry.hpp): when non-null AND
+  /// configured, the coordinator records the full request lifecycle
+  /// (admit, shed, prefill chunks, decode steps, preempt, swap-out/in,
+  /// restore, deadline misses, completions) plus pool-occupancy and
+  /// prefix-cache events into its trace ring, and feeds the standard
+  /// latency histograms (TTFT, queue wait, per-token gap, preemption
+  /// downtime, pool occupancy). Every event is emitted from
+  /// coordinator-serial code stamped with the virtual round, so the
+  /// virtual-time event sequence is bit-identical between stepped and
+  /// threaded runs (wall_ns is a non-compared annotation). An
+  /// unconfigured Telemetry is inert; must outlive the run.
+  Telemetry* telemetry = nullptr;
 };
 
 struct TrafficClassStats {
@@ -218,6 +232,25 @@ struct SchedulerStats {
     return sum;
   }
 };
+
+/// One flattened SchedulerStats field in the BENCH_*.json record
+/// vocabulary (bench_common.hpp's {name, metric, value, unit} minus the
+/// bench name the caller supplies).
+struct StatSample {
+  std::string metric;  // e.g. "preemptions", "interactive.completed"
+  double value = 0.0;
+  std::string unit = "count";
+};
+
+/// THE serializer for SchedulerStats: every aggregate counter, every
+/// per-class counter (prefixed "<class>.") and the scalar fields, in a
+/// fixed deterministic order. Benches append these to their BENCH_*.json
+/// records and tests diff them — nobody hand-re-serializes the struct.
+std::vector<StatSample> flatten_stats(const SchedulerStats& stats);
+
+/// flatten_stats rendered as one JSON object {"metric": value, ...}
+/// (doubles for wall_ms, integers otherwise; no trailing newline).
+std::string scheduler_stats_json(const SchedulerStats& stats);
 
 /// Continuous-batching engine with preemption, deadlines and shedding.
 /// Owns the model; run() is reentrant across calls like

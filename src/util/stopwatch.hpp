@@ -1,27 +1,41 @@
-// Wall-clock stopwatch for the measured (CPU baseline) experiments.
+// Wall-clock timing for the measured (CPU baseline) experiments and the
+// runtime telemetry layer. Every wall stamp in the codebase routes
+// through monotonic_ns() — ONE clock (steady_clock), so stamps from the
+// benches, the telemetry trace recorder and the schedulers' wall_ms
+// fields are directly comparable.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace protea::util {
 
+/// Monotonic wall clock in nanoseconds since an arbitrary (but fixed
+/// per-process) epoch. The single timing primitive: Stopwatch and the
+/// telemetry TraceRecorder both stamp through here.
+inline uint64_t monotonic_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_ns_(monotonic_ns()) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() { start_ns_ = monotonic_ns(); }
 
   /// Elapsed seconds since construction or the last reset().
   double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
   }
 
   double milliseconds() const { return seconds() * 1e3; }
   double microseconds() const { return seconds() * 1e6; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_ns_ = 0;
 };
 
 }  // namespace protea::util
